@@ -1,0 +1,88 @@
+/**
+ * @file
+ * E6 — Fig. 12 reproduction: energy breakdown (MAC, L1 read/write,
+ * L2 read/write) of the five dataflows on VGG16 CONV1 and CONV11,
+ * normalized to the MAC energy of C-P, with the KC-P per-tensor
+ * breakdown column the paper highlights.
+ */
+
+#include <iostream>
+
+#include "src/common/table.hh"
+#include "src/core/analyzer.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/model/zoo.hh"
+
+int
+main()
+{
+    using namespace maestro;
+    std::cout << "E6 / Figure 12: energy breakdown (values normalized "
+                 "to C-P MAC energy)\n\n";
+
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const Network net = zoo::vgg16();
+
+    for (const char *layer_name : {"CONV1", "CONV11"}) {
+        const Layer &layer = net.layer(layer_name);
+        // Normalizer: MAC energy of the C-P run (same MACs for all).
+        const LayerAnalysis ref =
+            analyzer.analyzeLayer(layer, dataflows::cPartitioned());
+        const double norm = ref.cost.energy.mac;
+
+        std::cout << "== VGG16 " << layer_name << " ==\n";
+        Table table({"dataflow", "MAC", "L1 read", "L1 write",
+                     "L2 read", "L2 write", "NoC", "total"});
+        for (const Dataflow &df : dataflows::table3()) {
+            const LayerAnalysis la = analyzer.analyzeLayer(layer, df);
+            const EnergyBreakdown &e = la.cost.energy;
+            double l1r = 0.0;
+            double l1w = 0.0;
+            double l2r = 0.0;
+            double l2w = 0.0;
+            for (TensorKind t : kAllTensors) {
+                l1r += e.l1_read[t];
+                l1w += e.l1_write[t];
+                l2r += e.l2_read[t];
+                l2w += e.l2_write[t];
+            }
+            table.addRow({df.name(), fixedFormat(e.mac / norm, 2),
+                          fixedFormat(l1r / norm, 2),
+                          fixedFormat(l1w / norm, 2),
+                          fixedFormat(l2r / norm, 2),
+                          fixedFormat(l2w / norm, 2),
+                          fixedFormat(e.noc / norm, 2),
+                          fixedFormat(la.onchipEnergy() / norm, 2)});
+        }
+        table.print(std::cout);
+
+        // KC-P per-tensor detail (the paper's break-down column).
+        const LayerAnalysis kcp =
+            analyzer.analyzeLayer(layer, dataflows::kcPartitioned());
+        std::cout << "\nKC-P per-tensor detail:\n";
+        Table detail({"component", "weight", "input", "output"});
+        const EnergyBreakdown &e = kcp.cost.energy;
+        auto row = [&](const char *name,
+                       const TensorMap<double> &vals) {
+            detail.addRow(
+                {name,
+                 fixedFormat(vals[TensorKind::Weight] / norm, 2),
+                 fixedFormat(vals[TensorKind::Input] / norm, 2),
+                 fixedFormat(vals[TensorKind::Output] / norm, 2)});
+        };
+        row("L1 read", e.l1_read);
+        row("L1 write", e.l1_write);
+        row("L2 read", e.l2_read);
+        row("L2 write", e.l2_write);
+        detail.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "paper shape checks:\n"
+              << "  - C-P has by far the largest L2-read energy (no "
+                 "local reuse);\n"
+              << "  - L1 energy dominates MAC energy for every "
+                 "dataflow;\n"
+              << "  - YR-P's total is the smallest on CONV1.\n";
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * E7/E9 — Fig. 13 reproduction: design space exploration of KC-P and
+ * YR-P accelerators on VGG16 CONV2 (early) and CONV11 (late) under the
+ * Eyeriss-reported budget of 16 mm^2 / 450 mW, including:
+ *
+ *  - the DSE statistics table of Fig. 13(c) (valid/explored points,
+ *    time, effective rate),
+ *  - throughput- and energy-optimized design points (the star/cross
+ *    markers of Fig. 13(a)/(b)),
+ *  - a scatter sample (area, buffer, energy vs throughput) as CSV,
+ *  - the Sec. 1 headline comparison (E9): energy- vs
+ *    throughput-optimized NVDLA-like designs on VGG16 CONV11.
+ *
+ * Pass --csv to dump the scatter samples for plotting.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "src/common/error.hh"
+#include "src/common/table.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/dse/explorer.hh"
+#include "src/model/zoo.hh"
+
+namespace
+{
+
+using namespace maestro;
+
+std::string
+describePoint(const dse::DesignPoint &p)
+{
+    return msg(p.num_pes, " PEs, L1 ", p.l1_bytes / 1024.0, " KiB, L2 ",
+               p.l2_bytes / 1024.0, " KiB, BW ", p.noc_bandwidth,
+               " elem/cyc");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace maestro;
+    const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+
+    std::cout << "E7 / Figure 13: hardware DSE under 16 mm^2 / 450 mW "
+                 "(Eyeriss budget)\n\n";
+
+    AcceleratorConfig base = AcceleratorConfig::paperStudy();
+    const dse::Explorer explorer(base);
+    const dse::DesignSpace space = dse::DesignSpace::figure13();
+    const dse::DseOptions options;
+
+    struct Run { const char *dataflow, *layer; };
+    const Run runs[] = {
+        {"KC-P", "CONV2"},
+        {"KC-P", "CONV11"},
+        {"YR-P", "CONV2"},
+        {"YR-P", "CONV11"},
+    };
+
+    const Network net = zoo::vgg16();
+    Table stats({"dataflow", "layer", "valid", "explored", "evaluated",
+                 "time(s)", "rate(designs/s)"});
+    dse::DseResult kcp_conv11; // saved for the E9 block
+
+    for (const Run &run : runs) {
+        const Layer &layer = net.layer(run.layer);
+        const Dataflow df = dataflows::byName(run.dataflow);
+        const dse::DseResult res =
+            explorer.explore(layer, df, space, options);
+        stats.addRow({run.dataflow, run.layer,
+                      engFormat(res.valid_points),
+                      engFormat(res.explored_points),
+                      engFormat(res.evaluated_points),
+                      fixedFormat(res.seconds, 2),
+                      engFormat(res.rate)});
+
+        std::cout << "== " << run.dataflow << " on VGG16 " << run.layer
+                  << " ==\n";
+        std::cout << "  throughput-optimized: "
+                  << fixedFormat(res.best_throughput.throughput, 2)
+                  << " MACs/cyc @ " << describePoint(res.best_throughput)
+                  << "\n";
+        std::cout << "  energy-optimized:     "
+                  << fixedFormat(res.best_energy.throughput, 2)
+                  << " MACs/cyc @ " << describePoint(res.best_energy)
+                  << " (energy "
+                  << engFormat(res.best_energy.energy) << " vs "
+                  << engFormat(res.best_throughput.energy) << ")\n";
+        std::cout << "  Pareto frontier: " << res.pareto.size()
+                  << " points\n\n";
+
+        if (csv) {
+            std::cout << "pe,l1_bytes,l2_bytes,noc_bw,area_mm2,power_mw,"
+                         "throughput,energy,edp\n";
+            for (const auto &p : res.samples) {
+                std::cout << p.num_pes << ',' << p.l1_bytes << ','
+                          << p.l2_bytes << ',' << p.noc_bandwidth << ','
+                          << p.area << ',' << p.power << ','
+                          << p.throughput << ',' << p.energy << ','
+                          << p.edp << '\n';
+            }
+            std::cout << "\n";
+        }
+
+        if (std::string(run.dataflow) == "KC-P" &&
+            std::string(run.layer) == "CONV11") {
+            kcp_conv11 = res;
+        }
+    }
+
+    std::cout << "== Fig. 13(c): DSE statistics ==\n";
+    stats.print(std::cout);
+    std::cout << "(paper: 0.17M designs/s average; 3.9M-252M points "
+                 "explored per run)\n\n";
+
+    // ---- E9: the Sec. 1 headline (NVDLA-like on VGG16 CONV11). ----
+    const dse::DesignPoint &tp = kcp_conv11.best_throughput;
+    const dse::DesignPoint &ep = kcp_conv11.best_energy;
+    if (tp.valid && ep.valid) {
+        std::cout << "== E9 / Sec. 1 headline: KC-P on VGG16 CONV11 ==\n";
+        const double pe_ratio = static_cast<double>(ep.num_pes) /
+                                static_cast<double>(tp.num_pes);
+        const double sram_ratio =
+            static_cast<double>(ep.num_pes * ep.l1_bytes + ep.l2_bytes) /
+            static_cast<double>(tp.num_pes * tp.l1_bytes + tp.l2_bytes);
+        std::cout << "  power ratio (throughput/energy-opt): "
+                  << fixedFormat(tp.power / ep.power, 2)
+                  << "x (paper: up to 2.16x)\n";
+        std::cout << "  energy-opt uses " << fixedFormat(sram_ratio, 1)
+                  << "x the SRAM and " << fixedFormat(pe_ratio * 100, 0)
+                  << "% of the PEs of the throughput-opt design "
+                     "(paper: 10.6x, 80%)\n";
+        std::cout << "  EDP improvement: "
+                  << fixedFormat(100.0 * (1.0 - ep.edp / tp.edp), 0)
+                  << "% at "
+                  << fixedFormat(100.0 * ep.throughput / tp.throughput,
+                                 0)
+                  << "% throughput (paper: 65% at 62%)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * E8 — Table 5 reproduction: the impact of multicast capability,
+ * bandwidth, and buffer size on a KC-P design for VGG16 CONV2.
+ *
+ * Rows mirror the paper: a reference design, a small-bandwidth
+ * variant, a no-multicast variant, and a no-spatial-reduction
+ * variant, reporting throughput, energy, and buffer requirements.
+ */
+
+#include <iostream>
+
+#include "src/common/table.hh"
+#include "src/core/analyzer.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/model/zoo.hh"
+
+int
+main()
+{
+    using namespace maestro;
+    std::cout << "E8 / Table 5: hardware-support ablation (KC-P on "
+                 "VGG16 CONV2, scaled to a 256-PE design)\n\n";
+
+    const Network net = zoo::vgg16();
+    const Layer &layer = net.layer("CONV2");
+    const Dataflow df = dataflows::kcPartitioned();
+
+    struct Variant
+    {
+        const char *name;
+        double noc_bw;
+        bool multicast;
+        bool reduction;
+    };
+    // The paper's design points use 56 PEs with 40 vs 24 data/cycle.
+    // KC-P's Cluster(64) needs a multiple of 64 PEs to exercise the
+    // inter-cluster input multicast, so we scale the experiment to
+    // 256 PEs and use the 2x bandwidth
+    // contrast at which this design becomes NoC-bound.
+    const Variant variants[] = {
+        {"Reference", 16.0, true, true},
+        {"Small bandwidth", 8.0, true, true},
+        {"No multicast", 16.0, false, true},
+        {"No sp. reduction", 16.0, true, false},
+    };
+
+    Table table({"design point", "NoC BW", "multicast", "reduction",
+                 "throughput(MAC/cyc)", "energy(MAC units)",
+                 "buffer req(KB)"});
+    double ref_energy = 0.0;
+    double noreduce_energy = 0.0;
+    double nomcast_energy = 0.0;
+    for (const Variant &v : variants) {
+        AcceleratorConfig cfg = AcceleratorConfig::paperStudy();
+        cfg.num_pes = 256;
+        cfg.noc = NocModel(v.noc_bw, 1.0);
+        cfg.spatial_multicast = v.multicast;
+        cfg.spatial_reduction = v.reduction;
+        const Analyzer analyzer(cfg);
+        const LayerAnalysis la = analyzer.analyzeLayer(layer, df);
+        const double buffer_kb =
+            (la.cost.l1_bytes_required *
+                 static_cast<double>(cfg.num_pes) +
+             la.cost.l2_bytes_required) /
+            1024.0;
+        table.addRow({v.name, fixedFormat(v.noc_bw, 0),
+                      v.multicast ? "yes" : "no",
+                      v.reduction ? "yes" : "no",
+                      fixedFormat(la.throughput, 2),
+                      engFormat(la.onchipEnergy()),
+                      fixedFormat(buffer_kb, 2)});
+        if (std::string(v.name) == "Reference")
+            ref_energy = la.onchipEnergy();
+        if (std::string(v.name) == "No multicast")
+            nomcast_energy = la.onchipEnergy();
+        if (std::string(v.name) == "No sp. reduction")
+            noreduce_energy = la.onchipEnergy();
+    }
+    table.print(std::cout);
+
+    std::cout << "\nenergy increase without multicast: "
+              << fixedFormat(100.0 * (nomcast_energy / ref_energy - 1.0),
+                             1)
+              << "%  (paper: ~44%)\n";
+    std::cout << "energy increase without spatial reduction: "
+              << fixedFormat(
+                     100.0 * (noreduce_energy / ref_energy - 1.0), 1)
+              << "%  (paper: ~48%)\n";
+    std::cout << "paper shape checks: lower BW cuts throughput but "
+                 "keeps energy similar; removing multicast or "
+                 "reduction support raises energy ~40-50% at similar "
+                 "throughput.\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Adaptive dataflow example (paper Sec. 5.1): pick the best Table-3
+ * dataflow per layer of a model and compare against the best fixed
+ * dataflow, for a chosen objective.
+ *
+ * Usage:
+ *   ./adaptive_dataflow [model] [runtime|energy|edp]
+ */
+
+#include <iostream>
+
+#include "src/common/error.hh"
+#include "src/common/table.hh"
+#include "src/dataflows/adaptive.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/model/zoo.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace maestro;
+    try {
+        const std::string model = argc > 1 ? argv[1] : "mobilenetv2";
+        const std::string obj_name = argc > 2 ? argv[2] : "runtime";
+        dataflows::Objective objective = dataflows::Objective::Runtime;
+        if (obj_name == "energy")
+            objective = dataflows::Objective::Energy;
+        else if (obj_name == "edp")
+            objective = dataflows::Objective::Edp;
+        else if (obj_name != "runtime")
+            throw Error("objective must be runtime, energy, or edp");
+
+        const Network net = zoo::byName(model);
+        const Analyzer analyzer(AcceleratorConfig::paperStudy());
+        const std::vector<Dataflow> flows = dataflows::table3();
+
+        std::cout << "Adaptive dataflow selection for " << net.name()
+                  << " (objective: " << obj_name << ")\n\n";
+
+        // Per-layer winners.
+        const auto choices = dataflows::selectAdaptive(
+            analyzer, net, flows, objective);
+        Table table({"layer", "class", "best dataflow", "value"});
+        std::array<int, 5> wins{};
+        for (std::size_t i = 0; i < choices.size(); ++i) {
+            const auto &c = choices[i];
+            ++wins[c.dataflow_index];
+            table.addRow({c.layer_name,
+                          operatorClassName(
+                              net.layers()[i].operatorClass()),
+                          c.dataflow_name,
+                          engFormat(c.objective_value)});
+        }
+        table.print(std::cout);
+
+        std::cout << "\nwins per dataflow: ";
+        for (std::size_t i = 0; i < flows.size(); ++i)
+            std::cout << flows[i].name() << "=" << wins[i] << " ";
+        std::cout << "\n\n";
+
+        // Whole-network comparison.
+        Table summary({"schedule", "runtime", "on-chip energy"});
+        double best_fixed = 0.0;
+        for (const Dataflow &df : flows) {
+            const NetworkAnalysis na = analyzer.analyzeNetwork(net, df);
+            summary.addRow({df.name(), engFormat(na.runtime),
+                            engFormat(na.onchip_energy)});
+            if (best_fixed == 0.0 || na.runtime < best_fixed)
+                best_fixed = na.runtime;
+        }
+        const NetworkAnalysis adaptive = dataflows::analyzeAdaptive(
+            analyzer, net, flows, objective);
+        summary.addRow({"Adaptive", engFormat(adaptive.runtime),
+                        engFormat(adaptive.onchip_energy)});
+        summary.print(std::cout);
+        std::cout << "\nadaptive runtime saving vs best fixed: "
+                  << fixedFormat(
+                         100.0 * (1.0 - adaptive.runtime / best_fixed),
+                         1)
+                  << "%\n";
+        return 0;
+    } catch (const Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dataflow explorer: compare the catalog dataflows (or one described
+ * in a DSL file) across every layer of a zoo model, per layer.
+ *
+ * Usage:
+ *   ./dataflow_explorer [model] [pes] [dataflow-file.m]
+ *
+ * Examples:
+ *   ./dataflow_explorer vgg16
+ *   ./dataflow_explorer mobilenetv2 512
+ *   ./dataflow_explorer resnet50 256 my_dataflow.m
+ *
+ * The optional file may define any number of `Dataflow NAME { ... }`
+ * blocks and an `Accelerator { ... }` block; they are added to (or
+ * override) the defaults.
+ */
+
+#include <iostream>
+
+#include "src/common/error.hh"
+#include "src/common/table.hh"
+#include "src/core/analyzer.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/frontend/parser.hh"
+#include "src/model/zoo.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace maestro;
+    try {
+        const std::string model = argc > 1 ? argv[1] : "vgg16";
+        const Count pes = argc > 2 ? std::stoll(argv[2]) : 256;
+
+        AcceleratorConfig config = AcceleratorConfig::paperStudy();
+        config.num_pes = pes;
+        std::vector<Dataflow> flows = dataflows::table3();
+
+        if (argc > 3) {
+            const frontend::ParsedFile parsed =
+                frontend::parseFile(argv[3]);
+            if (parsed.accelerator)
+                config = *parsed.accelerator;
+            for (const auto &[name, df] : parsed.dataflows)
+                flows.push_back(df);
+        }
+
+        const Network net = zoo::byName(model);
+        const Analyzer analyzer(config);
+
+        std::cout << "Dataflow explorer: " << net.name() << " on "
+                  << config.num_pes << " PEs, NoC "
+                  << config.noc.bandwidth() << " elem/cyc\n\n";
+
+        for (const Layer &layer : net.layers()) {
+            std::cout << "-- " << layer.name() << " ("
+                      << operatorClassName(layer.operatorClass())
+                      << ", " << engFormat(layer.totalMacs())
+                      << " MACs)\n";
+            Table table({"dataflow", "runtime", "util",
+                         "energy(MACs)", "L1 req(B)", "L2 req(KB)",
+                         "bottleneck"});
+            std::string best;
+            double best_runtime = 0.0;
+            for (const Dataflow &df : flows) {
+                const LayerAnalysis la =
+                    analyzer.analyzeLayer(layer, df);
+                if (best.empty() || la.runtime < best_runtime) {
+                    best = df.name();
+                    best_runtime = la.runtime;
+                }
+                table.addRow(
+                    {df.name(), engFormat(la.runtime),
+                     fixedFormat(la.utilization, 2),
+                     engFormat(la.onchipEnergy()),
+                     fixedFormat(la.cost.l1_bytes_required, 0),
+                     fixedFormat(la.cost.l2_bytes_required / 1024.0, 1),
+                     la.bottleneck});
+            }
+            table.print(std::cout);
+            std::cout << "   fastest: " << best << "\n\n";
+        }
+        return 0;
+    } catch (const Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DSE example: explore the hardware design space for one layer and
+ * dataflow, print the Pareto frontier, and compare the optimized
+ * design points (paper Sec. 5.2 workflow).
+ *
+ * Usage:
+ *   ./dse_pareto [model] [layer] [dataflow] [area_mm2] [power_mw]
+ *
+ * Example:
+ *   ./dse_pareto vgg16 CONV11 KC-P 16 450
+ */
+
+#include <iostream>
+
+#include "src/common/error.hh"
+#include "src/common/table.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/dse/explorer.hh"
+#include "src/model/zoo.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace maestro;
+    try {
+        const std::string model = argc > 1 ? argv[1] : "vgg16";
+        const std::string layer_name = argc > 2 ? argv[2] : "CONV11";
+        const std::string flow_name = argc > 3 ? argv[3] : "KC-P";
+
+        dse::DseOptions options;
+        if (argc > 4)
+            options.area_budget_mm2 = std::stod(argv[4]);
+        if (argc > 5)
+            options.power_budget_mw = std::stod(argv[5]);
+        options.sample_stride = 97;
+
+        const Network net = zoo::byName(model);
+        const Layer &layer = net.layer(layer_name);
+        const Dataflow df = dataflows::byName(flow_name);
+
+        const dse::Explorer explorer(AcceleratorConfig::paperStudy());
+        const dse::DseResult res = explorer.explore(
+            layer, df, dse::DesignSpace::figure13(), options);
+
+        std::cout << "DSE: " << df.name() << " on " << net.name() << " "
+                  << layer.name() << " under "
+                  << options.area_budget_mm2 << " mm^2 / "
+                  << options.power_budget_mw << " mW\n\n";
+        std::cout << "explored " << engFormat(res.explored_points)
+                  << " designs (" << engFormat(res.valid_points)
+                  << " valid) in " << fixedFormat(res.seconds, 2)
+                  << " s — " << engFormat(res.rate) << " designs/s\n\n";
+
+        Table best({"objective", "PEs", "L1(B)", "L2(KB)", "BW",
+                    "area(mm2)", "power(mW)", "MACs/cyc", "energy",
+                    "EDP"});
+        auto add = [&](const char *name, const dse::DesignPoint &p) {
+            best.addRow({name, std::to_string(p.num_pes),
+                         std::to_string(p.l1_bytes),
+                         fixedFormat(p.l2_bytes / 1024.0, 0),
+                         fixedFormat(p.noc_bandwidth, 0),
+                         fixedFormat(p.area, 2), fixedFormat(p.power, 1),
+                         fixedFormat(p.throughput, 1),
+                         engFormat(p.energy), engFormat(p.edp)});
+        };
+        add("throughput", res.best_throughput);
+        add("energy", res.best_energy);
+        add("EDP", res.best_edp);
+        best.print(std::cout);
+
+        std::cout << "\nPareto frontier (throughput vs energy):\n";
+        Table pareto({"MACs/cyc", "energy", "PEs", "L2(KB)", "BW"});
+        for (const auto &p : res.pareto) {
+            pareto.addRow({fixedFormat(p.throughput, 1),
+                           engFormat(p.energy),
+                           std::to_string(p.num_pes),
+                           fixedFormat(p.l2_bytes / 1024.0, 0),
+                           fixedFormat(p.noc_bandwidth, 0)});
+        }
+        pareto.print(std::cout);
+        return 0;
+    } catch (const Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

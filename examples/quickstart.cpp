@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Quickstart: analyze one VGG16 layer under the five Table-3 dataflows
+ * and print runtime, utilization, energy, reuse, and bandwidth needs.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [layer-name]
+ */
+
+#include <iostream>
+
+#include "src/common/table.hh"
+#include "src/core/analyzer.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/model/zoo.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace maestro;
+
+    const std::string layer_name = argc > 1 ? argv[1] : "CONV11";
+    const Network net = zoo::vgg16();
+    const Layer &layer = net.layer(layer_name);
+
+    // The paper's Sec. 5.1 study hardware: 256 PEs, 32 GB/s NoC.
+    Analyzer analyzer(AcceleratorConfig::paperStudy());
+
+    std::cout << "MAESTRO quickstart: VGG16 " << layer_name << " ("
+              << opTypeName(layer.type()) << ", K=" << layer.dim(Dim::K)
+              << " C=" << layer.dim(Dim::C) << " Y=" << layer.dim(Dim::Y)
+              << " X=" << layer.dim(Dim::X) << " R=" << layer.dim(Dim::R)
+              << " S=" << layer.dim(Dim::S) << ")\n";
+    std::cout << "MACs: " << engFormat(layer.totalMacs()) << "\n\n";
+
+    Table table({"dataflow", "runtime(cyc)", "util", "energy(MACs)",
+                 "L2 reads", "L1 reads", "BW req(elem/cyc)",
+                 "bottleneck"});
+    for (const Dataflow &df : dataflows::table3()) {
+        const LayerAnalysis la = analyzer.analyzeLayer(layer, df);
+        double l2r = 0.0;
+        double l1r = 0.0;
+        for (TensorKind t : kAllTensors) {
+            l2r += la.cost.l2_reads[t];
+            l1r += la.cost.l1_reads[t];
+        }
+        table.addRow({df.name(), engFormat(la.runtime),
+                      fixedFormat(la.utilization, 2),
+                      engFormat(la.onchipEnergy()), engFormat(l2r),
+                      engFormat(l1r),
+                      fixedFormat(la.noc_bw_requirement, 1),
+                      la.bottleneck});
+    }
+    table.print(std::cout);
+    return 0;
+}

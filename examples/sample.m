@@ -1,0 +1,65 @@
+// Sample MAESTRO description file: a small edge CNN, two candidate
+// dataflows, and an accelerator. Run with:
+//   ./build/examples/dsl_validate examples/sample.m
+
+Network EdgeNet {
+  Layer CONV1 {
+    Type: CONV2D;
+    Stride: 2;
+    Padding: 1;
+    Dimensions { N: 1; K: 16; C: 3; Y: 64; X: 64; R: 3; S: 3; }
+  }
+  Layer CONV2 {
+    Type: CONV2D;
+    Padding: 1;
+    Dimensions { N: 1; K: 32; C: 16; Y: 32; X: 32; R: 3; S: 3; }
+  }
+  Layer DW3 {
+    Type: DWCONV;
+    Padding: 1;
+    Dimensions { N: 1; K: 1; C: 32; Y: 32; X: 32; R: 3; S: 3; }
+  }
+  Layer PW4 {
+    Type: PWCONV;
+    Dimensions { N: 1; K: 64; C: 32; Y: 32; X: 32; R: 1; S: 1; }
+  }
+  Layer FC5 {
+    Type: FC;
+    Dimensions { N: 1; K: 10; C: 1024; Y: 1; X: 1; R: 1; S: 1; }
+  }
+}
+
+Dataflow row-stationary {
+  TemporalMap(2,2) C;
+  TemporalMap(2,2) K;
+  SpatialMap(Sz(R),1) Y;
+  TemporalMap(Sz(S),1) X;
+  TemporalMap(Sz(R),Sz(R)) R;
+  TemporalMap(Sz(S),Sz(S)) S;
+  Cluster(Sz(R));
+  SpatialMap(1,1) Y;
+  SpatialMap(1,1) R;
+}
+
+Dataflow channel-parallel {
+  SpatialMap(1,1) K;
+  TemporalMap(16,16) C;
+  TemporalMap(Sz(R),Sz(R)) R;
+  TemporalMap(Sz(S),Sz(S)) S;
+  TemporalMap(Sz(R),1) Y;
+  TemporalMap(Sz(S),1) X;
+  Cluster(16);
+  SpatialMap(1,1) C;
+}
+
+Accelerator {
+  NumPEs: 64;
+  L1: 512;
+  L2: 262144;
+  NocBandwidth: 16;
+  NocLatency: 1;
+  OffchipBandwidth: 8;
+  OffchipLatency: 8;
+  Multicast: true;
+  Reduction: true;
+}

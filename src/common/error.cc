@@ -1,0 +1,25 @@
+#include "src/common/error.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace maestro
+{
+
+void
+fatalIf(bool condition, const std::string &message)
+{
+    if (condition)
+        throw Error(message);
+}
+
+void
+panicIf(bool condition, const std::string &message)
+{
+    if (condition) {
+        std::cerr << "maestro panic: " << message << std::endl;
+        std::abort();
+    }
+}
+
+} // namespace maestro

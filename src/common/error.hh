@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error handling primitives for the MAESTRO library.
+ *
+ * Following the gem5 convention, user-facing errors (bad dataflow
+ * descriptions, infeasible hardware configurations, malformed DSL input)
+ * raise maestro::Error, while internal invariant violations use
+ * maestro::panicIf which aborts.
+ */
+
+#ifndef MAESTRO_COMMON_ERROR_HH
+#define MAESTRO_COMMON_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace maestro
+{
+
+/**
+ * Exception type for all user-facing errors raised by the library.
+ *
+ * Carries a human-readable message describing what the user did wrong
+ * (e.g., a dataflow that maps a dimension the layer does not have).
+ */
+class Error : public std::runtime_error
+{
+  public:
+    /** Constructs an error with the given message. */
+    explicit Error(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+/**
+ * Throws maestro::Error if the condition holds.
+ *
+ * @param condition Condition signalling a user error when true.
+ * @param message Description of the error shown to the user.
+ */
+void fatalIf(bool condition, const std::string &message);
+
+/**
+ * Aborts the process if the condition holds.
+ *
+ * Use for internal invariants that indicate a bug in the library itself,
+ * never for conditions a user could trigger with bad input.
+ *
+ * @param condition Condition signalling a library bug when true.
+ * @param message Description printed to stderr before aborting.
+ */
+void panicIf(bool condition, const std::string &message);
+
+/**
+ * Builds a message from streamable parts.
+ *
+ * Convenience for constructing error strings without manual
+ * std::to_string calls: msg("bad size ", n, " for dim ", d).
+ */
+template <typename... Args>
+std::string
+msg(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace maestro
+
+#endif // MAESTRO_COMMON_ERROR_HH

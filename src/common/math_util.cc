@@ -1,0 +1,45 @@
+#include "src/common/math_util.hh"
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+
+Count
+ceilDiv(Count numerator, Count denominator)
+{
+    panicIf(numerator < 0 || denominator <= 0,
+            msg("ceilDiv(", numerator, ", ", denominator, ") out of domain"));
+    return (numerator + denominator - 1) / denominator;
+}
+
+Count
+numMapPositions(Count extent, Count size, Count offset)
+{
+    panicIf(extent <= 0 || size <= 0 || offset <= 0,
+            msg("numMapPositions(", extent, ", ", size, ", ", offset,
+                ") out of domain"));
+    if (extent <= size)
+        return 1;
+    return 1 + ceilDiv(extent - size, offset);
+}
+
+Count
+edgeChunkSize(Count extent, Count size, Count offset)
+{
+    const Count positions = numMapPositions(extent, size, offset);
+    const Count last_start = (positions - 1) * offset;
+    const Count remaining = extent - last_start;
+    return remaining < size ? remaining : size;
+}
+
+Count
+convOutputs(Count input_size, Count filter_size, Count stride)
+{
+    panicIf(stride <= 0, "convOutputs: stride must be positive");
+    if (input_size < filter_size)
+        return 0;
+    return (input_size - filter_size) / stride + 1;
+}
+
+} // namespace maestro

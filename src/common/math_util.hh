@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Small integer-math helpers shared across the analysis engines.
+ *
+ * Everything here operates on std::int64_t: DNN iteration spaces easily
+ * exceed 2^32 partial sums (e.g., VGG16 CONV2 alone has ~1.85G MACs),
+ * and access counts accumulated over a network exceed 2^32 by orders of
+ * magnitude.
+ */
+
+#ifndef MAESTRO_COMMON_MATH_UTIL_HH
+#define MAESTRO_COMMON_MATH_UTIL_HH
+
+#include <cstdint>
+
+namespace maestro
+{
+
+/** Signed 64-bit counter type used throughout the model. */
+using Count = std::int64_t;
+
+/**
+ * Ceiling division for non-negative operands.
+ *
+ * @param numerator Value to divide, must be >= 0.
+ * @param denominator Divisor, must be > 0.
+ * @return ceil(numerator / denominator).
+ */
+Count ceilDiv(Count numerator, Count denominator);
+
+/**
+ * Number of distinct positions a sliding map of the given chunk size and
+ * offset takes to cover an extent.
+ *
+ * A map with chunk size s and offset o over extent E places chunks at
+ * 0, o, 2o, ... until the chunk's start covers the remainder; the count
+ * is 1 + ceil(max(0, E - s) / o). This matches the paper's folding rule
+ * (Sec. 3.2): positions beyond the unit count fold over time.
+ *
+ * @param extent Total extent E of the dimension, must be > 0.
+ * @param size Chunk size s (clamped to extent by callers), must be > 0.
+ * @param offset Shift o between consecutive positions, must be > 0.
+ * @return Number of positions (>= 1).
+ */
+Count numMapPositions(Count extent, Count size, Count offset);
+
+/**
+ * Size of the chunk at the last map position (the "edge" chunk).
+ *
+ * Equal to the nominal chunk size when the map tiles the extent exactly;
+ * smaller when the final position only partially overlaps the extent.
+ *
+ * @param extent Total extent E of the dimension.
+ * @param size Nominal chunk size s.
+ * @param offset Shift o between consecutive positions.
+ * @return Size of the final chunk, in (0, size].
+ */
+Count edgeChunkSize(Count extent, Count size, Count offset);
+
+/**
+ * Number of convolution output positions produced by an input chunk.
+ *
+ * For an input window of extent input_size convolved with a filter of
+ * extent filter_size at the given stride: floor((in - f) / stride) + 1,
+ * or 0 when the window is smaller than the filter.
+ *
+ * @param input_size Extent of the input chunk along Y or X.
+ * @param filter_size Extent of the filter chunk along R or S.
+ * @param stride Convolution stride (>= 1).
+ * @return Number of output positions (>= 0).
+ */
+Count convOutputs(Count input_size, Count filter_size, Count stride);
+
+} // namespace maestro
+
+#endif // MAESTRO_COMMON_MATH_UTIL_HH

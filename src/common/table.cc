@@ -1,0 +1,98 @@
+#include "src/common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    fatalIf(headers_.empty(), "Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != headers_.size(),
+            msg("Table row has ", cells.size(), " cells, expected ",
+                headers_.size()));
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 < row.size() ? "  " : "");
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 < row.size() ? "," : "");
+        os << '\n';
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+engFormat(double value)
+{
+    const char *suffix = "";
+    double scaled = value;
+    if (std::abs(value) >= 1e9) {
+        scaled = value / 1e9;
+        suffix = "G";
+    } else if (std::abs(value) >= 1e6) {
+        scaled = value / 1e6;
+        suffix = "M";
+    } else if (std::abs(value) >= 1e3) {
+        scaled = value / 1e3;
+        suffix = "K";
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(std::abs(scaled) >= 100 ? 0 : 2)
+       << scaled << suffix;
+    return os.str();
+}
+
+std::string
+fixedFormat(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+} // namespace maestro

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Plain-text table and CSV rendering used by the benchmark harnesses.
+ *
+ * Every figure/table reproduction binary prints its rows through this
+ * helper so the output is uniform: an aligned ASCII table for reading in
+ * a terminal plus an optional CSV block for plotting.
+ */
+
+#ifndef MAESTRO_COMMON_TABLE_HH
+#define MAESTRO_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace maestro
+{
+
+/**
+ * Accumulates rows of string cells and renders them aligned.
+ *
+ * Usage:
+ * @code
+ *   Table t({"layer", "cycles", "energy"});
+ *   t.addRow({"CONV1", "123", "4.5"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /**
+     * Appends a row.
+     *
+     * @param cells One cell per column; must match the header count.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders the table with aligned columns and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Renders the table as comma-separated values (header row first). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Formats a count with engineering suffixes (K, M, G) as the paper's
+ * figures do (e.g., "150M cycles").
+ *
+ * @param value Non-negative value to format.
+ * @return A short human-readable string such as "2.5M".
+ */
+std::string engFormat(double value);
+
+/**
+ * Formats a floating-point value with the given number of decimals.
+ */
+std::string fixedFormat(double value, int decimals);
+
+} // namespace maestro
+
+#endif // MAESTRO_COMMON_TABLE_HH

@@ -1,0 +1,162 @@
+#include "src/core/analyzer.hh"
+
+#include <algorithm>
+
+#include "src/common/error.hh"
+#include "src/core/cluster_analysis.hh"
+#include "src/core/reuse_analysis.hh"
+#include "src/core/tensor_analysis.hh"
+
+namespace maestro
+{
+
+namespace
+{
+
+/** Scales every activity count of a cost result (grouped convs). */
+void
+scaleCost(CostResult &cost, double factor)
+{
+    cost.total_macs *= factor;
+    for (TensorKind t : kAllTensors) {
+        cost.l1_reads[t] *= factor;
+        cost.l1_writes[t] *= factor;
+        cost.l2_reads[t] *= factor;
+        cost.l2_writes[t] *= factor;
+        cost.dram_reads[t] *= factor;
+        cost.dram_writes[t] *= factor;
+        cost.energy.l1_read[t] *= factor;
+        cost.energy.l1_write[t] *= factor;
+        cost.energy.l2_read[t] *= factor;
+        cost.energy.l2_write[t] *= factor;
+    }
+    cost.noc_elements *= factor;
+    cost.energy.mac *= factor;
+    cost.energy.noc *= factor;
+    cost.energy.dram *= factor;
+}
+
+std::size_t
+classIndex(OperatorClass cls)
+{
+    return static_cast<std::size_t>(cls);
+}
+
+} // namespace
+
+Analyzer::Analyzer(AcceleratorConfig config, EnergyModel energy)
+    : config_(std::move(config)), energy_(std::move(energy))
+{
+    config_.validate();
+}
+
+LayerAnalysis
+Analyzer::analyzeLayer(const Layer &layer, const Dataflow &dataflow) const
+{
+    layer.validate();
+
+    const TensorInfo tensors = analyzeTensors(layer);
+    const bool depthwise = layer.type() == OpType::DepthwiseConv;
+    const BoundDataflow bound =
+        bindDataflow(dataflow, layer, config_.num_pes);
+    const std::vector<LevelReuse> reuse =
+        analyzeReuse(bound, tensors, depthwise);
+    const FlatAnalysis flat =
+        analyzeFlat(bound, reuse, tensors, depthwise, config_);
+    const double compute_scale =
+        layer.inputDensityVal() * layer.weightDensityVal();
+    const PerformanceResult perf =
+        analyzePerformance(bound, reuse, flat, layer, config_,
+                           compute_scale);
+    CostResult cost = analyzeCost(bound, reuse, flat, perf, layer,
+                                  config_, energy_);
+
+    const double groups = static_cast<double>(layer.groupsVal());
+    scaleCost(cost, groups);
+
+    LayerAnalysis out;
+    out.layer_name = layer.name();
+    out.dataflow_name = dataflow.name();
+    out.op_class = layer.operatorClass();
+    out.runtime = perf.runtime * groups;
+    out.total_macs = cost.total_macs;
+    out.throughput =
+        out.runtime > 0.0 ? out.total_macs / out.runtime : 0.0;
+    out.active_pes = perf.active_pes;
+    out.utilization =
+        perf.active_pes / static_cast<double>(config_.num_pes);
+    out.noc_bw_requirement = perf.noc_bw_requirement;
+    out.bottleneck = perf.bottleneck;
+    out.perf = perf;
+    out.cost = std::move(cost);
+    return out;
+}
+
+NetworkAnalysis
+Analyzer::analyzeNetwork(const Network &network,
+                         const Dataflow &dataflow) const
+{
+    std::vector<LayerAnalysis> layers;
+    layers.reserve(network.layers().size());
+    for (const auto &layer : network.layers())
+        layers.push_back(analyzeLayer(layer, dataflow));
+    return aggregate(network, std::move(layers), dataflow.name());
+}
+
+NetworkAnalysis
+Analyzer::analyzeNetworkAdaptive(
+    const Network &network, const std::vector<Dataflow> &dataflows) const
+{
+    fatalIf(dataflows.size() != network.layers().size(),
+            msg("adaptive analysis needs one dataflow per layer: got ",
+                dataflows.size(), " for ", network.layers().size(),
+                " layers"));
+    std::vector<LayerAnalysis> layers;
+    layers.reserve(network.layers().size());
+    for (std::size_t i = 0; i < network.layers().size(); ++i)
+        layers.push_back(
+            analyzeLayer(network.layers()[i], dataflows[i]));
+    return aggregate(network, std::move(layers), "Adaptive");
+}
+
+NetworkAnalysis
+Analyzer::aggregate(const Network &network,
+                    std::vector<LayerAnalysis> layers,
+                    std::string dataflow_name) const
+{
+    NetworkAnalysis out;
+    out.network_name = network.name();
+    out.dataflow_name = std::move(dataflow_name);
+    for (const auto &la : layers) {
+        out.runtime += la.runtime;
+        out.energy += la.energy();
+        out.onchip_energy += la.onchipEnergy();
+        out.total_macs += la.total_macs;
+        out.runtime_by_class[classIndex(la.op_class)] += la.runtime;
+        out.energy_by_class[classIndex(la.op_class)] +=
+            la.onchipEnergy();
+    }
+
+    // Residual links (paper Table 4): the producer's output activation
+    // is fetched again at the consumer — one extra DRAM read plus an
+    // L2 write/read round trip per element.
+    for (const auto &link : network.residualLinks()) {
+        const Layer &from = network.layers()[link.from];
+        const double volume = static_cast<double>(
+                                  from.tensorVolume(TensorKind::Output)) *
+                              static_cast<double>(from.groupsVal());
+        const double extra =
+            volume * (energy_.dramEnergy() +
+                      energy_.l2ReadEnergy(config_.l2_bytes) +
+                      energy_.l2WriteEnergy(config_.l2_bytes));
+        out.energy += extra;
+        out.onchip_energy +=
+            volume * (energy_.l2ReadEnergy(config_.l2_bytes) +
+                      energy_.l2WriteEnergy(config_.l2_bytes));
+    }
+
+    out.layers = std::move(layers);
+    return out;
+}
+
+} // namespace maestro

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Top-level MAESTRO API: orchestrates the tensor, cluster, reuse,
+ * performance, and cost analysis engines (paper Fig. 7) for one layer
+ * or a whole network, and aggregates per-operator-class statistics for
+ * the Fig. 10-style studies.
+ */
+
+#ifndef MAESTRO_CORE_ANALYZER_HH
+#define MAESTRO_CORE_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+#include "src/core/cost_analysis.hh"
+#include "src/core/dataflow.hh"
+#include "src/hw/accelerator.hh"
+#include "src/model/network.hh"
+
+namespace maestro
+{
+
+/**
+ * Combined analysis result for one layer under one dataflow.
+ *
+ * All counts include the layer's group multiplier (grouped
+ * convolutions run their per-group schedule `groups` times).
+ */
+struct LayerAnalysis
+{
+    std::string layer_name;
+    std::string dataflow_name;
+    OperatorClass op_class = OperatorClass::EarlyConv;
+
+    /** Runtime in cycles. */
+    double runtime = 0.0;
+
+    /** Total MACs (all groups, density discounted). */
+    double total_macs = 0.0;
+
+    /** Throughput in MACs per cycle. */
+    double throughput = 0.0;
+
+    /** Average active PEs. */
+    double active_pes = 0.0;
+
+    /** PE utilization in [0, 1]. */
+    double utilization = 0.0;
+
+    /** Steady-state NoC bandwidth requirement (elements/cycle). */
+    double noc_bw_requirement = 0.0;
+
+    /** Dominant delay source: "compute", "noc", or "offchip". */
+    std::string bottleneck;
+
+    /** Full performance detail. */
+    PerformanceResult perf;
+
+    /** Full cost detail (counts scaled by groups). */
+    CostResult cost;
+
+    /** Total energy in MAC-energy units (including DRAM). */
+    double energy() const { return cost.energy.total(); }
+
+    /** On-chip energy (MAC + L1 + L2 + NoC), the paper's Fig. 10/12. */
+    double onchipEnergy() const { return cost.onchipEnergy(); }
+
+    /** Energy-delay product (on-chip energy x cycles). */
+    double edp() const { return cost.onchipEnergy() * runtime; }
+};
+
+/**
+ * Aggregated analysis of a whole network under one dataflow (or an
+ * adaptive per-layer dataflow assignment).
+ */
+struct NetworkAnalysis
+{
+    std::string network_name;
+    std::string dataflow_name;
+
+    /** Sum of layer runtimes (layers run back-to-back). */
+    double runtime = 0.0;
+
+    /** Sum of layer energies (MAC units, incl. residual-link cost). */
+    double energy = 0.0;
+
+    /** On-chip energy total. */
+    double onchip_energy = 0.0;
+
+    /** Total MACs. */
+    double total_macs = 0.0;
+
+    /** Per-layer results in network order. */
+    std::vector<LayerAnalysis> layers;
+
+    /** Runtime aggregated by operator class (indexed like
+     *  kAllOperatorClasses). */
+    std::array<double, kNumOperatorClasses> runtime_by_class{};
+
+    /** On-chip energy aggregated by operator class. */
+    std::array<double, kNumOperatorClasses> energy_by_class{};
+};
+
+/**
+ * The MAESTRO analyzer: a hardware configuration plus an energy model.
+ */
+class Analyzer
+{
+  public:
+    /** Creates an analyzer for the given hardware. */
+    explicit Analyzer(AcceleratorConfig config,
+                      EnergyModel energy = EnergyModel());
+
+    /** The configuration in use. */
+    const AcceleratorConfig &config() const { return config_; }
+
+    /** The energy model in use. */
+    const EnergyModel &energyModel() const { return energy_; }
+
+    /**
+     * Analyzes one layer under one dataflow.
+     *
+     * @throws Error for invalid dataflow/layer/hardware combinations.
+     */
+    LayerAnalysis analyzeLayer(const Layer &layer,
+                               const Dataflow &dataflow) const;
+
+    /**
+     * Analyzes a network, applying the same dataflow to every layer.
+     * Residual links add the paper Table 4 extra global-buffer traffic
+     * (re-fetching the producer's output at the consumer).
+     */
+    NetworkAnalysis analyzeNetwork(const Network &network,
+                                   const Dataflow &dataflow) const;
+
+    /**
+     * Analyzes a network with a per-layer dataflow choice (index i of
+     * `dataflows` applies to layer i) — the adaptive study of
+     * paper Fig. 10(f).
+     */
+    NetworkAnalysis analyzeNetworkAdaptive(
+        const Network &network,
+        const std::vector<Dataflow> &dataflows) const;
+
+  private:
+    NetworkAnalysis aggregate(const Network &network,
+                              std::vector<LayerAnalysis> layers,
+                              std::string dataflow_name) const;
+
+    AcceleratorConfig config_;
+    EnergyModel energy_;
+};
+
+} // namespace maestro
+
+#endif // MAESTRO_CORE_ANALYZER_HH

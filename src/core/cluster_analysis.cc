@@ -1,0 +1,204 @@
+#include "src/core/cluster_analysis.hh"
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+
+namespace
+{
+
+/** Filter dimension paired with an activation dimension (Y->R, X->S). */
+Dim
+pairedFilterDim(Dim dim)
+{
+    return dim == Dim::Y ? Dim::R : Dim::S;
+}
+
+/**
+ * Binds one map directive within a level scope.
+ *
+ * @param directive User directive (TemporalMap/SpatialMap).
+ * @param layer_dims Layer effective extents (for Sz() references).
+ * @param extents This level's scope extents.
+ * @param stride Layer convolution stride.
+ */
+BoundDirective
+bindMapDirective(const Directive &directive,
+                 const DimMap<Count> &layer_dims,
+                 const DimMap<Count> &extents, Count stride)
+{
+    BoundDirective bound;
+    bound.kind = directive.kind;
+    bound.dim = directive.dim;
+
+    const Count extent = extents[directive.dim];
+    Count size = directive.size.eval(layer_dims);
+    Count offset = directive.offset.eval(layer_dims);
+    fatalIf(size <= 0, msg("map size for ", dimName(directive.dim),
+                           " evaluates to ", size));
+    fatalIf(offset <= 0, msg("map offset for ", dimName(directive.dim),
+                             " evaluates to ", offset));
+    size = std::min(size, extent);
+    bound.size = size;
+
+    const bool activation_dim =
+        directive.dim == Dim::Y || directive.dim == Dim::X;
+    const Count filter_extent =
+        activation_dim ? extents[pairedFilterDim(directive.dim)] : 0;
+
+    if (activation_dim && size >= filter_extent) {
+        // Output-space stepping: the chunk produces outputs on its own;
+        // offsets are in output units, scaled by stride in input space.
+        bound.out_space = true;
+        bound.offset_out = offset;
+        bound.offset_in = offset * stride;
+        const Count level_outputs =
+            convOutputs(extent, filter_extent, stride);
+        const Count chunk_outputs =
+            convOutputs(size, filter_extent, stride);
+        panicIf(chunk_outputs <= 0, "chunk produces no outputs");
+        bound.steps = numMapPositions(level_outputs, chunk_outputs,
+                                      bound.offset_out);
+        const Count edge_outputs =
+            edgeChunkSize(level_outputs, chunk_outputs, bound.offset_out);
+        bound.edge_size =
+            std::min(size, (edge_outputs - 1) * stride + filter_extent);
+    } else {
+        // Index-space stepping (all non-activation dims, and activation
+        // chunks smaller than the filter: the co-mapped diagonal case).
+        bound.out_space = false;
+        bound.offset_in = offset;
+        bound.offset_out = 0;
+        bound.steps = numMapPositions(extent, size, offset);
+        bound.edge_size = edgeChunkSize(extent, size, offset);
+    }
+    return bound;
+}
+
+} // namespace
+
+BoundDataflow
+bindDataflow(const Dataflow &dataflow, const Layer &layer, Count num_pes)
+{
+    dataflow.validate();
+    fatalIf(num_pes <= 0, "bindDataflow: num_pes must be positive");
+
+    const DimMap<Count> layer_dims = layer.effectiveDims();
+    const Count stride =
+        layer.type() == OpType::TransposedConv ? 1 : layer.strideVal();
+
+    // Split the directive list into per-level lists and evaluate the
+    // cluster sizes.
+    std::vector<std::vector<Directive>> level_dirs(1);
+    std::vector<Count> cluster_sizes;
+    for (const auto &d : dataflow.directives()) {
+        if (d.kind == DirectiveKind::Cluster) {
+            Count size = d.size.eval(layer_dims);
+            fatalIf(size <= 0, msg("dataflow ", dataflow.name(),
+                                   ": cluster size evaluates to ", size));
+            cluster_sizes.push_back(size);
+            level_dirs.emplace_back();
+        } else {
+            level_dirs.back().push_back(d);
+        }
+    }
+
+    // Units per level: level 0 spreads across num_pes / c0 clusters,
+    // level i across c_{i-1} / c_i sub-clusters, the last across
+    // c_last PEs (paper Sec. 3.2).
+    const std::size_t num_levels = level_dirs.size();
+    std::vector<Count> units(num_levels, 1);
+    if (cluster_sizes.empty()) {
+        units[0] = num_pes;
+    } else {
+        // Cluster sizes clamp to the available units, like map sizes
+        // clamp to dimension extents: Cluster(64) on a 32-PE array
+        // degrades to one 32-PE cluster.
+        cluster_sizes[0] = std::min(cluster_sizes[0], num_pes);
+        units[0] = num_pes / cluster_sizes[0];
+        for (std::size_t i = 1; i < cluster_sizes.size(); ++i) {
+            cluster_sizes[i] =
+                std::min(cluster_sizes[i], cluster_sizes[i - 1]);
+            units[i] = cluster_sizes[i - 1] / cluster_sizes[i];
+        }
+        units[num_levels - 1] = cluster_sizes.back();
+    }
+
+    BoundDataflow bound;
+    bound.total_pes = 1;
+    DimMap<Count> extents = layer_dims;
+
+    for (std::size_t lvl = 0; lvl < num_levels; ++lvl) {
+        BoundLevel level;
+        level.num_units = units[lvl];
+        level.extents = extents;
+        level.stride = stride;
+        bound.total_pes *= units[lvl];
+
+        DimMap<bool> mapped(false);
+        for (const auto &d : level_dirs[lvl]) {
+            BoundDirective bd =
+                bindMapDirective(d, layer_dims, extents, stride);
+            mapped[bd.dim] = true;
+            level.directives.push_back(bd);
+        }
+        // Infer full-extent TemporalMaps for unmapped dims (paper's
+        // omittable descriptions), appended innermost so they never
+        // iterate (steps == 1).
+        for (Dim d : kAllDims) {
+            if (mapped[d])
+                continue;
+            BoundDirective bd;
+            bd.kind = DirectiveKind::TemporalMap;
+            bd.dim = d;
+            bd.size = extents[d];
+            bd.offset_in = extents[d];
+            bd.steps = 1;
+            bd.edge_size = extents[d];
+            bd.inferred = true;
+            level.directives.push_back(bd);
+        }
+
+        // Chunk sizes, spatial structure, and step totals.
+        Count spatial_steps = 0;
+        for (std::size_t i = 0; i < level.directives.size(); ++i) {
+            const BoundDirective &bd = level.directives[i];
+            level.chunk[bd.dim] = bd.size;
+            level.avg_chunk[bd.dim] =
+                (static_cast<double>(bd.size) * (bd.steps - 1) +
+                 bd.edge_size) /
+                static_cast<double>(bd.steps);
+            if (bd.spatial()) {
+                level.spatial_shift[bd.dim] = bd.offset_in;
+                spatial_steps = std::max(spatial_steps, bd.steps);
+                if (level.first_spatial == BoundLevel::kNoSpatial)
+                    level.first_spatial = i;
+            }
+        }
+        if (spatial_steps > 0) {
+            level.spatial_steps = spatial_steps;
+            level.spatial_folds = ceilDiv(spatial_steps, level.num_units);
+            level.active_units = static_cast<double>(spatial_steps) /
+                                 static_cast<double>(level.spatial_folds);
+        } else {
+            // No spatial map: only one unit of this level does useful
+            // work; the rest idle.
+            level.spatial_steps = 1;
+            level.spatial_folds = 1;
+            level.active_units = 1.0;
+        }
+
+        level.total_steps = level.spatial_folds;
+        for (const auto &bd : level.directives) {
+            if (!bd.spatial())
+                level.total_steps *= bd.steps;
+        }
+
+        extents = level.chunk;
+        bound.levels.push_back(std::move(level));
+    }
+    return bound;
+}
+
+} // namespace maestro

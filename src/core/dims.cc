@@ -1,0 +1,40 @@
+#include "src/core/dims.hh"
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+
+const std::string &
+dimName(Dim dim)
+{
+    static const std::array<std::string, kNumDims> names = {
+        "N", "K", "C", "Y", "X", "R", "S",
+    };
+    return names[static_cast<std::size_t>(dim)];
+}
+
+Dim
+parseDim(const std::string &name)
+{
+    for (Dim d : kAllDims) {
+        if (name == dimName(d))
+            return d;
+    }
+    if (name == "Y'")
+        return Dim::Y;
+    if (name == "X'")
+        return Dim::X;
+    throw Error(msg("unknown dimension name '", name, "'"));
+}
+
+const std::string &
+tensorName(TensorKind tensor)
+{
+    static const std::array<std::string, kNumTensors> names = {
+        "weight", "input", "output",
+    };
+    return names[static_cast<std::size_t>(tensor)];
+}
+
+} // namespace maestro

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The seven DNN data dimensions and the three tensors of the paper.
+ *
+ * Following Figure 1 of the paper, a convolutional layer is addressed by
+ * seven dimensions: batch N, output channel K, input channel C, input
+ * row Y, input column X, filter row R, filter column S. Mapping
+ * directives always address the *input-space* rows/columns (Y, X); the
+ * output rows/columns Y', X' are derived via the convolution relation
+ * y' = (y - r) / stride.
+ */
+
+#ifndef MAESTRO_CORE_DIMS_HH
+#define MAESTRO_CORE_DIMS_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "src/common/math_util.hh"
+
+namespace maestro
+{
+
+/** The seven data dimensions of a DNN layer (paper Fig. 1). */
+enum class Dim : std::uint8_t
+{
+    N, ///< input batch
+    K, ///< output channel
+    C, ///< input channel
+    Y, ///< input activation row
+    X, ///< input activation column
+    R, ///< filter row
+    S, ///< filter column
+};
+
+/** Number of Dim enumerators. */
+inline constexpr std::size_t kNumDims = 7;
+
+/** All dimensions in canonical order (N, K, C, Y, X, R, S). */
+inline constexpr std::array<Dim, kNumDims> kAllDims = {
+    Dim::N, Dim::K, Dim::C, Dim::Y, Dim::X, Dim::R, Dim::S,
+};
+
+/** Short name ("N", "K", ...) of a dimension. */
+const std::string &dimName(Dim dim);
+
+/**
+ * Parses a dimension name.
+ *
+ * Accepts the canonical single letters plus the output-space aliases
+ * "Y'" and "X'" used in some published dataflow listings (they map onto
+ * Y and X respectively since directives address input space).
+ *
+ * @throws Error if the name is not a dimension.
+ */
+Dim parseDim(const std::string &name);
+
+/**
+ * Fixed-size map from Dim to a value, with value-initialized defaults.
+ *
+ * Lighter than std::map for the hot analysis loops; used for extents,
+ * chunk sizes, and step counts.
+ */
+template <typename T>
+class DimMap
+{
+  public:
+    /** Value-initializes every entry. */
+    DimMap() : values_{} {}
+
+    /** Initializes every entry to the given value. */
+    explicit DimMap(const T &init) { values_.fill(init); }
+
+    /** Mutable access. */
+    T &operator[](Dim dim) { return values_[index(dim)]; }
+
+    /** Read-only access. */
+    const T &operator[](Dim dim) const { return values_[index(dim)]; }
+
+    /** Equality compares all seven entries. */
+    bool operator==(const DimMap &other) const = default;
+
+  private:
+    static std::size_t index(Dim dim) { return static_cast<std::size_t>(dim); }
+
+    std::array<T, kNumDims> values_;
+};
+
+/** The three tensors of a DNN layer (paper Fig. 1). */
+enum class TensorKind : std::uint8_t
+{
+    Weight, ///< filter weights W[K][C][R][S]
+    Input,  ///< input activations I[N][C][Y][X]
+    Output, ///< output activations O[N][K][Y'][X']
+};
+
+/** Number of TensorKind enumerators. */
+inline constexpr std::size_t kNumTensors = 3;
+
+/** All tensors in canonical order (Weight, Input, Output). */
+inline constexpr std::array<TensorKind, kNumTensors> kAllTensors = {
+    TensorKind::Weight, TensorKind::Input, TensorKind::Output,
+};
+
+/** Short name ("weight", "input", "output") of a tensor. */
+const std::string &tensorName(TensorKind tensor);
+
+/** Fixed-size map from TensorKind to a value. */
+template <typename T>
+class TensorMap
+{
+  public:
+    /** Value-initializes every entry. */
+    TensorMap() : values_{} {}
+
+    /** Initializes every entry to the given value. */
+    explicit TensorMap(const T &init) { values_.fill(init); }
+
+    /** Mutable access. */
+    T &operator[](TensorKind t) { return values_[index(t)]; }
+
+    /** Read-only access. */
+    const T &operator[](TensorKind t) const { return values_[index(t)]; }
+
+    /** Equality compares all three entries. */
+    bool operator==(const TensorMap &other) const = default;
+
+  private:
+    static std::size_t
+    index(TensorKind t)
+    {
+        return static_cast<std::size_t>(t);
+    }
+
+    std::array<T, kNumTensors> values_;
+};
+
+} // namespace maestro
+
+#endif // MAESTRO_CORE_DIMS_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Performance analysis engine (paper Sec. 4.2 and Fig. 8).
+ *
+ * Walks the iteration cases of the flattened nest: every PE step
+ * belongs to a case (the initial step, or "flat loop i advanced");
+ * each case has its own L2->L1 distribution traffic (from the flat
+ * analysis deltas) and, for level-0 loops, a DRAM->L2 fill burst that
+ * amortizes over the span of steps until that loop advances again.
+ * Double buffering overlaps communication with compute: a steady step
+ * costs max(NoC ingress, compute, NoC egress, amortized off-chip),
+ * the initial step costs the sum (paper Fig. 8). Case delays weighted
+ * by occurrence counts add up to the layer runtime.
+ */
+
+#ifndef MAESTRO_CORE_PERFORMANCE_ANALYSIS_HH
+#define MAESTRO_CORE_PERFORMANCE_ANALYSIS_HH
+
+#include <string>
+
+#include "src/core/flat_analysis.hh"
+#include "src/model/layer.hh"
+
+namespace maestro
+{
+
+/**
+ * Whole-layer performance result, with the chip-wide traffic totals
+ * the cost engine converts into buffer accesses.
+ */
+struct PerformanceResult
+{
+    /** Total runtime in cycles. */
+    double runtime = 0.0;
+
+    /** Ideal compute-only runtime (no communication stalls). */
+    double compute_only_runtime = 0.0;
+
+    /** Average simultaneously active PEs. */
+    double active_pes = 1.0;
+
+    /** Total PE steps (flattened nest trip count). */
+    double total_pe_steps = 1.0;
+
+    /** Steady-state NoC bandwidth needed to never stall (elem/cyc). */
+    double noc_bw_requirement = 0.0;
+
+    /** Steady-state off-chip bandwidth requirement (elem/cyc). */
+    double offchip_bw_requirement = 0.0;
+
+    /** "compute", "noc", or "offchip": dominant delay source. */
+    std::string bottleneck;
+
+    // ---- Chip-wide traffic totals for the whole layer. ----
+
+    /** Elements read from L2 onto the NoC, per tensor. */
+    TensorMap<double> l2_supply;
+
+    /** Elements delivered into the PEs' L1s, per tensor. */
+    TensorMap<double> l1_fill;
+
+    /** Elements filled DRAM -> L2 (weights, inputs), after the L2
+     *  capacity correction. */
+    TensorMap<double> dram_fill;
+
+    /** DRAM fill the mapping alone implies (no capacity correction). */
+    TensorMap<double> dram_fill_model;
+
+    /** Output (partial) elements leaving the PEs. */
+    double outputs_from_pes = 0.0;
+
+    /** Output elements arriving at L2 (after any fan-in reduction). */
+    double output_commits = 0.0;
+
+    /** Unique final outputs of the layer (drained to DRAM). */
+    double final_outputs = 0.0;
+
+    /** Total elements carried by the NoC. */
+    double noc_elements = 0.0;
+};
+
+/**
+ * Performance analysis engine entry point.
+ *
+ * @param bound Bound dataflow.
+ * @param reuse Per-level reuse profiles (level 0 drives the DRAM side).
+ * @param flat Flattened analysis.
+ * @param layer The analyzed layer (tensor volumes for the L2 capacity
+ *        correction on DRAM refetches).
+ * @param config Hardware configuration.
+ * @param compute_scale Multiplier on per-step MACs (uniform sparsity).
+ */
+PerformanceResult analyzePerformance(const BoundDataflow &bound,
+                                     const std::vector<LevelReuse> &reuse,
+                                     const FlatAnalysis &flat,
+                                     const Layer &layer,
+                                     const AcceleratorConfig &config,
+                                     double compute_scale = 1.0);
+
+} // namespace maestro
+
+#endif // MAESTRO_CORE_PERFORMANCE_ANALYSIS_HH

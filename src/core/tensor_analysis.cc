@@ -1,0 +1,76 @@
+#include "src/core/tensor_analysis.hh"
+
+namespace maestro
+{
+
+std::vector<Dim>
+TensorSpec::coupledDims() const
+{
+    std::vector<Dim> out;
+    for (Dim d : kAllDims) {
+        if (coupled[d])
+            out.push_back(d);
+    }
+    return out;
+}
+
+TensorInfo
+analyzeTensors(const Layer &layer)
+{
+    const bool depthwise = layer.type() == OpType::DepthwiseConv;
+
+    TensorInfo info;
+
+    TensorSpec &w = info.specs[TensorKind::Weight];
+    w.kind = TensorKind::Weight;
+    w.is_output = false;
+    w.coupled[Dim::K] = !depthwise;
+    w.coupled[Dim::C] = true;
+    w.coupled[Dim::R] = true;
+    w.coupled[Dim::S] = true;
+
+    TensorSpec &i = info.specs[TensorKind::Input];
+    i.kind = TensorKind::Input;
+    i.is_output = false;
+    i.coupled[Dim::N] = true;
+    i.coupled[Dim::C] = true;
+    i.coupled[Dim::Y] = true;
+    i.coupled[Dim::X] = true;
+
+    TensorSpec &o = info.specs[TensorKind::Output];
+    o.kind = TensorKind::Output;
+    o.is_output = true;
+    o.coupled[Dim::N] = true;
+    // Depth-wise convolutions produce one output channel per input
+    // channel: the output is coupled to C, not K (paper Sec. 4.1).
+    o.coupled[Dim::K] = !depthwise;
+    o.coupled[Dim::C] = depthwise;
+    o.coupled[Dim::Y] = true;
+    o.coupled[Dim::X] = true;
+    // The output is also coupled to R and S through y' = y - r: an R/S
+    // index change moves which output a partial sum feeds, but the set
+    // of outputs covered by a (Y-chunk, R-chunk) pair depends on both.
+    // We do NOT mark R/S coupled here; the engines treat the (Y, R) and
+    // (X, S) pairs jointly via outputSpaceShift and convOutputs.
+
+    for (Dim d : kAllDims) {
+        const bool input_coupled =
+            info.specs[TensorKind::Weight].coupled[d] ||
+            info.specs[TensorKind::Input].coupled[d];
+        info.reduction[d] =
+            input_coupled && !info.specs[TensorKind::Output].coupled[d];
+    }
+    // R and S are always reduction dimensions for the output.
+    info.reduction[Dim::R] = true;
+    info.reduction[Dim::S] = true;
+
+    return info;
+}
+
+Count
+outputSpaceShift(Count input_shift, Count filter_shift)
+{
+    return input_shift - filter_shift;
+}
+
+} // namespace maestro

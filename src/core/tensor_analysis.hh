@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tensor analysis engine (paper Sec. 4.1, Fig. 7).
+ *
+ * Identifies, for each of the three tensors of a layer, which mapping
+ * dimensions it is *coupled* to — i.e., which dimensions move its data
+ * points when their index changes. Coupling drives every downstream
+ * reuse inference: a tensor not coupled to a mapped dimension is
+ * replicated (multicast opportunity) across that dimension's mapping.
+ *
+ * Couplings follow paper Table 1, with the depth-wise special case of
+ * Sec. 4.1 (output coupled to C instead of K). Because directives
+ * address input space, the output tensor is "coupled" to Y and X via
+ * the convolution relation y' = y - r; the engine records that pairing
+ * so spatial analysis can recognize the Eyeriss-style diagonal
+ * (Y, R co-mapped) as output reuse rather than output distribution.
+ */
+
+#ifndef MAESTRO_CORE_TENSOR_ANALYSIS_HH
+#define MAESTRO_CORE_TENSOR_ANALYSIS_HH
+
+#include <vector>
+
+#include "src/core/dims.hh"
+#include "src/model/layer.hh"
+
+namespace maestro
+{
+
+/**
+ * Coupling description of one tensor for one layer.
+ */
+struct TensorSpec
+{
+    /** Which tensor this describes. */
+    TensorKind kind = TensorKind::Weight;
+
+    /** True for the output tensor (reduction semantics). */
+    bool is_output = false;
+
+    /** coupled[d] is true when dimension d moves this tensor's data. */
+    DimMap<bool> coupled;
+
+    /** Convenience: list of coupled dimensions in canonical order. */
+    std::vector<Dim> coupledDims() const;
+};
+
+/**
+ * Result of tensor analysis for one layer.
+ */
+struct TensorInfo
+{
+    /** Specs for weight, input, output (canonical order). */
+    TensorMap<TensorSpec> specs;
+
+    /**
+     * reduction[d] is true when d is a reduction dimension: coupled to
+     * an input tensor but not to the output (C, R, S for dense conv;
+     * R, S for depth-wise).
+     */
+    DimMap<bool> reduction;
+
+    /** Read-only access to one tensor's spec. */
+    const TensorSpec &spec(TensorKind t) const { return specs[t]; }
+};
+
+/**
+ * Tensor analysis engine entry point.
+ *
+ * @param layer The layer to analyze.
+ * @return Coupling and reduction-dimension information.
+ */
+TensorInfo analyzeTensors(const Layer &layer);
+
+/**
+ * Output-space shift along Y'/X' induced by input-space shifts.
+ *
+ * When Y and R (or X and S) are shifted together by equal amounts the
+ * output position y' = y - r does not move: this helper returns the
+ * net output shift used by the spatial-reuse analysis.
+ *
+ * @param input_shift Shift applied along Y (or X).
+ * @param filter_shift Shift applied along R (or S).
+ * @return Net shift in output space (before stride division).
+ */
+Count outputSpaceShift(Count input_shift, Count filter_shift);
+
+} // namespace maestro
+
+#endif // MAESTRO_CORE_TENSOR_ANALYSIS_HH

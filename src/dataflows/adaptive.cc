@@ -1,0 +1,73 @@
+#include "src/dataflows/adaptive.hh"
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+namespace dataflows
+{
+
+namespace
+{
+
+double
+objectiveValue(const LayerAnalysis &la, Objective objective)
+{
+    switch (objective) {
+      case Objective::Runtime:
+        return la.runtime;
+      case Objective::Energy:
+        return la.onchipEnergy();
+      case Objective::Edp:
+        return la.edp();
+    }
+    panicIf(true, "unreachable objective");
+    return 0.0;
+}
+
+} // namespace
+
+std::vector<AdaptiveChoice>
+selectAdaptive(const Analyzer &analyzer, const Network &network,
+               const std::vector<Dataflow> &candidates,
+               Objective objective)
+{
+    fatalIf(candidates.empty(), "selectAdaptive: no candidate dataflows");
+    std::vector<AdaptiveChoice> choices;
+    choices.reserve(network.layers().size());
+    for (const auto &layer : network.layers()) {
+        AdaptiveChoice best;
+        best.layer_name = layer.name();
+        bool have = false;
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            const LayerAnalysis la =
+                analyzer.analyzeLayer(layer, candidates[i]);
+            const double value = objectiveValue(la, objective);
+            if (!have || value < best.objective_value) {
+                have = true;
+                best.dataflow_index = i;
+                best.dataflow_name = candidates[i].name();
+                best.objective_value = value;
+            }
+        }
+        choices.push_back(std::move(best));
+    }
+    return choices;
+}
+
+NetworkAnalysis
+analyzeAdaptive(const Analyzer &analyzer, const Network &network,
+                const std::vector<Dataflow> &candidates,
+                Objective objective)
+{
+    const auto choices =
+        selectAdaptive(analyzer, network, candidates, objective);
+    std::vector<Dataflow> per_layer;
+    per_layer.reserve(choices.size());
+    for (const auto &choice : choices)
+        per_layer.push_back(candidates[choice.dataflow_index]);
+    return analyzer.analyzeNetworkAdaptive(network, per_layer);
+}
+
+} // namespace dataflows
+} // namespace maestro

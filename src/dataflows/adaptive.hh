@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Adaptive dataflow selection (paper Sec. 5.1, Fig. 10(f)).
+ *
+ * The paper observes that different DNN operators prefer different
+ * dataflows and quantifies the benefit of choosing the optimal dataflow
+ * per operator ("adaptive dataflow", realizable on flexible
+ * accelerators like MAERI/Flexflow). This module picks, for every
+ * layer of a network, the candidate dataflow minimizing a chosen
+ * objective, using the MAESTRO analyzer as the oracle.
+ */
+
+#ifndef MAESTRO_DATAFLOWS_ADAPTIVE_HH
+#define MAESTRO_DATAFLOWS_ADAPTIVE_HH
+
+#include "src/core/analyzer.hh"
+
+namespace maestro
+{
+namespace dataflows
+{
+
+/** Objective to minimize when selecting a dataflow per layer. */
+enum class Objective : std::uint8_t
+{
+    Runtime, ///< cycles
+    Energy,  ///< on-chip energy
+    Edp,     ///< energy-delay product
+};
+
+/**
+ * Per-layer selection result.
+ */
+struct AdaptiveChoice
+{
+    std::string layer_name;
+    std::size_t dataflow_index = 0; ///< into the candidate list
+    std::string dataflow_name;
+    double objective_value = 0.0;
+};
+
+/**
+ * Selects the best candidate dataflow for every layer.
+ *
+ * @param analyzer Analyzer with the target hardware.
+ * @param network Network to schedule.
+ * @param candidates Candidate dataflows (e.g., dataflows::table3()).
+ * @param objective What to minimize.
+ * @return One choice per layer, in network order.
+ */
+std::vector<AdaptiveChoice> selectAdaptive(
+    const Analyzer &analyzer, const Network &network,
+    const std::vector<Dataflow> &candidates, Objective objective);
+
+/**
+ * Runs the full adaptive study: selects per-layer dataflows and
+ * returns the aggregated network analysis (Fig. 10(f)'s "Adaptive").
+ */
+NetworkAnalysis analyzeAdaptive(const Analyzer &analyzer,
+                                const Network &network,
+                                const std::vector<Dataflow> &candidates,
+                                Objective objective);
+
+} // namespace dataflows
+} // namespace maestro
+
+#endif // MAESTRO_DATAFLOWS_ADAPTIVE_HH

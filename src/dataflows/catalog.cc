@@ -1,0 +1,191 @@
+#include "src/dataflows/catalog.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+namespace dataflows
+{
+
+namespace
+{
+
+SizeExpr
+c(Count value)
+{
+    return SizeExpr::of(value);
+}
+
+SizeExpr
+sz(Dim d, Count add = 0)
+{
+    return SizeExpr::sizeOf(d, add);
+}
+
+} // namespace
+
+Dataflow
+cPartitioned()
+{
+    Dataflow df("C-P");
+    df.add(Directive::temporal(Dim::K, c(1), c(1)))
+        .add(Directive::temporal(Dim::Y, sz(Dim::R), c(1)))
+        .add(Directive::temporal(Dim::X, sz(Dim::S), c(1)))
+        .add(Directive::temporal(Dim::R, sz(Dim::R), sz(Dim::R)))
+        .add(Directive::temporal(Dim::S, sz(Dim::S), sz(Dim::S)))
+        .add(Directive::spatial(Dim::C, c(1), c(1)));
+    return df;
+}
+
+Dataflow
+xPartitioned()
+{
+    Dataflow df("X-P");
+    df.add(Directive::temporal(Dim::K, c(1), c(1)))
+        .add(Directive::temporal(Dim::C, c(1), c(1)))
+        .add(Directive::temporal(Dim::R, sz(Dim::R), sz(Dim::R)))
+        .add(Directive::temporal(Dim::S, sz(Dim::S), sz(Dim::S)))
+        .add(Directive::temporal(Dim::Y, sz(Dim::R), c(1)))
+        .add(Directive::spatial(Dim::X, sz(Dim::S), c(1)));
+    return df;
+}
+
+Dataflow
+yxPartitioned()
+{
+    Dataflow df("YX-P");
+    df.add(Directive::temporal(Dim::K, c(1), c(1)))
+        .add(Directive::spatial(Dim::Y, sz(Dim::R), c(1)))
+        .add(Directive::temporal(Dim::X, sz(Dim::S, 7), c(8)))
+        .add(Directive::temporal(Dim::C, c(1), c(1)))
+        .add(Directive::temporal(Dim::R, sz(Dim::R), sz(Dim::R)))
+        .add(Directive::temporal(Dim::S, sz(Dim::S), sz(Dim::S)))
+        .add(Directive::cluster(c(8)))
+        .add(Directive::spatial(Dim::X, sz(Dim::S), c(1)));
+    return df;
+}
+
+Dataflow
+yrPartitioned()
+{
+    Dataflow df("YR-P");
+    df.add(Directive::temporal(Dim::C, c(2), c(2)))
+        .add(Directive::temporal(Dim::K, c(2), c(2)))
+        .add(Directive::spatial(Dim::Y, sz(Dim::R), c(1)))
+        .add(Directive::temporal(Dim::X, sz(Dim::S), c(1)))
+        .add(Directive::temporal(Dim::R, sz(Dim::R), sz(Dim::R)))
+        .add(Directive::temporal(Dim::S, sz(Dim::S), sz(Dim::S)))
+        .add(Directive::cluster(sz(Dim::R)))
+        .add(Directive::spatial(Dim::Y, c(1), c(1)))
+        .add(Directive::spatial(Dim::R, c(1), c(1)));
+    return df;
+}
+
+Dataflow
+kcPartitioned()
+{
+    Dataflow df("KC-P");
+    df.add(Directive::spatial(Dim::K, c(1), c(1)))
+        .add(Directive::temporal(Dim::C, c(64), c(64)))
+        .add(Directive::temporal(Dim::R, sz(Dim::R), sz(Dim::R)))
+        .add(Directive::temporal(Dim::S, sz(Dim::S), sz(Dim::S)))
+        .add(Directive::temporal(Dim::Y, sz(Dim::R), c(1)))
+        .add(Directive::temporal(Dim::X, sz(Dim::S), c(1)))
+        .add(Directive::cluster(c(64)))
+        .add(Directive::spatial(Dim::C, c(1), c(1)));
+    return df;
+}
+
+std::vector<Dataflow>
+table3()
+{
+    return {cPartitioned(), xPartitioned(), yxPartitioned(),
+            yrPartitioned(), kcPartitioned()};
+}
+
+Dataflow
+byName(const std::string &name)
+{
+    std::string upper(name);
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char ch) { return std::toupper(ch); });
+    if (upper == "C-P" || upper == "CP" || upper == "NLR")
+        return cPartitioned();
+    if (upper == "X-P" || upper == "XP" || upper == "WS")
+        return xPartitioned();
+    if (upper == "YX-P" || upper == "YXP" || upper == "SHI")
+        return yxPartitioned();
+    if (upper == "YR-P" || upper == "YRP" || upper == "RS")
+        return yrPartitioned();
+    if (upper == "KC-P" || upper == "KCP" || upper == "DLA")
+        return kcPartitioned();
+    throw Error(msg("unknown catalog dataflow '", name, "'"));
+}
+
+// The paper writes the Fig. 5 dataflows over the *output* column X';
+// our directives address input space, so "SpatialMap(1,1) X'" (one
+// output column per PE) translates to SpatialMap(Sz(S),1) X: an
+// S-wide input window sliding by one output position.
+
+Dataflow
+fig5OutputStationary()
+{
+    Dataflow df("fig5A-OS");
+    df.add(Directive::spatial(Dim::X, sz(Dim::S), c(1)))
+        .add(Directive::temporal(Dim::S, c(1), c(1)));
+    return df;
+}
+
+Dataflow
+fig5WeightStationary()
+{
+    Dataflow df("fig5B-WS");
+    df.add(Directive::temporal(Dim::X, sz(Dim::S), c(1)))
+        .add(Directive::spatial(Dim::S, c(1), c(1)));
+    return df;
+}
+
+Dataflow
+fig5CollabOutputStationary()
+{
+    Dataflow df("fig5C-collab-OS");
+    df.add(Directive::spatial(Dim::S, c(1), c(1)))
+        .add(Directive::temporal(Dim::X, sz(Dim::S), c(1)));
+    return df;
+}
+
+Dataflow
+fig5CollabWeightStationary()
+{
+    Dataflow df("fig5D-collab-WS");
+    df.add(Directive::temporal(Dim::S, c(1), c(1)))
+        .add(Directive::spatial(Dim::X, sz(Dim::S), c(1)));
+    return df;
+}
+
+Dataflow
+fig5TiledCollabWeightStationary()
+{
+    Dataflow df("fig5E-tiled-collab-WS");
+    df.add(Directive::spatial(Dim::S, c(2), c(2)))
+        .add(Directive::temporal(Dim::X, sz(Dim::S), c(1)));
+    return df;
+}
+
+Dataflow
+fig5ClusteredCollabWeightStationary()
+{
+    Dataflow df("fig5F-clustered-collab-WS");
+    df.add(Directive::temporal(Dim::S, c(3), c(3)))
+        .add(Directive::spatial(Dim::X, sz(Dim::S), c(1)))
+        .add(Directive::cluster(c(3)))
+        .add(Directive::spatial(Dim::S, c(1), c(1)))
+        .add(Directive::temporal(Dim::X, sz(Dim::S), c(1)));
+    return df;
+}
+
+} // namespace dataflows
+} // namespace maestro

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dataflow catalog: the five evaluation dataflows of paper Table 3 and
+ * the six pedagogical 1-D dataflows of paper Fig. 5.
+ *
+ * Table 3 (names from the spatial dimensions of the outermost level):
+ *  - C-P  : input-channel parallel, no local reuse (DianNao-style),
+ *  - X-P  : column parallel, weight stationary,
+ *  - YX-P : 2D activation parallel, output stationary (ShiDianNao),
+ *  - YR-P : row stationary (Eyeriss),
+ *  - KC-P : channel parallel, weight stationary (NVDLA).
+ */
+
+#ifndef MAESTRO_DATAFLOWS_CATALOG_HH
+#define MAESTRO_DATAFLOWS_CATALOG_HH
+
+#include <vector>
+
+#include "src/core/dataflow.hh"
+
+namespace maestro
+{
+namespace dataflows
+{
+
+/** C-Partitioned (Table 3 row 1): SpatialMap over input channels. */
+Dataflow cPartitioned();
+
+/** X-Partitioned (Table 3 row 2): weight-stationary column parallel. */
+Dataflow xPartitioned();
+
+/** YX-Partitioned (Table 3 row 3): ShiDianNao-style 2D parallel. */
+Dataflow yxPartitioned();
+
+/** YR-Partitioned (Table 3 row 4): Eyeriss-style row stationary. */
+Dataflow yrPartitioned();
+
+/** KC-Partitioned (Table 3 row 5): NVDLA-style channel parallel. */
+Dataflow kcPartitioned();
+
+/** All five Table 3 dataflows in the paper's order (C, X, YX, YR, KC). */
+std::vector<Dataflow> table3();
+
+/**
+ * Looks up a catalog dataflow by name ("C-P", "X-P", "YX-P", "YR-P",
+ * "KC-P", case-insensitive, with "NLR"/"WS"/"Shi"/"RS"/"DLA" aliases
+ * from the paper's Fig. 10 axis labels).
+ *
+ * @throws Error for an unknown name.
+ */
+Dataflow byName(const std::string &name);
+
+/** Fig. 5(A): output-stationary 1-D conv (SpatialMap X', then S). */
+Dataflow fig5OutputStationary();
+
+/** Fig. 5(B): weight-stationary 1-D conv (X' outer, SpatialMap S). */
+Dataflow fig5WeightStationary();
+
+/** Fig. 5(C): collaborative output-stationary (SpatialMap S outer). */
+Dataflow fig5CollabOutputStationary();
+
+/** Fig. 5(D): collaborative weight-stationary (S outer, X' inner). */
+Dataflow fig5CollabWeightStationary();
+
+/** Fig. 5(E): tiled collaborative weight-stationary (SpatialMap(2,2) S). */
+Dataflow fig5TiledCollabWeightStationary();
+
+/** Fig. 5(F): clustered tiled collaborative weight-stationary. */
+Dataflow fig5ClusteredCollabWeightStationary();
+
+} // namespace dataflows
+} // namespace maestro
+
+#endif // MAESTRO_DATAFLOWS_CATALOG_HH

@@ -1,0 +1,214 @@
+#include "src/dataflows/tuner.hh"
+
+#include <algorithm>
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+namespace dataflows
+{
+
+namespace
+{
+
+SizeExpr
+c(Count value)
+{
+    return SizeExpr::of(value);
+}
+
+SizeExpr
+sz(Dim d)
+{
+    return SizeExpr::sizeOf(d);
+}
+
+/**
+ * Appends the standard full-filter and sliding activation maps,
+ * skipping a dimension the caller already mapped at this level.
+ */
+void
+appendFilterAndActivation(Dataflow &df, bool activation_first,
+                          std::optional<Dim> skip = std::nullopt)
+{
+    auto add = [&](Directive d) {
+        if (!skip || d.dim != *skip)
+            df.add(d);
+    };
+    if (activation_first) {
+        add(Directive::temporal(Dim::Y, sz(Dim::R), c(1)));
+        add(Directive::temporal(Dim::X, sz(Dim::S), c(1)));
+        add(Directive::temporal(Dim::R, sz(Dim::R), sz(Dim::R)));
+        add(Directive::temporal(Dim::S, sz(Dim::S), sz(Dim::S)));
+    } else {
+        add(Directive::temporal(Dim::R, sz(Dim::R), sz(Dim::R)));
+        add(Directive::temporal(Dim::S, sz(Dim::S), sz(Dim::S)));
+        add(Directive::temporal(Dim::Y, sz(Dim::R), c(1)));
+        add(Directive::temporal(Dim::X, sz(Dim::S), c(1)));
+    }
+}
+
+} // namespace
+
+const TunedDataflow &
+TunerResult::best() const
+{
+    fatalIf(ranked.empty(), "tuner produced no valid dataflow");
+    return ranked.front();
+}
+
+std::vector<Dataflow>
+generateCandidates(const Layer &layer, const TunerOptions &options)
+{
+    std::vector<Dataflow> out;
+    const Count k_extent = layer.dim(Dim::K);
+    const Count c_extent = layer.dim(Dim::C);
+
+    // ---- Two-level candidates: outer spatial dim x cluster size x
+    //      inner spatial dim x channel tile. ----
+    const std::pair<Dim, Dim> level_pairs[] = {
+        {Dim::K, Dim::C}, // KC-P style
+        {Dim::C, Dim::K}, // transposed channel split
+        {Dim::Y, Dim::X}, // YX-P style
+        {Dim::K, Dim::X}, // output channels x columns
+        {Dim::Y, Dim::C}, // rows x channels
+    };
+    for (Count cluster : options.cluster_sizes) {
+        if (cluster <= 1)
+            continue;
+        for (const auto &[outer, inner] : level_pairs) {
+            for (Count tile : options.channel_tiles) {
+                if (tile > std::max(k_extent, c_extent))
+                    continue;
+                Dataflow df(msg("T-", dimName(outer), dimName(inner),
+                                "-c", cluster, "-t", tile));
+                // Outer level: spatial over `outer`, temporal tiles of
+                // the other channel dim, weight-stationary order.
+                if (outer == Dim::Y) {
+                    df.add(Directive::spatial(Dim::Y, sz(Dim::R), c(1)));
+                } else {
+                    df.add(Directive::spatial(outer, c(1), c(1)));
+                }
+                const Dim tiled = outer == Dim::K ? Dim::C : Dim::K;
+                if (tiled != inner) {
+                    df.add(Directive::temporal(tiled, c(tile), c(tile)));
+                }
+                appendFilterAndActivation(
+                    df, false,
+                    outer == Dim::Y ? std::optional<Dim>(Dim::Y)
+                                    : std::nullopt);
+                df.add(Directive::cluster(c(cluster)));
+                if (inner == Dim::X) {
+                    df.add(Directive::spatial(Dim::X, sz(Dim::S), c(1)));
+                } else {
+                    df.add(Directive::spatial(inner, c(1), c(1)));
+                }
+                out.push_back(std::move(df));
+            }
+        }
+        // Eyeriss-style diagonal candidate for this cluster size.
+        Dataflow rs(msg("T-YR-c", cluster));
+        rs.add(Directive::temporal(Dim::C, c(2), c(2)))
+            .add(Directive::temporal(Dim::K, c(2), c(2)))
+            .add(Directive::spatial(Dim::Y, sz(Dim::R), c(1)))
+            .add(Directive::temporal(Dim::X, sz(Dim::S), c(1)))
+            .add(Directive::temporal(Dim::R, sz(Dim::R), sz(Dim::R)))
+            .add(Directive::temporal(Dim::S, sz(Dim::S), sz(Dim::S)))
+            .add(Directive::cluster(sz(Dim::R)))
+            .add(Directive::spatial(Dim::Y, c(1), c(1)))
+            .add(Directive::spatial(Dim::R, c(1), c(1)));
+        out.push_back(std::move(rs));
+    }
+
+    // ---- Single-level candidates: one spatial dim, two orders. ----
+    for (Dim spatial : {Dim::K, Dim::C, Dim::X}) {
+        for (bool activation_first : {false, true}) {
+            Dataflow df(msg("T-", dimName(spatial), "-",
+                            activation_first ? "os" : "ws"));
+            if (spatial == Dim::X) {
+                df.add(Directive::temporal(Dim::K, c(1), c(1)))
+                    .add(Directive::temporal(Dim::C, c(1), c(1)));
+                appendFilterAndActivation(df, activation_first);
+                // Replace the X map with a spatial one: rebuild.
+                Dataflow rebuilt(df.name());
+                for (const Directive &d : df.directives()) {
+                    if (d.kind == DirectiveKind::TemporalMap &&
+                        d.dim == Dim::X) {
+                        rebuilt.add(Directive::spatial(
+                            Dim::X, sz(Dim::S), c(1)));
+                    } else {
+                        rebuilt.add(d);
+                    }
+                }
+                out.push_back(std::move(rebuilt));
+            } else {
+                const Dim other = spatial == Dim::K ? Dim::C : Dim::K;
+                df.add(Directive::temporal(other, c(1), c(1)));
+                appendFilterAndActivation(df, activation_first);
+                df.add(Directive::spatial(spatial, c(1), c(1)));
+                out.push_back(std::move(df));
+            }
+        }
+    }
+
+    // De-duplicate names created by clamping-equivalent candidates.
+    for (Dataflow &df : out)
+        df.validate();
+    return out;
+}
+
+TunerResult
+tuneDataflow(const Analyzer &analyzer, const Layer &layer,
+             Objective objective, const TunerOptions &options)
+{
+    TunerResult result;
+    const std::vector<Dataflow> candidates =
+        generateCandidates(layer, options);
+    result.candidates = candidates.size();
+
+    std::vector<TunedDataflow> evaluated;
+    for (const Dataflow &df : candidates) {
+        LayerAnalysis la;
+        try {
+            la = analyzer.analyzeLayer(layer, df);
+        } catch (const Error &) {
+            ++result.rejected;
+            continue;
+        }
+        if (options.enforce_l1_capacity && !la.cost.fits_l1) {
+            ++result.rejected;
+            continue;
+        }
+        TunedDataflow td;
+        td.dataflow = df;
+        td.runtime = la.runtime;
+        td.energy = la.onchipEnergy();
+        td.edp = la.edp();
+        td.utilization = la.utilization;
+        switch (objective) {
+          case Objective::Runtime:
+            td.objective_value = td.runtime;
+            break;
+          case Objective::Energy:
+            td.objective_value = td.energy;
+            break;
+          case Objective::Edp:
+            td.objective_value = td.edp;
+            break;
+        }
+        evaluated.push_back(std::move(td));
+    }
+
+    std::sort(evaluated.begin(), evaluated.end(),
+              [](const TunedDataflow &a, const TunedDataflow &b) {
+                  return a.objective_value < b.objective_value;
+              });
+    if (evaluated.size() > options.top_k)
+        evaluated.resize(options.top_k);
+    result.ranked = std::move(evaluated);
+    return result;
+}
+
+} // namespace dataflows
+} // namespace maestro

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Dataflow auto-tuner (paper Sec. 7 future work).
+ *
+ * "In the future, we plan to leverage MAESTRO to implement a dataflow
+ * auto-tuner to find an optimal dataflow on the specified DNN model
+ * and hardware configuration." This module implements that tuner: it
+ * enumerates a structured space of dataflow candidates — outer spatial
+ * dimension, cluster size, inner spatial dimension, channel/output
+ * tile sizes, and loop-order variants — evaluates each with the
+ * analyzer, and returns the ranked results.
+ *
+ * The candidate space deliberately spans the Table-3 styles: KC-P-like
+ * (K outer / C inner), YR-P-like (Y outer / Y+R inner), YX-P-like
+ * (Y outer / X inner), and the single-level C-P/X-P shapes, plus tile
+ * sizes none of the fixed catalog entries use.
+ */
+
+#ifndef MAESTRO_DATAFLOWS_TUNER_HH
+#define MAESTRO_DATAFLOWS_TUNER_HH
+
+#include "src/core/analyzer.hh"
+#include "src/dataflows/adaptive.hh"
+
+namespace maestro
+{
+namespace dataflows
+{
+
+/**
+ * Knobs bounding the tuner's candidate space.
+ */
+struct TunerOptions
+{
+    /** Cluster sizes to try (1 = single-level dataflows). */
+    std::vector<Count> cluster_sizes = {1, 4, 8, 16, 32, 64};
+
+    /** Tile sizes for temporally mapped channel dimensions. */
+    std::vector<Count> channel_tiles = {1, 2, 4, 8, 16, 32, 64};
+
+    /** Keep at most this many ranked results. */
+    std::size_t top_k = 10;
+
+    /** Skip candidates whose L1 requirement exceeds the config. */
+    bool enforce_l1_capacity = false;
+};
+
+/**
+ * One tuner result: a candidate dataflow and its measured objective.
+ */
+struct TunedDataflow
+{
+    Dataflow dataflow{"candidate"};
+    double runtime = 0.0;
+    double energy = 0.0;
+    double edp = 0.0;
+    double utilization = 0.0;
+
+    /** The minimized objective's value. */
+    double objective_value = 0.0;
+};
+
+/**
+ * Tuning statistics.
+ */
+struct TunerResult
+{
+    /** Ranked results, best first (at most top_k). */
+    std::vector<TunedDataflow> ranked;
+
+    /** Candidates generated. */
+    std::size_t candidates = 0;
+
+    /** Candidates that failed to bind or violated capacity. */
+    std::size_t rejected = 0;
+
+    /** Convenience: the winner. @throws Error if nothing survived. */
+    const TunedDataflow &best() const;
+};
+
+/**
+ * Generates the tuner's candidate dataflows for a layer (exposed for
+ * testing; the candidates are layer-aware so tile sizes stay sane).
+ */
+std::vector<Dataflow> generateCandidates(const Layer &layer,
+                                         const TunerOptions &options);
+
+/**
+ * Runs the auto-tuner for one layer.
+ *
+ * @param analyzer Analyzer with the target hardware.
+ * @param layer Layer to tune.
+ * @param objective What to minimize.
+ * @param options Candidate-space bounds.
+ */
+TunerResult tuneDataflow(const Analyzer &analyzer, const Layer &layer,
+                         Objective objective,
+                         const TunerOptions &options = TunerOptions());
+
+} // namespace dataflows
+} // namespace maestro
+
+#endif // MAESTRO_DATAFLOWS_TUNER_HH

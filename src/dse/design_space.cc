@@ -1,0 +1,77 @@
+#include "src/dse/design_space.hh"
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+namespace dse
+{
+
+double
+DesignSpace::totalPoints() const
+{
+    return static_cast<double>(pe_counts.size()) *
+           static_cast<double>(l1_sizes.size()) *
+           static_cast<double>(l2_sizes.size()) *
+           static_cast<double>(noc_bandwidths.size());
+}
+
+std::vector<Count>
+linearRange(Count first, Count last, Count step)
+{
+    fatalIf(step <= 0 || first <= 0 || last < first,
+            "linearRange: bad range");
+    std::vector<Count> out;
+    for (Count v = first; v <= last; v += step)
+        out.push_back(v);
+    return out;
+}
+
+std::vector<Count>
+pow2Range(Count first, Count last)
+{
+    fatalIf(first <= 0 || last < first, "pow2Range: bad range");
+    std::vector<Count> out;
+    for (Count v = first; v <= last; v *= 2)
+        out.push_back(v);
+    return out;
+}
+
+DesignSpace
+DesignSpace::figure13()
+{
+    DesignSpace space;
+    space.pe_counts = linearRange(8, 512, 8);
+    space.l1_sizes = linearRange(64, 16 * 1024, 256);
+    space.l2_sizes = linearRange(16 * 1024, 2 * 1024 * 1024, 64 * 1024);
+    for (Count bw = 1; bw <= 64; bw += 1)
+        space.noc_bandwidths.push_back(static_cast<double>(bw));
+    return space;
+}
+
+DesignSpace
+DesignSpace::large()
+{
+    DesignSpace space;
+    space.pe_counts = linearRange(4, 1024, 4);
+    space.l1_sizes = linearRange(64, 32 * 1024, 64);
+    space.l2_sizes = linearRange(16 * 1024, 4 * 1024 * 1024, 16 * 1024);
+    for (Count bw = 1; bw <= 128; bw += 1)
+        space.noc_bandwidths.push_back(static_cast<double>(bw));
+    return space;
+}
+
+DesignSpace
+DesignSpace::small()
+{
+    DesignSpace space;
+    space.pe_counts = linearRange(16, 256, 16);
+    space.l1_sizes = pow2Range(128, 8 * 1024);
+    space.l2_sizes = pow2Range(32 * 1024, 1024 * 1024);
+    for (Count bw : {2, 4, 8, 16, 32, 64})
+        space.noc_bandwidths.push_back(static_cast<double>(bw));
+    return space;
+}
+
+} // namespace dse
+} // namespace maestro

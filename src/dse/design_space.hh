@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hardware design space for the DSE tool (paper Sec. 5.2).
+ *
+ * The paper's tool sweeps four parameters — PE count, L1 size, L2
+ * size, NoC bandwidth — within a target range and search granularity.
+ * A DesignSpace holds the concrete value lists; presets reproduce the
+ * paper's scale (hundreds of millions of candidate points for the
+ * large preset).
+ */
+
+#ifndef MAESTRO_DSE_DESIGN_SPACE_HH
+#define MAESTRO_DSE_DESIGN_SPACE_HH
+
+#include <vector>
+
+#include "src/common/math_util.hh"
+
+namespace maestro
+{
+namespace dse
+{
+
+/**
+ * The swept parameter lists.
+ */
+struct DesignSpace
+{
+    std::vector<Count> pe_counts;
+    std::vector<Count> l1_sizes;       ///< bytes
+    std::vector<Count> l2_sizes;       ///< bytes
+    std::vector<double> noc_bandwidths; ///< elements per cycle
+
+    /** Total candidate points (product of the list sizes). */
+    double totalPoints() const;
+
+    /**
+     * Fig. 13-scale preset: PEs 8..512 step 8, L1 64 B..16 KiB,
+     * L2 16 KiB..2 MiB, NoC 1..64 elem/cycle (~3.9M points).
+     */
+    static DesignSpace figure13();
+
+    /**
+     * Large preset in the spirit of the paper's 480M-design search
+     * (finer granularity on every axis).
+     */
+    static DesignSpace large();
+
+    /** Small smoke-test preset (~10K points). */
+    static DesignSpace small();
+};
+
+/** Builds an arithmetic progression [first, last] with given step. */
+std::vector<Count> linearRange(Count first, Count last, Count step);
+
+/** Builds a geometric progression [first, last] doubling each step. */
+std::vector<Count> pow2Range(Count first, Count last);
+
+} // namespace dse
+} // namespace maestro
+
+#endif // MAESTRO_DSE_DESIGN_SPACE_HH

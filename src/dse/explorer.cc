@@ -1,0 +1,293 @@
+#include "src/dse/explorer.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+namespace dse
+{
+
+namespace
+{
+
+/** Cached per-(PEs, bandwidth) analyzer output. */
+struct EvalCache
+{
+    double runtime = 0.0;
+    double macs = 0.0;
+    CostResult cost;
+};
+
+} // namespace
+
+double
+energyFromCounts(const CostResult &cost, Count l1_bytes, Count l2_bytes,
+                 Count precision_bytes, double noc_avg_hops,
+                 const EnergyModel &energy)
+{
+    double total = cost.total_macs * energy.macEnergy();
+    const double l1r = energy.l1ReadEnergy(l1_bytes);
+    const double l1w = energy.l1WriteEnergy(l1_bytes);
+    const double l2r = energy.l2ReadEnergy(l2_bytes);
+    const double l2w = energy.l2WriteEnergy(l2_bytes);
+    for (TensorKind t : kAllTensors) {
+        total += cost.l1_reads[t] * l1r + cost.l1_writes[t] * l1w;
+        total += cost.l2_reads[t] * l2r + cost.l2_writes[t] * l2w;
+    }
+    total += cost.noc_elements * energy.nocEnergy(noc_avg_hops);
+    // Capacity-aware DRAM fill (see header).
+    double dram = cost.dram_writes[TensorKind::Output];
+    for (TensorKind t : {TensorKind::Weight, TensorKind::Input}) {
+        const double volume = cost.tensor_volumes[t];
+        const bool resident =
+            volume * static_cast<double>(precision_bytes) <=
+            0.5 * static_cast<double>(l2_bytes);
+        dram += resident
+                    ? std::min(cost.dram_fill_model[t], volume)
+                    : cost.dram_fill_model[t];
+    }
+    total += dram * energy.dramEnergy();
+    return total;
+}
+
+Explorer::Explorer(AcceleratorConfig base, AreaPowerModel area_power,
+                   EnergyModel energy)
+    : base_(std::move(base)), area_power_(area_power),
+      energy_(std::move(energy))
+{
+    base_.validate();
+}
+
+DseResult
+Explorer::explore(const Layer &layer, const Dataflow &dataflow,
+                  const DesignSpace &space,
+                  const DseOptions &options) const
+{
+    fatalIf(space.pe_counts.empty() || space.l1_sizes.empty() ||
+                space.l2_sizes.empty() || space.noc_bandwidths.empty(),
+            "explore: empty design space");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    DseResult result;
+
+    const AreaPowerCoefficients &co = area_power_.coefficients();
+    const double min_l2_kib =
+        static_cast<double>(space.l2_sizes.front()) / 1024.0;
+    const double min_bw = space.noc_bandwidths.front();
+
+    // Minimum area/power contributions of the non-PE axes (the first
+    // entry of each sorted list).
+    const double min_rest_area =
+        co.sram_area_fixed + co.sram_area_per_kib * min_l2_kib +
+        co.bus_area_per_lane * min_bw;
+    const double min_rest_power =
+        (co.sram_power_fixed + co.sram_power_per_kib * min_l2_kib +
+         co.bus_power_per_lane * min_bw) *
+        base_.clock_ghz;
+
+    const double inner_per_pe =
+        static_cast<double>(space.l1_sizes.size()) *
+        static_cast<double>(space.l2_sizes.size()) *
+        static_cast<double>(space.noc_bandwidths.size());
+    const double inner_per_l1 =
+        static_cast<double>(space.l2_sizes.size()) *
+        static_cast<double>(space.noc_bandwidths.size());
+    const double inner_per_l2 =
+        static_cast<double>(space.noc_bandwidths.size());
+
+    std::map<std::pair<Count, Count>, EvalCache> cache;
+    auto evaluate = [&](Count pes, double bw) -> const EvalCache & {
+        const auto key = std::make_pair(
+            pes, static_cast<Count>(bw * 1024.0));
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            AcceleratorConfig cfg = base_;
+            cfg.num_pes = pes;
+            cfg.noc = NocModel(bw, base_.noc.avgLatency());
+            Analyzer analyzer(cfg, energy_);
+            const LayerAnalysis la =
+                analyzer.analyzeLayer(layer, dataflow);
+            EvalCache entry;
+            entry.runtime = la.runtime;
+            entry.macs = la.total_macs;
+            entry.cost = la.cost;
+            it = cache.emplace(key, std::move(entry)).first;
+        }
+        return it->second;
+    };
+
+    auto better = [](const DesignPoint &cand, const DesignPoint &best,
+                     OptTarget target) {
+        if (!best.valid)
+            return true;
+        switch (target) {
+          case OptTarget::Throughput:
+            if (cand.throughput != best.throughput)
+                return cand.throughput > best.throughput;
+            return cand.energy < best.energy;
+          case OptTarget::Energy:
+            if (cand.energy != best.energy)
+                return cand.energy < best.energy;
+            return cand.throughput > best.throughput;
+          case OptTarget::Edp:
+            return cand.edp < best.edp;
+        }
+        return false;
+    };
+
+    std::size_t sample_counter = 0;
+
+    for (Count pes : space.pe_counts) {
+        const double pe_min_area =
+            area_power_.minAreaForPes(pes) + min_rest_area;
+        const double pe_min_power =
+            area_power_.minPowerForPes(pes) * base_.clock_ghz +
+            min_rest_power;
+        if (pe_min_area > options.area_budget_mm2 ||
+            pe_min_power > options.power_budget_mw) {
+            // Every inner choice only adds area/power: skip the whole
+            // subtree (counted as explored, per the paper's method).
+            result.explored_points += inner_per_pe;
+            continue;
+        }
+        const double pe_area =
+            static_cast<double>(pes) *
+            (co.mac_area * static_cast<double>(base_.vector_width) +
+             co.sram_area_fixed);
+        const double pe_power =
+            static_cast<double>(pes) *
+            (co.mac_power * static_cast<double>(base_.vector_width) +
+             co.sram_power_fixed) *
+            base_.clock_ghz;
+        const double arbiter_area =
+            co.arbiter_area_coeff * static_cast<double>(pes) *
+            static_cast<double>(pes);
+        const double arbiter_power =
+            co.arbiter_power_coeff * static_cast<double>(pes) *
+            static_cast<double>(pes) * base_.clock_ghz;
+
+        for (Count l1 : space.l1_sizes) {
+            const double l1_kib = static_cast<double>(l1) / 1024.0;
+            const double area_l1 =
+                pe_area + arbiter_area +
+                static_cast<double>(pes) * co.sram_area_per_kib * l1_kib;
+            const double power_l1 =
+                pe_power + arbiter_power +
+                static_cast<double>(pes) * co.sram_power_per_kib *
+                    l1_kib * base_.clock_ghz;
+            if (area_l1 + min_rest_area > options.area_budget_mm2 ||
+                power_l1 + min_rest_power > options.power_budget_mw) {
+                result.explored_points += inner_per_l1;
+                continue;
+            }
+
+            for (Count l2 : space.l2_sizes) {
+                const double l2_kib = static_cast<double>(l2) / 1024.0;
+                const double area_l2 =
+                    area_l1 + co.sram_area_fixed +
+                    co.sram_area_per_kib * l2_kib;
+                const double power_l2 =
+                    power_l1 + (co.sram_power_fixed +
+                                co.sram_power_per_kib * l2_kib) *
+                                   base_.clock_ghz;
+                if (area_l2 + co.bus_area_per_lane * min_bw >
+                        options.area_budget_mm2 ||
+                    power_l2 + co.bus_power_per_lane * min_bw *
+                                   base_.clock_ghz >
+                        options.power_budget_mw) {
+                    result.explored_points += inner_per_l2;
+                    continue;
+                }
+
+                for (double bw : space.noc_bandwidths) {
+                    result.explored_points += 1.0;
+                    const double area =
+                        area_l2 + co.bus_area_per_lane * bw;
+                    const double power =
+                        power_l2 +
+                        co.bus_power_per_lane * bw * base_.clock_ghz;
+                    if (area > options.area_budget_mm2 ||
+                        power > options.power_budget_mw) {
+                        continue;
+                    }
+
+                    const EvalCache &eval = evaluate(pes, bw);
+                    result.evaluated_points += 1.0;
+                    if (eval.cost.l1_bytes_required >
+                            static_cast<double>(l1) ||
+                        eval.cost.l2_bytes_required >
+                            static_cast<double>(l2)) {
+                        continue;
+                    }
+
+                    DesignPoint point;
+                    point.num_pes = pes;
+                    point.l1_bytes = l1;
+                    point.l2_bytes = l2;
+                    point.noc_bandwidth = bw;
+                    point.area = area;
+                    point.power = power;
+                    point.runtime = eval.runtime;
+                    point.throughput = eval.macs / eval.runtime;
+                    point.energy = energyFromCounts(
+                        eval.cost, l1, l2, base_.precision_bytes,
+                        base_.noc.avgLatency(), energy_);
+                    point.edp = point.energy * point.runtime;
+                    point.l1_required = eval.cost.l1_bytes_required;
+                    point.l2_required = eval.cost.l2_bytes_required;
+                    point.valid = true;
+
+                    result.valid_points += 1.0;
+                    if (better(point, result.best_throughput,
+                               OptTarget::Throughput)) {
+                        result.best_throughput = point;
+                    }
+                    if (better(point, result.best_energy,
+                               OptTarget::Energy)) {
+                        result.best_energy = point;
+                    }
+                    if (better(point, result.best_edp, OptTarget::Edp))
+                        result.best_edp = point;
+
+                    if (options.sample_stride > 0 &&
+                        result.samples.size() < options.max_samples &&
+                        (sample_counter++ % options.sample_stride) == 0) {
+                        result.samples.push_back(point);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pareto frontier over the retained points plus the three bests.
+    {
+        std::vector<DesignPoint> pool = result.samples;
+        if (result.best_throughput.valid)
+            pool.push_back(result.best_throughput);
+        if (result.best_energy.valid)
+            pool.push_back(result.best_energy);
+        if (result.best_edp.valid)
+            pool.push_back(result.best_edp);
+        std::vector<ObjectivePoint> objs;
+        objs.reserve(pool.size());
+        for (std::size_t i = 0; i < pool.size(); ++i)
+            objs.push_back({pool[i].throughput, pool[i].energy, i});
+        for (const auto &op : paretoFrontier(std::move(objs)))
+            result.pareto.push_back(pool[op.index]);
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    result.seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    result.rate = result.seconds > 0.0
+                      ? result.explored_points / result.seconds
+                      : 0.0;
+    return result;
+}
+
+} // namespace dse
+} // namespace maestro

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Hardware design space exploration tool (paper Sec. 5.2, Fig. 13).
+ *
+ * Sweeps (PE count, L1 size, L2 size, NoC bandwidth) under area and
+ * power constraints, using MAESTRO as the per-design oracle, and
+ * reports throughput-, energy-, and EDP-optimal points plus the
+ * throughput/energy Pareto frontier.
+ *
+ * Two of the paper's engineering points are reproduced:
+ *  - invalid-design skipping: at each loop nest level the tool checks
+ *    the *minimum possible* area/power of all inner choices and skips
+ *    the whole subtree when it already exceeds the budget, so the
+ *    effective exploration rate far exceeds the evaluation rate;
+ *  - designs are only valid when the swept buffers meet MAESTRO's
+ *    reported buffer requirements (double-buffered working sets).
+ *
+ * Runtime depends only on (PEs, NoC bandwidth); energy rescales with
+ * buffer sizes from the activity counts — the tool caches analyzer
+ * calls per (PEs, bandwidth) pair, mirroring the paper's fast DSE.
+ */
+
+#ifndef MAESTRO_DSE_EXPLORER_HH
+#define MAESTRO_DSE_EXPLORER_HH
+
+#include "src/core/analyzer.hh"
+#include "src/dse/design_space.hh"
+#include "src/dse/pareto.hh"
+#include "src/hw/area_power.hh"
+
+namespace maestro
+{
+namespace dse
+{
+
+/** Optimization target for reporting the best design. */
+enum class OptTarget : std::uint8_t
+{
+    Throughput,
+    Energy,
+    Edp,
+};
+
+/**
+ * One evaluated hardware design.
+ */
+struct DesignPoint
+{
+    Count num_pes = 0;
+    Count l1_bytes = 0;
+    Count l2_bytes = 0;
+    double noc_bandwidth = 0.0;
+
+    double area = 0.0;        ///< mm^2
+    double power = 0.0;       ///< mW
+    double runtime = 0.0;     ///< cycles
+    double throughput = 0.0;  ///< MACs / cycle
+    double energy = 0.0;      ///< on-chip, MAC units
+    double edp = 0.0;         ///< energy x runtime
+    double l1_required = 0.0; ///< bytes
+    double l2_required = 0.0; ///< bytes
+    bool valid = false;
+};
+
+/**
+ * Exploration constraints and options.
+ */
+struct DseOptions
+{
+    double area_budget_mm2 = 16.0; ///< paper: Eyeriss chip area
+    double power_budget_mw = 450.0; ///< paper: Eyeriss chip power
+
+    /** Keep every Nth valid point for scatter plotting (0 = none). */
+    std::size_t sample_stride = 997;
+
+    /** Cap on retained scatter samples. */
+    std::size_t max_samples = 20000;
+};
+
+/**
+ * Exploration statistics and results (paper Fig. 13(c)).
+ */
+struct DseResult
+{
+    double explored_points = 0.0;  ///< including skipped subtrees
+    double evaluated_points = 0.0; ///< analyzer/energy evaluations
+    double valid_points = 0.0;
+    double seconds = 0.0;
+    double rate = 0.0; ///< explored points per second
+
+    DesignPoint best_throughput;
+    DesignPoint best_energy;
+    DesignPoint best_edp;
+
+    /** Subsampled valid points for scatter plots. */
+    std::vector<DesignPoint> samples;
+
+    /** Throughput/energy Pareto frontier (subset of samples + bests). */
+    std::vector<DesignPoint> pareto;
+};
+
+/**
+ * The explorer: area/power and energy models plus a template
+ * accelerator providing the non-swept parameters.
+ */
+class Explorer
+{
+  public:
+    /**
+     * @param base Template configuration (precision, support flags,
+     *             clock); the four swept fields are overwritten.
+     * @param area_power Area/power regression models.
+     * @param energy Energy table.
+     */
+    explicit Explorer(AcceleratorConfig base,
+                      AreaPowerModel area_power = AreaPowerModel(),
+                      EnergyModel energy = EnergyModel());
+
+    /**
+     * Runs the sweep for one layer under one dataflow.
+     */
+    DseResult explore(const Layer &layer, const Dataflow &dataflow,
+                      const DesignSpace &space,
+                      const DseOptions &options = DseOptions()) const;
+
+  private:
+    AcceleratorConfig base_;
+    AreaPowerModel area_power_;
+    EnergyModel energy_;
+};
+
+/**
+ * Recomputes total energy (including capacity-aware DRAM refetch
+ * energy) from a cost result's activity counts for different buffer
+ * capacities, without re-running the analyzer. Bigger L2s make whole
+ * tensors resident and collapse their DRAM refetches — the mechanism
+ * behind the paper's energy-optimized designs buying 10.6x the SRAM.
+ */
+double energyFromCounts(const CostResult &cost, Count l1_bytes,
+                        Count l2_bytes, Count precision_bytes,
+                        double noc_avg_hops, const EnergyModel &energy);
+
+} // namespace dse
+} // namespace maestro
+
+#endif // MAESTRO_DSE_EXPLORER_HH

@@ -1,0 +1,31 @@
+#include "src/dse/pareto.hh"
+
+#include <algorithm>
+
+namespace maestro
+{
+namespace dse
+{
+
+std::vector<ObjectivePoint>
+paretoFrontier(std::vector<ObjectivePoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const ObjectivePoint &a, const ObjectivePoint &b) {
+                  if (a.maximize != b.maximize)
+                      return a.maximize > b.maximize;
+                  return a.minimize < b.minimize;
+              });
+    std::vector<ObjectivePoint> frontier;
+    double best_min = 0.0;
+    for (const auto &p : points) {
+        if (frontier.empty() || p.minimize < best_min) {
+            frontier.push_back(p);
+            best_min = p.minimize;
+        }
+    }
+    return frontier;
+}
+
+} // namespace dse
+} // namespace maestro

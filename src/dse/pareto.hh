@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Pareto-frontier utilities for the DSE tool.
+ *
+ * The paper reports Pareto-optimal throughput- and energy-optimized
+ * design points (Sec. 1, Sec. 5.2). A design point dominates another
+ * when it is at least as good on both objectives (higher throughput,
+ * lower energy) and strictly better on one.
+ */
+
+#ifndef MAESTRO_DSE_PARETO_HH
+#define MAESTRO_DSE_PARETO_HH
+
+#include <vector>
+
+namespace maestro
+{
+namespace dse
+{
+
+/**
+ * A point in (maximize x, minimize y) objective space with an opaque
+ * payload index into the caller's point list.
+ */
+struct ObjectivePoint
+{
+    double maximize = 0.0; ///< e.g. throughput (bigger is better)
+    double minimize = 0.0; ///< e.g. energy (smaller is better)
+    std::size_t index = 0; ///< caller payload
+};
+
+/**
+ * Extracts the Pareto frontier of (maximize, minimize) points.
+ *
+ * @param points Candidate points (any order).
+ * @return Frontier sorted by descending `maximize`; no element is
+ *         dominated by any candidate.
+ */
+std::vector<ObjectivePoint> paretoFrontier(
+    std::vector<ObjectivePoint> points);
+
+} // namespace dse
+} // namespace maestro
+
+#endif // MAESTRO_DSE_PARETO_HH

@@ -1,0 +1,177 @@
+#include "src/frontend/lexer.hh"
+
+#include <cctype>
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+namespace frontend
+{
+
+std::string
+Token::describe() const
+{
+    switch (kind) {
+      case TokenKind::Identifier:
+        return msg("identifier '", text, "'");
+      case TokenKind::Integer:
+        return msg("integer ", value);
+      case TokenKind::LParen:
+        return "'('";
+      case TokenKind::RParen:
+        return "')'";
+      case TokenKind::LBrace:
+        return "'{'";
+      case TokenKind::RBrace:
+        return "'}'";
+      case TokenKind::Colon:
+        return "':'";
+      case TokenKind::Semicolon:
+        return "';'";
+      case TokenKind::Comma:
+        return "','";
+      case TokenKind::Plus:
+        return "'+'";
+      case TokenKind::Minus:
+        return "'-'";
+      case TokenKind::End:
+        return "end of input";
+    }
+    return "?";
+}
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto push = [&](TokenKind kind) {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        tokens.push_back(t);
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            const int start_line = line;
+            i += 2;
+            while (i + 1 < n &&
+                   !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            fatalIf(i + 1 >= n, msg("unterminated block comment "
+                                    "starting on line ",
+                                    start_line));
+            i += 2;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            Count value = 0;
+            while (i < n &&
+                   std::isdigit(static_cast<unsigned char>(source[i]))) {
+                value = value * 10 + (source[i] - '0');
+                ++i;
+            }
+            Token t;
+            t.kind = TokenKind::Integer;
+            t.value = value;
+            t.line = line;
+            tokens.push_back(t);
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string text;
+            while (i < n) {
+                const char cc = source[i];
+                if (std::isalnum(static_cast<unsigned char>(cc)) ||
+                    cc == '_' || cc == '\'') {
+                    text.push_back(cc);
+                    ++i;
+                    continue;
+                }
+                // A '-' joins an identifier only when followed by an
+                // identifier character (names like "C-P"); size
+                // expressions never contain bare identifiers, so this
+                // is unambiguous.
+                if (cc == '-' && i + 1 < n &&
+                    (std::isalnum(
+                         static_cast<unsigned char>(source[i + 1])) ||
+                     source[i + 1] == '_')) {
+                    text.push_back(cc);
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            Token t;
+            t.kind = TokenKind::Identifier;
+            t.text = std::move(text);
+            t.line = line;
+            tokens.push_back(t);
+            continue;
+        }
+        switch (c) {
+          case '(':
+            push(TokenKind::LParen);
+            break;
+          case ')':
+            push(TokenKind::RParen);
+            break;
+          case '{':
+            push(TokenKind::LBrace);
+            break;
+          case '}':
+            push(TokenKind::RBrace);
+            break;
+          case ':':
+            push(TokenKind::Colon);
+            break;
+          case ';':
+            push(TokenKind::Semicolon);
+            break;
+          case ',':
+            push(TokenKind::Comma);
+            break;
+          case '+':
+            push(TokenKind::Plus);
+            break;
+          case '-':
+            push(TokenKind::Minus);
+            break;
+          default:
+            throw Error(msg("line ", line, ": unexpected character '",
+                            c, "'"));
+        }
+        ++i;
+    }
+    Token end;
+    end.kind = TokenKind::End;
+    end.line = line;
+    tokens.push_back(end);
+    return tokens;
+}
+
+} // namespace frontend
+} // namespace maestro

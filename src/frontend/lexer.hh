@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lexer for the MAESTRO-style description language.
+ *
+ * The language covers the three inputs of paper Fig. 7: DNN model
+ * descriptions (networks of layers with dimensions), data-centric
+ * dataflow descriptions (the four directives), and hardware resource
+ * descriptions. Tokens: identifiers, integers, punctuation
+ * ( ) { } : ; , + -, with line comments ("//...") and C-style block
+ * comments.
+ */
+
+#ifndef MAESTRO_FRONTEND_LEXER_HH
+#define MAESTRO_FRONTEND_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "src/common/math_util.hh"
+
+namespace maestro
+{
+namespace frontend
+{
+
+/** Token categories. */
+enum class TokenKind : std::uint8_t
+{
+    Identifier,
+    Integer,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Colon,
+    Semicolon,
+    Comma,
+    Plus,
+    Minus,
+    End,
+};
+
+/** One token with source position for diagnostics. */
+struct Token
+{
+    TokenKind kind = TokenKind::End;
+    std::string text;  ///< identifier spelling
+    Count value = 0;   ///< integer value
+    int line = 1;      ///< 1-based source line
+
+    /** Human-readable description for error messages. */
+    std::string describe() const;
+};
+
+/**
+ * Tokenizes a full source string.
+ *
+ * @throws Error on unknown characters or unterminated comments.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace frontend
+} // namespace maestro
+
+#endif // MAESTRO_FRONTEND_LEXER_HH

@@ -1,0 +1,341 @@
+#include "src/frontend/parser.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.hh"
+#include "src/frontend/lexer.hh"
+
+namespace maestro
+{
+namespace frontend
+{
+
+namespace
+{
+
+/**
+ * Token-stream cursor with expectation helpers.
+ */
+class Cursor
+{
+  public:
+    explicit Cursor(std::vector<Token> tokens)
+        : tokens_(std::move(tokens))
+    {
+    }
+
+    const Token &peek() const { return tokens_[index_]; }
+
+    Token
+    next()
+    {
+        const Token &t = tokens_[index_];
+        if (t.kind != TokenKind::End)
+            ++index_;
+        return t;
+    }
+
+    bool
+    accept(TokenKind kind)
+    {
+        if (peek().kind != kind)
+            return false;
+        next();
+        return true;
+    }
+
+    Token
+    expect(TokenKind kind, const std::string &what)
+    {
+        const Token t = next();
+        fatalIf(t.kind != kind, msg("line ", t.line, ": expected ", what,
+                                    ", found ", t.describe()));
+        return t;
+    }
+
+    /** True when the next token is the given keyword. */
+    bool
+    peekKeyword(const std::string &keyword) const
+    {
+        return peek().kind == TokenKind::Identifier &&
+               peek().text == keyword;
+    }
+
+    std::string
+    expectIdentifier(const std::string &what)
+    {
+        return expect(TokenKind::Identifier, what).text;
+    }
+
+    Count
+    expectInteger(const std::string &what)
+    {
+        return expect(TokenKind::Integer, what).value;
+    }
+
+  private:
+    std::vector<Token> tokens_;
+    std::size_t index_ = 0;
+};
+
+/** Parses a size expression: term (("+"|"-") term)*. */
+SizeExpr
+parseSizeExpr(Cursor &cur)
+{
+    SizeExpr expr;
+    bool first = true;
+    Count sign = 1;
+    if (cur.accept(TokenKind::Minus))
+        sign = -1;
+    while (true) {
+        if (!first) {
+            if (cur.accept(TokenKind::Plus)) {
+                sign = 1;
+            } else if (cur.accept(TokenKind::Minus)) {
+                sign = -1;
+            } else {
+                break;
+            }
+        }
+        const Token t = cur.peek();
+        if (t.kind == TokenKind::Integer) {
+            cur.next();
+            expr.constant += sign * t.value;
+        } else if (t.kind == TokenKind::Identifier && t.text == "Sz") {
+            cur.next();
+            cur.expect(TokenKind::LParen, "'(' after Sz");
+            const std::string dim =
+                cur.expectIdentifier("dimension name");
+            cur.expect(TokenKind::RParen, "')' after Sz dimension");
+            fatalIf(sign < 0, msg("line ", t.line,
+                                  ": negative Sz() terms are not "
+                                  "supported"));
+            fatalIf(expr.dim.has_value(),
+                    msg("line ", t.line,
+                        ": at most one Sz() reference per expression"));
+            expr.dim = parseDim(dim);
+        } else {
+            throw Error(msg("line ", t.line,
+                            ": expected integer or Sz(dim), found ",
+                            t.describe()));
+        }
+        first = false;
+    }
+    return expr;
+}
+
+/** Parses a directive list (inside a Dataflow block's braces). */
+std::vector<Directive>
+parseDirectives(Cursor &cur)
+{
+    std::vector<Directive> out;
+    while (!cur.accept(TokenKind::RBrace)) {
+        const Token head = cur.peek();
+        const std::string keyword = cur.expectIdentifier("directive");
+        if (keyword == "SpatialMap" || keyword == "TemporalMap") {
+            cur.expect(TokenKind::LParen, "'('");
+            const SizeExpr size = parseSizeExpr(cur);
+            cur.expect(TokenKind::Comma, "','");
+            const SizeExpr offset = parseSizeExpr(cur);
+            cur.expect(TokenKind::RParen, "')'");
+            const Dim dim =
+                parseDim(cur.expectIdentifier("dimension name"));
+            cur.expect(TokenKind::Semicolon, "';'");
+            out.push_back(keyword == "SpatialMap"
+                              ? Directive::spatial(dim, size, offset)
+                              : Directive::temporal(dim, size, offset));
+        } else if (keyword == "Cluster") {
+            cur.expect(TokenKind::LParen, "'('");
+            const SizeExpr size = parseSizeExpr(cur);
+            cur.expect(TokenKind::RParen, "')'");
+            cur.expect(TokenKind::Semicolon, "';'");
+            out.push_back(Directive::cluster(size));
+        } else {
+            throw Error(msg("line ", head.line,
+                            ": unknown directive '", keyword, "'"));
+        }
+    }
+    return out;
+}
+
+/** Parses one Layer block; registers its dataflow if present. */
+void
+parseLayer(Cursor &cur, Network &network,
+           std::map<std::string, Dataflow> &layer_dataflows)
+{
+    const std::string name = cur.expectIdentifier("layer name");
+    cur.expect(TokenKind::LBrace, "'{'");
+
+    OpType type = OpType::Conv2D;
+    Count stride = 1;
+    Count padding = 0;
+    Count groups = 1;
+    DimMap<Count> dims(1);
+    std::optional<std::vector<Directive>> dataflow;
+
+    while (!cur.accept(TokenKind::RBrace)) {
+        const Token head = cur.peek();
+        const std::string field = cur.expectIdentifier("layer field");
+        if (field == "Type") {
+            cur.expect(TokenKind::Colon, "':'");
+            type = parseOpType(cur.expectIdentifier("operator type"));
+            cur.expect(TokenKind::Semicolon, "';'");
+        } else if (field == "Stride") {
+            cur.expect(TokenKind::Colon, "':'");
+            stride = cur.expectInteger("stride");
+            cur.expect(TokenKind::Semicolon, "';'");
+        } else if (field == "Padding") {
+            cur.expect(TokenKind::Colon, "':'");
+            padding = cur.expectInteger("padding");
+            cur.expect(TokenKind::Semicolon, "';'");
+        } else if (field == "Groups") {
+            cur.expect(TokenKind::Colon, "':'");
+            groups = cur.expectInteger("groups");
+            cur.expect(TokenKind::Semicolon, "';'");
+        } else if (field == "Dimensions") {
+            cur.expect(TokenKind::LBrace, "'{'");
+            while (!cur.accept(TokenKind::RBrace)) {
+                const Dim d =
+                    parseDim(cur.expectIdentifier("dimension name"));
+                cur.expect(TokenKind::Colon, "':'");
+                dims[d] = cur.expectInteger("dimension extent");
+                cur.expect(TokenKind::Semicolon, "';'");
+            }
+        } else if (field == "Dataflow") {
+            cur.expect(TokenKind::LBrace, "'{'");
+            dataflow = parseDirectives(cur);
+        } else {
+            throw Error(msg("line ", head.line,
+                            ": unknown layer field '", field, "'"));
+        }
+    }
+
+    Layer layer(name, type, dims);
+    layer.stride(stride).padding(padding).groups(groups);
+    network.addLayer(std::move(layer));
+    if (dataflow) {
+        const std::string key = network.name() + "/" + name;
+        layer_dataflows.emplace(key, Dataflow(key, *dataflow));
+    }
+}
+
+/** Parses an Accelerator block into a configuration. */
+AcceleratorConfig
+parseAccelerator(Cursor &cur)
+{
+    AcceleratorConfig cfg;
+    double noc_bw = cfg.noc.bandwidth();
+    double noc_lat = cfg.noc.avgLatency();
+    double off_bw = cfg.offchip.bandwidth();
+    double off_lat = cfg.offchip.avgLatency();
+
+    cur.expect(TokenKind::LBrace, "'{'");
+    while (!cur.accept(TokenKind::RBrace)) {
+        const Token head = cur.peek();
+        const std::string key = cur.expectIdentifier("accelerator key");
+        cur.expect(TokenKind::Colon, "':'");
+        auto bool_value = [&]() {
+            const std::string v = cur.expectIdentifier("true/false");
+            fatalIf(v != "true" && v != "false",
+                    msg("line ", head.line, ": expected true or false"));
+            return v == "true";
+        };
+        if (key == "NumPEs") {
+            cfg.num_pes = cur.expectInteger("PE count");
+        } else if (key == "L1" || key == "L1Bytes") {
+            cfg.l1_bytes = cur.expectInteger("L1 bytes");
+        } else if (key == "L2" || key == "L2Bytes") {
+            cfg.l2_bytes = cur.expectInteger("L2 bytes");
+        } else if (key == "NocBandwidth") {
+            noc_bw = static_cast<double>(
+                cur.expectInteger("NoC bandwidth"));
+        } else if (key == "NocLatency") {
+            noc_lat = static_cast<double>(
+                cur.expectInteger("NoC latency"));
+        } else if (key == "OffchipBandwidth") {
+            off_bw = static_cast<double>(
+                cur.expectInteger("off-chip bandwidth"));
+        } else if (key == "OffchipLatency") {
+            off_lat = static_cast<double>(
+                cur.expectInteger("off-chip latency"));
+        } else if (key == "VectorWidth") {
+            cfg.vector_width = cur.expectInteger("vector width");
+        } else if (key == "Precision") {
+            cfg.precision_bytes = cur.expectInteger("precision bytes");
+        } else if (key == "Multicast") {
+            cfg.spatial_multicast = bool_value();
+        } else if (key == "Reduction") {
+            cfg.spatial_reduction = bool_value();
+        } else if (key == "TemporalMulticast") {
+            cfg.temporal_multicast = bool_value();
+        } else if (key == "TemporalReduction") {
+            cfg.temporal_reduction = bool_value();
+        } else {
+            throw Error(msg("line ", head.line,
+                            ": unknown accelerator key '", key, "'"));
+        }
+        cur.expect(TokenKind::Semicolon, "';'");
+    }
+    cfg.noc = NocModel(noc_bw, noc_lat);
+    cfg.offchip = NocModel(off_bw, off_lat);
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
+ParsedFile
+parseString(const std::string &source)
+{
+    Cursor cur(tokenize(source));
+    ParsedFile out;
+    while (cur.peek().kind != TokenKind::End) {
+        const Token head = cur.peek();
+        const std::string keyword = cur.expectIdentifier("block keyword");
+        if (keyword == "Network") {
+            const std::string name = cur.expectIdentifier("network name");
+            cur.expect(TokenKind::LBrace, "'{'");
+            Network net(name);
+            while (!cur.accept(TokenKind::RBrace)) {
+                const Token lt = cur.peek();
+                const std::string kw = cur.expectIdentifier("Layer");
+                fatalIf(kw != "Layer", msg("line ", lt.line,
+                                           ": expected Layer, found '",
+                                           kw, "'"));
+                parseLayer(cur, net, out.layer_dataflows);
+            }
+            out.networks.push_back(std::move(net));
+        } else if (keyword == "Dataflow") {
+            const std::string name =
+                cur.expectIdentifier("dataflow name");
+            cur.expect(TokenKind::LBrace, "'{'");
+            Dataflow df(name, parseDirectives(cur));
+            df.validate();
+            fatalIf(out.dataflows.count(name) > 0,
+                    msg("duplicate dataflow '", name, "'"));
+            out.dataflows.emplace(name, std::move(df));
+        } else if (keyword == "Accelerator") {
+            fatalIf(out.accelerator.has_value(),
+                    "multiple Accelerator blocks");
+            out.accelerator = parseAccelerator(cur);
+        } else {
+            throw Error(msg("line ", head.line, ": unknown block '",
+                            keyword, "'"));
+        }
+    }
+    return out;
+}
+
+ParsedFile
+parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, msg("cannot open '", path, "'"));
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseString(buffer.str());
+}
+
+} // namespace frontend
+} // namespace maestro

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Recursive-descent parser for the MAESTRO-style description language.
+ *
+ * Grammar (top level is a sequence of blocks):
+ *
+ *   file        := (network | dataflow | accelerator)*
+ *   network     := "Network" NAME "{" layer* "}"
+ *   layer       := "Layer" NAME "{" layer_field* "}"
+ *   layer_field := "Type" ":" TYPE ";"
+ *                | "Stride" ":" INT ";" | "Padding" ":" INT ";"
+ *                | "Groups" ":" INT ";"
+ *                | "Dimensions" "{" (DIM ":" INT ";")* "}"
+ *                | "Dataflow" "{" directive* "}"
+ *   dataflow    := "Dataflow" NAME "{" directive* "}"
+ *   directive   := ("SpatialMap"|"TemporalMap") "(" expr "," expr ")"
+ *                  DIM ";"
+ *                | "Cluster" "(" expr ")" ";"
+ *   expr        := term (("+"|"-") term)*     (at most one Sz ref)
+ *   term        := INT | "Sz" "(" DIM ")"
+ *   accelerator := "Accelerator" "{" (KEY ":" value ";")* "}"
+ *
+ * DIM accepts Y'/X' aliases; TYPE is CONV2D/DWCONV/PWCONV/FC/TRCONV.
+ */
+
+#ifndef MAESTRO_FRONTEND_PARSER_HH
+#define MAESTRO_FRONTEND_PARSER_HH
+
+#include <map>
+#include <optional>
+
+#include "src/core/dataflow.hh"
+#include "src/hw/accelerator.hh"
+#include "src/model/network.hh"
+
+namespace maestro
+{
+namespace frontend
+{
+
+/**
+ * Everything a source file can define.
+ */
+struct ParsedFile
+{
+    /** Networks, in file order. */
+    std::vector<Network> networks;
+
+    /** Named top-level dataflows. */
+    std::map<std::string, Dataflow> dataflows;
+
+    /** Per-layer dataflows: key "network/layer". */
+    std::map<std::string, Dataflow> layer_dataflows;
+
+    /** Accelerator configuration, if the file has one. */
+    std::optional<AcceleratorConfig> accelerator;
+};
+
+/**
+ * Parses a full source string.
+ *
+ * @throws Error with a line-numbered message on syntax or semantic
+ *         problems (layers are validated on construction).
+ */
+ParsedFile parseString(const std::string &source);
+
+/**
+ * Parses a file from disk.
+ *
+ * @throws Error if the file cannot be read or fails to parse.
+ */
+ParsedFile parseFile(const std::string &path);
+
+} // namespace frontend
+} // namespace maestro
+
+#endif // MAESTRO_FRONTEND_PARSER_HH

@@ -1,0 +1,81 @@
+#include "src/frontend/serializer.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace maestro
+{
+namespace frontend
+{
+
+std::string
+serialize(const Network &network)
+{
+    std::ostringstream os;
+    os << "Network " << network.name() << " {\n";
+    for (const Layer &layer : network.layers()) {
+        os << "  Layer " << layer.name() << " {\n";
+        os << "    Type: " << opTypeName(layer.type()) << ";\n";
+        if (layer.strideVal() != 1)
+            os << "    Stride: " << layer.strideVal() << ";\n";
+        if (layer.paddingVal() != 0)
+            os << "    Padding: " << layer.paddingVal() << ";\n";
+        if (layer.groupsVal() != 1)
+            os << "    Groups: " << layer.groupsVal() << ";\n";
+        os << "    Dimensions { ";
+        for (Dim d : kAllDims)
+            os << dimName(d) << ": " << layer.dim(d) << "; ";
+        os << "}\n";
+        os << "  }\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+serialize(const Dataflow &dataflow)
+{
+    std::ostringstream os;
+    os << "Dataflow " << dataflow.name() << " {\n";
+    for (const Directive &d : dataflow.directives())
+        os << "  " << d.toString() << ";\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+serialize(const AcceleratorConfig &config)
+{
+    std::ostringstream os;
+    os << "Accelerator {\n";
+    os << "  NumPEs: " << config.num_pes << ";\n";
+    os << "  L1: " << config.l1_bytes << ";\n";
+    os << "  L2: " << config.l2_bytes << ";\n";
+    os << "  NocBandwidth: "
+       << static_cast<Count>(std::llround(config.noc.bandwidth()))
+       << ";\n";
+    os << "  NocLatency: "
+       << static_cast<Count>(std::llround(config.noc.avgLatency()))
+       << ";\n";
+    os << "  OffchipBandwidth: "
+       << static_cast<Count>(std::llround(config.offchip.bandwidth()))
+       << ";\n";
+    os << "  OffchipLatency: "
+       << static_cast<Count>(std::llround(config.offchip.avgLatency()))
+       << ";\n";
+    os << "  VectorWidth: " << config.vector_width << ";\n";
+    os << "  Precision: " << config.precision_bytes << ";\n";
+    os << "  Multicast: "
+       << (config.spatial_multicast ? "true" : "false") << ";\n";
+    os << "  Reduction: "
+       << (config.spatial_reduction ? "true" : "false") << ";\n";
+    os << "  TemporalMulticast: "
+       << (config.temporal_multicast ? "true" : "false") << ";\n";
+    os << "  TemporalReduction: "
+       << (config.temporal_reduction ? "true" : "false") << ";\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace frontend
+} // namespace maestro

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Serializer: renders networks, dataflows, and accelerator
+ * configurations back into the description language, such that
+ * parse(serialize(x)) == x (round-trip property, tested).
+ */
+
+#ifndef MAESTRO_FRONTEND_SERIALIZER_HH
+#define MAESTRO_FRONTEND_SERIALIZER_HH
+
+#include <string>
+
+#include "src/core/dataflow.hh"
+#include "src/hw/accelerator.hh"
+#include "src/model/network.hh"
+
+namespace maestro
+{
+namespace frontend
+{
+
+/** Renders a network (layers, dimensions, stride/padding/groups). */
+std::string serialize(const Network &network);
+
+/** Renders a named top-level dataflow block. */
+std::string serialize(const Dataflow &dataflow);
+
+/** Renders an accelerator configuration block. */
+std::string serialize(const AcceleratorConfig &config);
+
+} // namespace frontend
+} // namespace maestro
+
+#endif // MAESTRO_FRONTEND_SERIALIZER_HH

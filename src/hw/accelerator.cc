@@ -1,0 +1,50 @@
+#include "src/hw/accelerator.hh"
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+
+void
+AcceleratorConfig::validate() const
+{
+    fatalIf(num_pes <= 0, "accelerator: num_pes must be positive");
+    fatalIf(l1_bytes <= 0, "accelerator: l1_bytes must be positive");
+    fatalIf(l2_bytes <= 0, "accelerator: l2_bytes must be positive");
+    fatalIf(vector_width <= 0,
+            "accelerator: vector_width must be positive");
+    fatalIf(precision_bytes <= 0,
+            "accelerator: precision_bytes must be positive");
+    fatalIf(clock_ghz <= 0.0, "accelerator: clock must be positive");
+}
+
+AcceleratorConfig
+AcceleratorConfig::eyerissLike()
+{
+    AcceleratorConfig cfg;
+    cfg.num_pes = 168;
+    cfg.l1_bytes = 512;
+    cfg.l2_bytes = 108 * 1024;
+    cfg.noc = NocModel::hierarchicalBus(4.0);
+    cfg.offchip = NocModel(1.0, 8.0);
+    cfg.precision_bytes = 2;
+    return cfg;
+}
+
+AcceleratorConfig
+AcceleratorConfig::paperStudy()
+{
+    AcceleratorConfig cfg;
+    cfg.num_pes = 256;
+    // 32 GB/s at 1 GHz, 1-byte elements: 32 elements per cycle.
+    cfg.noc = NocModel(32.0, 1.0);
+    // The paper's runtime model covers the global buffer downward;
+    // give the off-chip link DDR4-class bandwidth so it only binds
+    // when a dataflow is genuinely DRAM-pathological.
+    cfg.offchip = NocModel(64.0, 8.0);
+    cfg.l1_bytes = 2048;
+    cfg.l2_bytes = 1 << 20;
+    return cfg;
+}
+
+} // namespace maestro

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Abstract DNN accelerator model (paper Fig. 2).
+ *
+ * The architecture is the pervasive template: a shared L2 scratchpad
+ * fed from DRAM, a network-on-chip, and an array of PEs each holding a
+ * private L1 scratchpad and a (possibly vector) MAC unit. Hardware
+ * support flags for the four reuse categories of paper Table 2 gate
+ * whether the cost model may realize the corresponding reuse.
+ */
+
+#ifndef MAESTRO_HW_ACCELERATOR_HH
+#define MAESTRO_HW_ACCELERATOR_HH
+
+#include "src/common/math_util.hh"
+#include "src/hw/noc.hh"
+
+namespace maestro
+{
+
+/**
+ * Accelerator configuration consumed by the analysis engines.
+ */
+struct AcceleratorConfig
+{
+    /** Number of processing elements. */
+    Count num_pes = 256;
+
+    /** Private (per-PE) L1 scratchpad capacity in bytes. */
+    Count l1_bytes = 2048;
+
+    /** Shared L2 scratchpad capacity in bytes. */
+    Count l2_bytes = 1 << 20;
+
+    /** NoC between L2 and the PEs (bandwidth + average latency). */
+    NocModel noc{32.0, 1.0};
+
+    /** Off-chip (DRAM) link filling the L2. */
+    NocModel offchip{16.0, 4.0};
+
+    /** MACs one PE retires per cycle (vector width, paper Fig. 2). */
+    Count vector_width = 1;
+
+    /** Bytes per data element (ALU precision). */
+    Count precision_bytes = 1;
+
+    /** Clock frequency, used only to convert cycles to seconds/GB/s. */
+    double clock_ghz = 1.0;
+
+    /** Fan-out NoC support: spatial multicast (Table 2). */
+    bool spatial_multicast = true;
+
+    /** Fan-in NoC support: spatial reduction (Table 2). */
+    bool spatial_reduction = true;
+
+    /** Stationary-buffer support: temporal multicast (Table 2). */
+    bool temporal_multicast = true;
+
+    /** Accumulation-buffer support: temporal reduction (Table 2). */
+    bool temporal_reduction = true;
+
+    /** @throws Error if any parameter is out of domain. */
+    void validate() const;
+
+    /** Eyeriss-like preset: 168 PEs, 0.5 KiB L1, 108 KiB L2. */
+    static AcceleratorConfig eyerissLike();
+
+    /** The paper's Sec. 5.1 study configuration: 256 PEs, 32 GB/s. */
+    static AcceleratorConfig paperStudy();
+};
+
+} // namespace maestro
+
+#endif // MAESTRO_HW_ACCELERATOR_HH

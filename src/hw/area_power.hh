@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Area and power model for the DSE tool (paper Sec. 5.2).
+ *
+ * The paper synthesizes building blocks (float/fixed MAC, bus, bus
+ * arbiter, scratchpads) at 28 nm and fits regressions: bus cost grows
+ * linearly with width, arbiter cost quadratically (matrix arbiter),
+ * SRAM cost linearly with capacity plus a per-instance overhead. We
+ * use the same functional forms with coefficients calibrated so an
+ * Eyeriss-like design (168 PEs, 0.5 KiB L1, 108 KiB L2) lands at the
+ * paper's constraint point of 16 mm^2 / 450 mW, which the Fig. 13
+ * reproduction uses as its area/power budget.
+ */
+
+#ifndef MAESTRO_HW_AREA_POWER_HH
+#define MAESTRO_HW_AREA_POWER_HH
+
+#include "src/hw/accelerator.hh"
+
+namespace maestro
+{
+
+/**
+ * Regression coefficients for the building blocks.
+ */
+struct AreaPowerCoefficients
+{
+    // Area in mm^2.
+    double mac_area = 0.06;           ///< one PE datapath + control
+    double sram_area_per_kib = 0.006; ///< scratchpad storage per KiB
+    double sram_area_fixed = 0.0004;  ///< per-instance periphery
+    double bus_area_per_lane = 0.002; ///< linear in NoC width
+    double arbiter_area_coeff = 2e-6; ///< quadratic in PE count
+
+    // Power in mW (peak, at the reference 1 GHz clock).
+    double mac_power = 1.3;            ///< one active PE datapath
+    double sram_power_per_kib = 0.25;  ///< scratchpad per KiB
+    double sram_power_fixed = 0.05;    ///< per-instance overhead
+    double bus_power_per_lane = 0.6;   ///< linear in NoC width
+    double arbiter_power_coeff = 1e-5; ///< quadratic in PE count
+};
+
+/**
+ * Evaluates accelerator area and power from a configuration.
+ */
+class AreaPowerModel
+{
+  public:
+    /** Uses the built-in calibrated coefficients. */
+    AreaPowerModel() = default;
+
+    /** Uses custom coefficients. */
+    explicit AreaPowerModel(AreaPowerCoefficients coeffs);
+
+    /** Total chip area in mm^2. */
+    double area(const AcceleratorConfig &config) const;
+
+    /** Peak power in mW at the configured clock. */
+    double power(const AcceleratorConfig &config) const;
+
+    /**
+     * Lower bound on area for a PE count with the smallest possible
+     * buffers and NoC; used by the DSE's invalid-design skipping.
+     */
+    double minAreaForPes(Count num_pes) const;
+
+    /** Lower bound on power for a PE count (see minAreaForPes). */
+    double minPowerForPes(Count num_pes) const;
+
+    /** Coefficients in use. */
+    const AreaPowerCoefficients &coefficients() const { return coeffs_; }
+
+  private:
+    AreaPowerCoefficients coeffs_;
+};
+
+} // namespace maestro
+
+#endif // MAESTRO_HW_AREA_POWER_HH

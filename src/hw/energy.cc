@@ -1,0 +1,89 @@
+#include "src/hw/energy.hh"
+
+#include <cmath>
+
+namespace maestro
+{
+
+EnergyModel::EnergyModel(EnergyTable table)
+    : table_(table)
+{
+}
+
+double
+EnergyModel::scale(Count bytes, Count ref_bytes)
+{
+    return std::sqrt(static_cast<double>(bytes) /
+                     static_cast<double>(ref_bytes));
+}
+
+double
+EnergyModel::l1ReadEnergy(Count l1_bytes) const
+{
+    return table_.l1_read * scale(l1_bytes, table_.l1_ref_bytes);
+}
+
+double
+EnergyModel::l1WriteEnergy(Count l1_bytes) const
+{
+    return table_.l1_write * scale(l1_bytes, table_.l1_ref_bytes);
+}
+
+double
+EnergyModel::l2ReadEnergy(Count l2_bytes) const
+{
+    return table_.l2_read * scale(l2_bytes, table_.l2_ref_bytes);
+}
+
+double
+EnergyModel::l2WriteEnergy(Count l2_bytes) const
+{
+    return table_.l2_write * scale(l2_bytes, table_.l2_ref_bytes);
+}
+
+double
+EnergyModel::nocEnergy(double avg_hops) const
+{
+    return table_.noc_hop * avg_hops;
+}
+
+double
+EnergyBreakdown::total() const
+{
+    return mac + l1Total() + l2Total() + noc + dram;
+}
+
+double
+EnergyBreakdown::l1Total() const
+{
+    double sum = 0.0;
+    for (TensorKind t : kAllTensors)
+        sum += l1_read[t] + l1_write[t];
+    return sum;
+}
+
+double
+EnergyBreakdown::l2Total() const
+{
+    double sum = 0.0;
+    for (TensorKind t : kAllTensors)
+        sum += l2_read[t] + l2_write[t];
+    return sum;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &other)
+{
+    mac += other.mac;
+    for (TensorKind t : kAllTensors) {
+        l1_read[t] += other.l1_read[t];
+        l1_write[t] += other.l1_write[t];
+        l2_read[t] += other.l2_read[t];
+        l2_write[t] += other.l2_write[t];
+    }
+    noc += other.noc;
+    dram += other.dram;
+    return *this;
+}
+
+} // namespace maestro

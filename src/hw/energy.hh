@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Energy model (paper Sec. 4.3 and 5).
+ *
+ * The paper multiplies MAESTRO's activity counts with per-access base
+ * energies obtained from Cacti at 28 nm (2 KiB L1, 1 MiB L2). We ship
+ * an equivalent built-in table with the relative magnitudes used across
+ * the accelerator literature (MAC << L1 << L2 << DRAM) and Cacti-style
+ * sqrt-capacity scaling, normalized to the MAC energy so every
+ * comparison the paper makes (all relative) is preserved. Users can
+ * substitute their own table, mirroring the paper's note that the
+ * energy model "can be replaced by any other energy model based on
+ * such activity counts (e.g., Accelergy)".
+ */
+
+#ifndef MAESTRO_HW_ENERGY_HH
+#define MAESTRO_HW_ENERGY_HH
+
+#include "src/common/math_util.hh"
+#include "src/core/dims.hh"
+
+namespace maestro
+{
+
+/**
+ * Per-access energies in units of one MAC operation.
+ */
+struct EnergyTable
+{
+    double mac = 1.0;          ///< one multiply-accumulate
+    double l1_read = 1.68;     ///< L1 scratchpad read (at ref capacity)
+    double l1_write = 1.68;    ///< L1 scratchpad write
+    double l2_read = 18.6;     ///< L2 scratchpad read (at ref capacity)
+    double l2_write = 18.6;    ///< L2 scratchpad write
+    double noc_hop = 1.0;      ///< moving one element one NoC hop
+    double dram = 200.0;       ///< DRAM access
+
+    /** Reference capacities the L1/L2 numbers were taken at. */
+    Count l1_ref_bytes = 2048;
+    Count l2_ref_bytes = 1 << 20;
+};
+
+/**
+ * Activity-count-based energy model with capacity scaling.
+ */
+class EnergyModel
+{
+  public:
+    /** Uses the built-in 28 nm-flavoured table. */
+    EnergyModel() = default;
+
+    /** Uses a custom table. */
+    explicit EnergyModel(EnergyTable table);
+
+    /** The table in use. */
+    const EnergyTable &table() const { return table_; }
+
+    /** Energy of one MAC. */
+    double macEnergy() const { return table_.mac; }
+
+    /**
+     * L1 read/write energy scaled to the configured capacity
+     * (Cacti-style sqrt scaling from the reference point).
+     */
+    double l1ReadEnergy(Count l1_bytes) const;
+    double l1WriteEnergy(Count l1_bytes) const;
+
+    /** L2 read/write energy scaled to the configured capacity. */
+    double l2ReadEnergy(Count l2_bytes) const;
+    double l2WriteEnergy(Count l2_bytes) const;
+
+    /** Energy to move one element across the NoC (per avg hop). */
+    double nocEnergy(double avg_hops) const;
+
+    /** DRAM access energy per element. */
+    double dramEnergy() const { return table_.dram; }
+
+  private:
+    static double scale(Count bytes, Count ref_bytes);
+
+    EnergyTable table_;
+};
+
+/**
+ * Energy breakdown of one analyzed layer, in MAC-energy units,
+ * keyed the way paper Fig. 12 plots it.
+ */
+struct EnergyBreakdown
+{
+    double mac = 0.0;
+    TensorMap<double> l1_read;
+    TensorMap<double> l1_write;
+    TensorMap<double> l2_read;
+    TensorMap<double> l2_write;
+    double noc = 0.0;
+    double dram = 0.0;
+
+    /** Sum over all components. */
+    double total() const;
+
+    /** Sum of the L1 components. */
+    double l1Total() const;
+
+    /** Sum of the L2 components. */
+    double l2Total() const;
+
+    /** Element-wise accumulation. */
+    EnergyBreakdown &operator+=(const EnergyBreakdown &other);
+};
+
+} // namespace maestro
+
+#endif // MAESTRO_HW_ENERGY_HH

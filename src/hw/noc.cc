@@ -1,0 +1,47 @@
+#include "src/hw/noc.hh"
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+
+NocModel::NocModel(double bandwidth, double avg_latency)
+    : bandwidth_(bandwidth), avg_latency_(avg_latency)
+{
+    fatalIf(bandwidth <= 0.0, "NoC bandwidth must be positive");
+    fatalIf(avg_latency < 0.0, "NoC latency must be non-negative");
+}
+
+double
+NocModel::delay(double volume) const
+{
+    if (volume <= 0.0)
+        return 0.0;
+    return volume / bandwidth_ + avg_latency_;
+}
+
+NocModel
+NocModel::bus(double bandwidth)
+{
+    return {bandwidth, 1.0};
+}
+
+NocModel
+NocModel::crossbar(Count ports, double per_port_bandwidth)
+{
+    return {static_cast<double>(ports) * per_port_bandwidth, 1.0};
+}
+
+NocModel
+NocModel::mesh(Count n)
+{
+    return {static_cast<double>(n), static_cast<double>(n)};
+}
+
+NocModel
+NocModel::hierarchicalBus(double channel_bandwidth)
+{
+    return {3.0 * channel_bandwidth, 2.0};
+}
+
+} // namespace maestro

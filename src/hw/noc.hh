@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Analytical network-on-chip model (paper Sec. 4.2).
+ *
+ * MAESTRO models any interconnect as a pipe with two parameters: the
+ * pipe width (bandwidth, data elements per cycle) and the pipe length
+ * (average latency, cycles). Pipelining is implicit: transferring V
+ * elements costs V / bandwidth + latency cycles. Preset constructors
+ * capture the guidance from the paper: a bus or crossbar is exact; an
+ * N x N mesh injected at a corner has bisection bandwidth N and
+ * average latency N; a hierarchical bus with dedicated channels per
+ * tensor triples the top-level bandwidth.
+ */
+
+#ifndef MAESTRO_HW_NOC_HH
+#define MAESTRO_HW_NOC_HH
+
+#include "src/common/math_util.hh"
+
+namespace maestro
+{
+
+/**
+ * The pipe NoC model: bandwidth plus average latency.
+ */
+class NocModel
+{
+  public:
+    /** Default: a unit-width, unit-latency pipe. */
+    NocModel() = default;
+
+    /**
+     * @param bandwidth Elements per cycle the pipe carries.
+     * @param avg_latency Average traversal latency in cycles.
+     */
+    NocModel(double bandwidth, double avg_latency);
+
+    /** Elements per cycle. */
+    double bandwidth() const { return bandwidth_; }
+
+    /** Average traversal latency in cycles. */
+    double avgLatency() const { return avg_latency_; }
+
+    /**
+     * Cycles to deliver a volume of elements (pipelined).
+     *
+     * @param volume Elements to transfer (>= 0).
+     * @return volume / bandwidth + avg_latency, or 0 for zero volume.
+     */
+    double delay(double volume) const;
+
+    /** A single bus of the given width. */
+    static NocModel bus(double bandwidth);
+
+    /**
+     * A crossbar: full bandwidth per port, single-cycle arbitration.
+     *
+     * @param ports Port count; aggregate bandwidth equals ports x
+     *              per-port width.
+     */
+    static NocModel crossbar(Count ports, double per_port_bandwidth);
+
+    /**
+     * An n x n 2D mesh injected from a corner: bisection bandwidth n,
+     * average latency n (paper Sec. 4.2).
+     */
+    static NocModel mesh(Count n);
+
+    /**
+     * Eyeriss-style two-level hierarchical bus with dedicated channels
+     * for the three tensors: 3x the channel bandwidth, 2-cycle average
+     * latency (one per bus level).
+     */
+    static NocModel hierarchicalBus(double channel_bandwidth);
+
+  private:
+    double bandwidth_ = 1.0;
+    double avg_latency_ = 1.0;
+};
+
+} // namespace maestro
+
+#endif // MAESTRO_HW_NOC_HH

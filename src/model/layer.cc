@@ -1,0 +1,209 @@
+#include "src/model/layer.hh"
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+
+const std::string &
+opTypeName(OpType type)
+{
+    static const std::array<std::string, 5> names = {
+        "CONV2D", "DWCONV", "PWCONV", "FC", "TRCONV",
+    };
+    return names[static_cast<std::size_t>(type)];
+}
+
+OpType
+parseOpType(const std::string &name)
+{
+    if (name == "CONV2D" || name == "CONV")
+        return OpType::Conv2D;
+    if (name == "DWCONV" || name == "DSCONV")
+        return OpType::DepthwiseConv;
+    if (name == "PWCONV")
+        return OpType::PointwiseConv;
+    if (name == "FC" || name == "GEMM" || name == "LSTM")
+        return OpType::FullyConnected;
+    if (name == "TRCONV")
+        return OpType::TransposedConv;
+    throw Error(msg("unknown operator type '", name, "'"));
+}
+
+const std::string &
+operatorClassName(OperatorClass cls)
+{
+    static const std::array<std::string, kNumOperatorClasses> names = {
+        "early-conv", "late-conv", "point-wise", "depth-wise",
+        "fully-connected", "transposed",
+    };
+    return names[static_cast<std::size_t>(cls)];
+}
+
+Layer::Layer(std::string name, OpType type, DimMap<Count> dims)
+    : name_(std::move(name)), type_(type), dims_(dims)
+{
+}
+
+Layer &
+Layer::stride(Count s)
+{
+    stride_ = s;
+    return *this;
+}
+
+Layer &
+Layer::padding(Count p)
+{
+    pad_ = p;
+    return *this;
+}
+
+Layer &
+Layer::groups(Count g)
+{
+    groups_ = g;
+    return *this;
+}
+
+Layer &
+Layer::inputDensity(double d)
+{
+    input_density_ = d;
+    return *this;
+}
+
+Layer &
+Layer::weightDensity(double d)
+{
+    weight_density_ = d;
+    return *this;
+}
+
+Count
+Layer::effectiveDim(Dim d) const
+{
+    if (d != Dim::Y && d != Dim::X)
+        return dims_[d];
+    Count raw = dims_[d];
+    if (type_ == OpType::TransposedConv) {
+        // Zero-insertion upsampling: stride_ - 1 zeros between samples.
+        raw = (raw - 1) * stride_ + 1;
+    }
+    return raw + 2 * pad_;
+}
+
+DimMap<Count>
+Layer::effectiveDims() const
+{
+    DimMap<Count> out;
+    for (Dim d : kAllDims)
+        out[d] = effectiveDim(d);
+    return out;
+}
+
+Count
+Layer::outputY() const
+{
+    const Count conv_stride =
+        type_ == OpType::TransposedConv ? 1 : stride_;
+    return convOutputs(effectiveDim(Dim::Y), dims_[Dim::R], conv_stride);
+}
+
+Count
+Layer::outputX() const
+{
+    const Count conv_stride =
+        type_ == OpType::TransposedConv ? 1 : stride_;
+    return convOutputs(effectiveDim(Dim::X), dims_[Dim::S], conv_stride);
+}
+
+double
+Layer::macs() const
+{
+    const double k = type_ == OpType::DepthwiseConv
+                         ? 1.0
+                         : static_cast<double>(dims_[Dim::K]);
+    double count = static_cast<double>(dims_[Dim::N]) * k *
+                   static_cast<double>(dims_[Dim::C]) *
+                   static_cast<double>(outputY()) *
+                   static_cast<double>(outputX()) *
+                   static_cast<double>(dims_[Dim::R]) *
+                   static_cast<double>(dims_[Dim::S]);
+    return count * input_density_ * weight_density_;
+}
+
+double
+Layer::totalMacs() const
+{
+    return macs() * static_cast<double>(groups_);
+}
+
+Count
+Layer::tensorVolume(TensorKind tensor) const
+{
+    const bool depthwise = type_ == OpType::DepthwiseConv;
+    switch (tensor) {
+      case TensorKind::Weight:
+        return (depthwise ? 1 : dims_[Dim::K]) * dims_[Dim::C] *
+               dims_[Dim::R] * dims_[Dim::S];
+      case TensorKind::Input:
+        return dims_[Dim::N] * dims_[Dim::C] * dims_[Dim::Y] *
+               dims_[Dim::X];
+      case TensorKind::Output:
+        return dims_[Dim::N] * (depthwise ? dims_[Dim::C] : dims_[Dim::K]) *
+               outputY() * outputX();
+    }
+    panicIf(true, "unreachable tensor kind");
+    return 0;
+}
+
+OperatorClass
+Layer::operatorClass() const
+{
+    switch (type_) {
+      case OpType::DepthwiseConv:
+        return OperatorClass::Depthwise;
+      case OpType::PointwiseConv:
+        return OperatorClass::Pointwise;
+      case OpType::FullyConnected:
+        return OperatorClass::FullyConnected;
+      case OpType::TransposedConv:
+        return OperatorClass::Transposed;
+      case OpType::Conv2D:
+        if (dims_[Dim::R] == 1 && dims_[Dim::S] == 1)
+            return OperatorClass::Pointwise;
+        // Paper footnote 2: if C > Y, late layer; else early layer.
+        return dims_[Dim::C] > dims_[Dim::Y] ? OperatorClass::LateConv
+                                             : OperatorClass::EarlyConv;
+    }
+    panicIf(true, "unreachable operator type");
+    return OperatorClass::EarlyConv;
+}
+
+void
+Layer::validate() const
+{
+    for (Dim d : kAllDims) {
+        fatalIf(dims_[d] <= 0, msg("layer ", name_, ": dimension ",
+                                   dimName(d), " must be positive, got ",
+                                   dims_[d]));
+    }
+    fatalIf(stride_ <= 0, msg("layer ", name_, ": stride must be positive"));
+    fatalIf(pad_ < 0, msg("layer ", name_, ": padding must be >= 0"));
+    fatalIf(groups_ <= 0, msg("layer ", name_, ": groups must be positive"));
+    fatalIf(input_density_ <= 0.0 || input_density_ > 1.0,
+            msg("layer ", name_, ": input density must be in (0, 1]"));
+    fatalIf(weight_density_ <= 0.0 || weight_density_ > 1.0,
+            msg("layer ", name_, ": weight density must be in (0, 1]"));
+    fatalIf(effectiveDim(Dim::Y) < dims_[Dim::R] ||
+                effectiveDim(Dim::X) < dims_[Dim::S],
+            msg("layer ", name_,
+                ": filter does not fit in the padded input"));
+    if (type_ == OpType::PointwiseConv) {
+        fatalIf(dims_[Dim::R] != 1 || dims_[Dim::S] != 1,
+                msg("layer ", name_, ": point-wise layer requires R=S=1"));
+    }
+}
+
+} // namespace maestro

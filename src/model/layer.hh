@@ -1,0 +1,196 @@
+/**
+ * @file
+ * DNN layer descriptor.
+ *
+ * A layer carries the seven dimension extents of paper Fig. 1 plus the
+ * operator type, stride, padding, grouping, and density information the
+ * analysis engines need. The extents N/K/C/Y/X/R/S describe the
+ * *unpadded* input space; effective (padded / upsampled) extents are
+ * exposed through accessors so every engine sees one consistent
+ * iteration space.
+ */
+
+#ifndef MAESTRO_MODEL_LAYER_HH
+#define MAESTRO_MODEL_LAYER_HH
+
+#include <string>
+
+#include "src/core/dims.hh"
+
+namespace maestro
+{
+
+/** Operator types supported by the model (paper Sec. 4.4 and Table 4). */
+enum class OpType : std::uint8_t
+{
+    Conv2D,         ///< dense 2D convolution
+    DepthwiseConv,  ///< depth-wise convolution (output coupled to C, not K)
+    PointwiseConv,  ///< 1x1 convolution (no R/S parallelism or conv reuse)
+    FullyConnected, ///< fully-connected layer / GEMM
+    TransposedConv, ///< transposed (up-scaling) convolution
+};
+
+/** Short name ("CONV2D", "DWCONV", ...) of an operator type. */
+const std::string &opTypeName(OpType type);
+
+/** Parses an operator type name as used in the DSL frontend. */
+OpType parseOpType(const std::string &name);
+
+/**
+ * Operator classes of paper Table 4, used for per-class aggregation in
+ * the Fig. 10 reproduction and by the adaptive dataflow selector.
+ */
+enum class OperatorClass : std::uint8_t
+{
+    EarlyConv,      ///< CONV2D with wide activation, shallow channels
+    LateConv,       ///< CONV2D with narrow activation, deep channels
+    Pointwise,      ///< 1x1 convolution
+    Depthwise,      ///< depth-wise convolution
+    FullyConnected, ///< FC / GEMM
+    Transposed,     ///< transposed convolution
+};
+
+/** Number of OperatorClass enumerators. */
+inline constexpr std::size_t kNumOperatorClasses = 6;
+
+/** All operator classes in canonical order. */
+inline constexpr std::array<OperatorClass, kNumOperatorClasses>
+    kAllOperatorClasses = {
+        OperatorClass::EarlyConv,  OperatorClass::LateConv,
+        OperatorClass::Pointwise,  OperatorClass::Depthwise,
+        OperatorClass::FullyConnected, OperatorClass::Transposed,
+};
+
+/** Display name of an operator class. */
+const std::string &operatorClassName(OperatorClass cls);
+
+/**
+ * A single DNN layer.
+ *
+ * Construct via the named-parameter style setters and finish with
+ * validate(), or use the LayerBuilder-style factory functions in zoo.hh.
+ */
+class Layer
+{
+  public:
+    /**
+     * Creates a layer.
+     *
+     * @param name Unique name within its network (e.g., "CONV2").
+     * @param type Operator type.
+     * @param dims Extents of all seven dimensions (unpadded input
+     *             space). FC layers use Y=R and X=S.
+     */
+    Layer(std::string name, OpType type, DimMap<Count> dims);
+
+    /** Sets the convolution stride (default 1). @return *this. */
+    Layer &stride(Count s);
+
+    /** Sets symmetric zero padding (default 0). @return *this. */
+    Layer &padding(Count p);
+
+    /**
+     * Sets the group count for grouped convolutions (default 1).
+     *
+     * The stored K and C extents are the *per-group* extents; the
+     * analyzer multiplies runtime and counts by the group count.
+     * @return *this.
+     */
+    Layer &groups(Count g);
+
+    /**
+     * Sets uniform input-activation density in (0, 1] (default 1).
+     *
+     * Models the uniformly distributed sparsity the paper supports
+     * (Sec. 4.4); a transposed convolution's zero-inserted input is the
+     * canonical user.
+     * @return *this.
+     */
+    Layer &inputDensity(double d);
+
+    /** Sets uniform weight density in (0, 1] (default 1). @return *this. */
+    Layer &weightDensity(double d);
+
+    /** Layer name. */
+    const std::string &name() const { return name_; }
+
+    /** Operator type. */
+    OpType type() const { return type_; }
+
+    /** Raw (unpadded) extent of a dimension. */
+    Count dim(Dim d) const { return dims_[d]; }
+
+    /** Convolution stride. */
+    Count strideVal() const { return stride_; }
+
+    /** Symmetric padding. */
+    Count paddingVal() const { return pad_; }
+
+    /** Group count. */
+    Count groupsVal() const { return groups_; }
+
+    /** Input density in (0, 1]. */
+    double inputDensityVal() const { return input_density_; }
+
+    /** Weight density in (0, 1]. */
+    double weightDensityVal() const { return weight_density_; }
+
+    /**
+     * Effective extent of a dimension as seen by the mapping engines.
+     *
+     * Y and X include padding (and zero-insertion upsampling for
+     * transposed convolutions); other dimensions are returned as-is.
+     */
+    Count effectiveDim(Dim d) const;
+
+    /** Effective extents of all seven dimensions. */
+    DimMap<Count> effectiveDims() const;
+
+    /** Output rows Y' derived from the effective input extent. */
+    Count outputY() const;
+
+    /** Output columns X' derived from the effective input extent. */
+    Count outputX() const;
+
+    /**
+     * Algorithmic multiply-accumulate count of one group, after density
+     * discounts. The whole-layer count is this times groupsVal().
+     */
+    double macs() const;
+
+    /** Whole-layer MAC count across all groups. */
+    double totalMacs() const;
+
+    /**
+     * Number of elements of a tensor for one group.
+     *
+     * Depth-wise convolutions couple the output to C instead of K
+     * (paper Sec. 4.1), which this accounting follows.
+     */
+    Count tensorVolume(TensorKind tensor) const;
+
+    /**
+     * Table-4 operator class.
+     *
+     * CONV2D splits into early/late by the paper's footnote rule:
+     * late when C > Y, early otherwise.
+     */
+    OperatorClass operatorClass() const;
+
+    /** Throws Error if any extent or parameter is out of domain. */
+    void validate() const;
+
+  private:
+    std::string name_;
+    OpType type_;
+    DimMap<Count> dims_;
+    Count stride_ = 1;
+    Count pad_ = 0;
+    Count groups_ = 1;
+    double input_density_ = 1.0;
+    double weight_density_ = 1.0;
+};
+
+} // namespace maestro
+
+#endif // MAESTRO_MODEL_LAYER_HH

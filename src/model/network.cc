@@ -1,0 +1,56 @@
+#include "src/model/network.hh"
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+
+Network::Network(std::string name)
+    : name_(std::move(name))
+{
+}
+
+std::size_t
+Network::addLayer(Layer layer)
+{
+    layer.validate();
+    for (const auto &existing : layers_) {
+        fatalIf(existing.name() == layer.name(),
+                msg("network ", name_, ": duplicate layer name '",
+                    layer.name(), "'"));
+    }
+    layers_.push_back(std::move(layer));
+    return layers_.size() - 1;
+}
+
+void
+Network::addResidualLink(std::size_t from, std::size_t to)
+{
+    fatalIf(from >= layers_.size() || to >= layers_.size(),
+            msg("network ", name_, ": residual link index out of range"));
+    fatalIf(from >= to,
+            msg("network ", name_,
+                ": residual link must go forward (from < to)"));
+    links_.push_back({from, to});
+}
+
+const Layer &
+Network::layer(const std::string &name) const
+{
+    for (const auto &l : layers_) {
+        if (l.name() == name)
+            return l;
+    }
+    throw Error(msg("network ", name_, ": no layer named '", name, "'"));
+}
+
+double
+Network::totalMacs() const
+{
+    double total = 0.0;
+    for (const auto &l : layers_)
+        total += l.totalMacs();
+    return total;
+}
+
+} // namespace maestro

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Network: an ordered collection of layers plus residual-link metadata.
+ *
+ * Residual links (paper Table 4) are not compute layers; they add extra
+ * global-buffer traffic for re-fetching an earlier layer's activation.
+ * The analyzer charges that traffic when asked for whole-network cost.
+ */
+
+#ifndef MAESTRO_MODEL_NETWORK_HH
+#define MAESTRO_MODEL_NETWORK_HH
+
+#include <string>
+#include <vector>
+
+#include "src/model/layer.hh"
+
+namespace maestro
+{
+
+/**
+ * A skip connection from one layer's output to another layer's input
+ * (ResNet-style). Indices are into Network's layer list.
+ */
+struct ResidualLink
+{
+    std::size_t from; ///< producer layer index
+    std::size_t to;   ///< consumer layer index
+};
+
+/**
+ * An ordered list of layers forming a DNN model.
+ */
+class Network
+{
+  public:
+    /** Creates an empty network with the given name. */
+    explicit Network(std::string name);
+
+    /** Network name (e.g., "VGG16"). */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Appends a layer (validated on insertion).
+     *
+     * @return Index of the new layer.
+     * @throws Error if the layer fails validation or duplicates a name.
+     */
+    std::size_t addLayer(Layer layer);
+
+    /**
+     * Records a residual link between two existing layers.
+     *
+     * @throws Error if either index is out of range or from >= to.
+     */
+    void addResidualLink(std::size_t from, std::size_t to);
+
+    /** All layers in execution order. */
+    const std::vector<Layer> &layers() const { return layers_; }
+
+    /** All residual links. */
+    const std::vector<ResidualLink> &residualLinks() const
+    {
+        return links_;
+    }
+
+    /**
+     * Finds a layer by name.
+     *
+     * @throws Error if no layer has the given name.
+     */
+    const Layer &layer(const std::string &name) const;
+
+    /** Total MAC count across all layers (after grouping/density). */
+    double totalMacs() const;
+
+  private:
+    std::string name_;
+    std::vector<Layer> layers_;
+    std::vector<ResidualLink> links_;
+};
+
+} // namespace maestro
+
+#endif // MAESTRO_MODEL_NETWORK_HH

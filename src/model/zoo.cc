@@ -1,0 +1,341 @@
+#include "src/model/zoo.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+namespace zoo
+{
+
+namespace
+{
+
+/** Builds the 7-dim extent map for a spatial (conv-style) layer. */
+DimMap<Count>
+convDims(Count k, Count c, Count y, Count x, Count r, Count s, Count n = 1)
+{
+    DimMap<Count> dims;
+    dims[Dim::N] = n;
+    dims[Dim::K] = k;
+    dims[Dim::C] = c;
+    dims[Dim::Y] = y;
+    dims[Dim::X] = x;
+    dims[Dim::R] = r;
+    dims[Dim::S] = s;
+    return dims;
+}
+
+/** A dense square conv layer. */
+Layer
+conv(const std::string &name, Count k, Count c, Count hw, Count rs,
+     Count stride = 1, Count pad = 0)
+{
+    const OpType type = rs == 1 ? OpType::PointwiseConv : OpType::Conv2D;
+    Layer l(name, type, convDims(k, c, hw, hw, rs, rs));
+    l.stride(stride).padding(pad);
+    return l;
+}
+
+/** A depth-wise square conv layer over c channels. */
+Layer
+dwconv(const std::string &name, Count c, Count hw, Count rs,
+       Count stride = 1, Count pad = 0)
+{
+    Layer l(name, OpType::DepthwiseConv, convDims(1, c, hw, hw, rs, rs));
+    l.stride(stride).padding(pad);
+    return l;
+}
+
+/** A fully-connected layer: K outputs from C inputs (Y=X=R=S=1). */
+Layer
+fc(const std::string &name, Count k, Count c)
+{
+    return Layer(name, OpType::FullyConnected, convDims(k, c, 1, 1, 1, 1));
+}
+
+/** A square transposed conv: upsamples hw by `stride`. */
+Layer
+trconv(const std::string &name, Count k, Count c, Count hw, Count rs,
+       Count stride, Count pad)
+{
+    Layer l(name, OpType::TransposedConv, convDims(k, c, hw, hw, rs, rs));
+    // A transposed conv with framework padding p is an ordinary conv
+    // over the zero-inserted input with effective padding (rs - 1 - p).
+    l.stride(stride).padding(rs - 1 - pad);
+    // Zero-insertion makes only ~1/stride^2 of the upsampled input
+    // non-zero; model it as uniform input sparsity (paper Sec. 4.4).
+    const double up = static_cast<double>(stride);
+    l.inputDensity(1.0 / (up * up));
+    return l;
+}
+
+} // namespace
+
+Network
+vgg16()
+{
+    Network net("VGG16");
+    struct Cfg { const char *name; Count k, c, hw; };
+    const Cfg cfgs[] = {
+        {"CONV1", 64, 3, 224},    {"CONV2", 64, 64, 224},
+        {"CONV3", 128, 64, 112},  {"CONV4", 128, 128, 112},
+        {"CONV5", 256, 128, 56},  {"CONV6", 256, 256, 56},
+        {"CONV7", 256, 256, 56},  {"CONV8", 512, 256, 28},
+        {"CONV9", 512, 512, 28},  {"CONV10", 512, 512, 28},
+        {"CONV11", 512, 512, 14}, {"CONV12", 512, 512, 14},
+        {"CONV13", 512, 512, 14},
+    };
+    for (const auto &c : cfgs)
+        net.addLayer(conv(c.name, c.k, c.c, c.hw, 3, 1, 1));
+    net.addLayer(fc("FC1", 4096, 25088));
+    net.addLayer(fc("FC2", 4096, 4096));
+    net.addLayer(fc("FC3", 1000, 4096));
+    return net;
+}
+
+Network
+alexnet()
+{
+    Network net("AlexNet");
+    net.addLayer(conv("CONV1", 96, 3, 227, 11, 4, 0));
+    net.addLayer(conv("CONV2", 256, 96, 27, 5, 1, 2));
+    net.addLayer(conv("CONV3", 384, 256, 13, 3, 1, 1));
+    net.addLayer(conv("CONV4", 384, 384, 13, 3, 1, 1));
+    net.addLayer(conv("CONV5", 256, 384, 13, 3, 1, 1));
+    net.addLayer(fc("FC1", 4096, 9216));
+    net.addLayer(fc("FC2", 4096, 4096));
+    net.addLayer(fc("FC3", 1000, 4096));
+    return net;
+}
+
+namespace
+{
+
+/**
+ * Appends one ResNet/ResNeXt bottleneck (1x1 reduce, 3x3, 1x1 expand)
+ * plus the identity/projection residual link.
+ *
+ * @param mid_groups Group count of the middle 3x3 conv (1 for ResNet,
+ *                   32 for ResNeXt); mid channels are per-group inside.
+ */
+void
+addBottleneck(Network &net, const std::string &prefix, Count in_c,
+              Count mid_c, Count out_c, Count hw, Count stride,
+              Count mid_groups)
+{
+    const std::size_t first =
+        net.addLayer(conv(prefix + "_1x1a", mid_c, in_c, hw, 1));
+    const Count out_hw = (hw + 2 - 3) / stride + 1; // 3x3 pad 1
+    if (mid_groups == 1) {
+        net.addLayer(conv(prefix + "_3x3", mid_c, mid_c, hw, 3, stride, 1));
+    } else {
+        Layer grouped(prefix + "_3x3", OpType::Conv2D,
+                      convDims(mid_c / mid_groups, mid_c / mid_groups, hw,
+                               hw, 3, 3));
+        grouped.stride(stride).padding(1).groups(mid_groups);
+        net.addLayer(grouped);
+    }
+    const std::size_t last =
+        net.addLayer(conv(prefix + "_1x1b", out_c, mid_c, out_hw, 1));
+    net.addResidualLink(first, last);
+}
+
+/** Shared stage structure of ResNet50 / ResNeXt50. */
+Network
+residualNet(const std::string &name, Count width_factor, Count mid_groups)
+{
+    Network net(name);
+    net.addLayer(conv("CONV1", 64, 3, 224, 7, 2, 3));
+    struct Stage { Count mid, out, hw, blocks; };
+    const Stage stages[] = {
+        {64, 256, 56, 3},
+        {128, 512, 28, 4},
+        {256, 1024, 14, 6},
+        {512, 2048, 7, 3},
+    };
+    Count in_c = 64;
+    int stage_id = 2;
+    for (const auto &st : stages) {
+        for (Count b = 0; b < st.blocks; ++b) {
+            const std::string prefix =
+                msg("S", stage_id, "B", b + 1);
+            // The first block of stages 3-5 downsamples spatially; we
+            // fold the downsample into the residing feature-map size,
+            // so all blocks here run at the stage's output resolution.
+            addBottleneck(net, prefix, in_c, st.mid * width_factor,
+                          st.out, st.hw, 1, mid_groups);
+            in_c = st.out;
+        }
+        ++stage_id;
+    }
+    net.addLayer(fc("FC1000", 1000, 2048));
+    return net;
+}
+
+} // namespace
+
+Network
+resnet50()
+{
+    return residualNet("ResNet50", 1, 1);
+}
+
+Network
+resnext50()
+{
+    // ResNeXt50 32x4d: middle conv has 2x the channels of ResNet50,
+    // split into 32 groups of 4d.
+    return residualNet("ResNeXt50", 2, 32);
+}
+
+Network
+mobilenetV2()
+{
+    Network net("MobileNetV2");
+    net.addLayer(conv("CONV1", 32, 3, 224, 3, 2, 1));
+    struct Block { Count t, c, n, s; };
+    // (expansion t, output channels c, repeats n, first stride s)
+    const Block blocks[] = {
+        {1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+        {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+    };
+    Count in_c = 32;
+    Count hw = 112;
+    int block_id = 1;
+    for (const auto &blk : blocks) {
+        for (Count rep = 0; rep < blk.n; ++rep) {
+            const Count stride = rep == 0 ? blk.s : 1;
+            const Count expanded = in_c * blk.t;
+            const std::string prefix = msg("B", block_id);
+            std::size_t first = 0;
+            bool have_first = false;
+            if (blk.t != 1) {
+                first = net.addLayer(
+                    conv(prefix + "_expand", expanded, in_c, hw, 1));
+                have_first = true;
+            }
+            const Count out_hw = stride == 2 ? (hw + 1) / 2 : hw;
+            net.addLayer(
+                dwconv(prefix + "_dw", expanded, hw, 3, stride, 1));
+            const std::size_t last = net.addLayer(
+                conv(prefix + "_project", blk.c, expanded, out_hw, 1));
+            if (have_first && stride == 1 && in_c == blk.c)
+                net.addResidualLink(first, last);
+            in_c = blk.c;
+            hw = out_hw;
+            ++block_id;
+        }
+    }
+    net.addLayer(conv("CONV_LAST", 1280, 320, 7, 1));
+    net.addLayer(fc("FC1000", 1000, 1280));
+    return net;
+}
+
+Network
+unet()
+{
+    Network net("UNet");
+    // Contracting path: unpadded 3x3 convs, 2x2 max-pool between levels.
+    struct Down { Count c_in, c_out, hw; };
+    const Down downs[] = {
+        {1, 64, 572},   {64, 64, 570},
+        {64, 128, 284}, {128, 128, 282},
+        {128, 256, 140},{256, 256, 138},
+        {256, 512, 68}, {512, 512, 66},
+        {512, 1024, 32},{1024, 1024, 30},
+    };
+    int idx = 1;
+    for (const auto &d : downs) {
+        net.addLayer(
+            conv(msg("DOWN", idx), d.c_out, d.c_in, d.hw, 3, 1, 0));
+        ++idx;
+    }
+    // Expanding path: 2x2 transposed convs + two unpadded 3x3 convs.
+    struct Up { Count c_in, c_out, up_hw, conv_hw; };
+    const Up ups[] = {
+        {1024, 512, 28, 56},
+        {512, 256, 52, 104},
+        {256, 128, 100, 200},
+        {128, 64, 196, 392},
+    };
+    idx = 1;
+    for (const auto &u : ups) {
+        net.addLayer(trconv(msg("UPCONV", idx), u.c_out, u.c_in, u.up_hw,
+                            2, 2, 0));
+        net.addLayer(conv(msg("UP", idx, "A"), u.c_out, u.c_in,
+                          u.conv_hw, 3, 1, 0));
+        net.addLayer(conv(msg("UP", idx, "B"), u.c_out, u.c_out,
+                          u.conv_hw - 2, 3, 1, 0));
+        ++idx;
+    }
+    net.addLayer(conv("OUT1x1", 2, 64, 388, 1));
+    return net;
+}
+
+Network
+dcgan()
+{
+    Network net("DCGAN");
+    net.addLayer(trconv("TRCONV1", 1024, 100, 1, 4, 4, 0));
+    net.addLayer(trconv("TRCONV2", 512, 1024, 4, 4, 2, 1));
+    net.addLayer(trconv("TRCONV3", 256, 512, 8, 4, 2, 1));
+    net.addLayer(trconv("TRCONV4", 128, 256, 16, 4, 2, 1));
+    net.addLayer(trconv("TRCONV5", 3, 128, 32, 4, 2, 1));
+    return net;
+}
+
+Network
+lstm(Count hidden, Count input, Count seq_len)
+{
+    Network net(msg("LSTM-h", hidden));
+    const char *gates[] = {"GATE_I", "GATE_F", "GATE_G", "GATE_O"};
+    for (const char *gate : gates) {
+        Layer l(gate, OpType::FullyConnected,
+                convDims(hidden, hidden + input, 1, 1, 1, 1, seq_len));
+        net.addLayer(std::move(l));
+    }
+    return net;
+}
+
+std::vector<Network>
+figure10Models()
+{
+    std::vector<Network> models;
+    models.push_back(resnet50());
+    models.push_back(vgg16());
+    models.push_back(resnext50());
+    models.push_back(mobilenetV2());
+    models.push_back(unet());
+    return models;
+}
+
+Network
+byName(const std::string &name)
+{
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    if (lower == "vgg16")
+        return vgg16();
+    if (lower == "alexnet")
+        return alexnet();
+    if (lower == "resnet50")
+        return resnet50();
+    if (lower == "resnext50")
+        return resnext50();
+    if (lower == "mobilenetv2")
+        return mobilenetV2();
+    if (lower == "unet")
+        return unet();
+    if (lower == "dcgan")
+        return dcgan();
+    if (lower == "lstm")
+        return lstm(1024, 1024, 32);
+    throw Error(msg("unknown zoo model '", name, "'"));
+}
+
+} // namespace zoo
+} // namespace maestro

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Built-in DNN models used throughout the paper's evaluation (Sec. 5):
+ * VGG16, AlexNet, ResNet50, ResNeXt50 (32x4d), MobileNetV2, UNet, and
+ * the DCGAN generator (source of Table 4's transposed convolutions).
+ *
+ * All models use batch size 1, matching the paper's per-layer studies.
+ * Grouped convolutions store per-group channel extents with the group
+ * count carried in Layer::groupsVal() (see layer.hh).
+ */
+
+#ifndef MAESTRO_MODEL_ZOO_HH
+#define MAESTRO_MODEL_ZOO_HH
+
+#include "src/model/network.hh"
+
+namespace maestro
+{
+namespace zoo
+{
+
+/** VGG16 [Simonyan & Zisserman]: 13 convs + 3 FC, 224x224 input. */
+Network vgg16();
+
+/** AlexNet (Eyeriss validation target): 5 convs + 3 FC, 227x227 input. */
+Network alexnet();
+
+/** ResNet50 [He et al.]: stem + 16 bottlenecks + FC, residual links. */
+Network resnet50();
+
+/** ResNeXt50 32x4d [Xie et al.]: grouped 3x3 bottlenecks. */
+Network resnext50();
+
+/** MobileNetV2 [Sandler et al.]: inverted residuals, DW/PW convs. */
+Network mobilenetV2();
+
+/** UNet [Ronneberger et al.]: 572x572 segmentation, transposed convs. */
+Network unet();
+
+/** DCGAN generator [Radford et al.]: transposed convolutions only. */
+Network dcgan();
+
+/**
+ * An LSTM hidden layer as the paper's Sec. 4.4 supports it: the four
+ * gate GEMMs, each K=hidden outputs from C=(hidden+input) features,
+ * with the sequence length carried in the batch dimension N.
+ *
+ * @param hidden Hidden state width.
+ * @param input Input feature width.
+ * @param seq_len Sequence steps (batched into N).
+ */
+Network lstm(Count hidden, Count input, Count seq_len);
+
+/** All models of the Fig. 10 study, in the paper's order. */
+std::vector<Network> figure10Models();
+
+/**
+ * Looks up a zoo model by case-insensitive name
+ * ("vgg16", "alexnet", "resnet50", "resnext50", "mobilenetv2",
+ *  "unet", "dcgan").
+ *
+ * @throws Error for an unknown name.
+ */
+Network byName(const std::string &name);
+
+} // namespace zoo
+} // namespace maestro
+
+#endif // MAESTRO_MODEL_ZOO_HH

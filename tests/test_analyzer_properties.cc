@@ -1,0 +1,240 @@
+/**
+ * @file
+ * End-to-end property tests on the analyzer: invariants that must
+ * hold for every (layer, dataflow, PE count) combination, swept with
+ * parameterized gtest (TEST_P / INSTANTIATE_TEST_SUITE_P).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hh"
+#include "src/core/analyzer.hh"
+#include "src/dataflows/adaptive.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/model/zoo.hh"
+
+namespace maestro
+{
+namespace
+{
+
+struct SweepCase
+{
+    const char *dataflow;
+    const char *model;
+    const char *layer;
+    Count pes;
+};
+
+class AnalyzerSweep : public ::testing::TestWithParam<SweepCase>
+{
+  protected:
+    LayerAnalysis
+    run() const
+    {
+        const SweepCase &sc = GetParam();
+        AcceleratorConfig cfg = AcceleratorConfig::paperStudy();
+        cfg.num_pes = sc.pes;
+        const Network net = zoo::byName(sc.model);
+        return Analyzer(cfg).analyzeLayer(
+            net.layer(sc.layer), dataflows::byName(sc.dataflow));
+    }
+};
+
+TEST_P(AnalyzerSweep, RuntimePositiveAndBoundedBelow)
+{
+    const LayerAnalysis la = run();
+    EXPECT_GT(la.runtime, 0.0);
+    // Cycles x active PEs >= MACs (no free work).
+    EXPECT_GE(la.runtime * la.active_pes, la.total_macs * 0.9);
+}
+
+TEST_P(AnalyzerSweep, UtilizationWithinBounds)
+{
+    const LayerAnalysis la = run();
+    EXPECT_GT(la.utilization, 0.0);
+    EXPECT_LE(la.utilization, 1.0 + 1e-9);
+}
+
+TEST_P(AnalyzerSweep, EveryTensorCrossesDramOnce)
+{
+    const LayerAnalysis la = run();
+    const SweepCase &sc = GetParam();
+    const Network net = zoo::byName(sc.model);
+    const Layer &layer = net.layer(sc.layer);
+    const double groups = static_cast<double>(layer.groupsVal());
+    for (TensorKind t : {TensorKind::Weight, TensorKind::Input}) {
+        const double density = t == TensorKind::Input
+                                   ? layer.inputDensityVal()
+                                   : layer.weightDensityVal();
+        EXPECT_GE(la.cost.dram_reads[t],
+                  static_cast<double>(layer.tensorVolume(t)) * groups *
+                      density * 0.99)
+            << tensorName(t);
+    }
+    EXPECT_NEAR(la.cost.dram_writes[TensorKind::Output],
+                static_cast<double>(
+                    layer.tensorVolume(TensorKind::Output)) *
+                    groups,
+                1.0);
+}
+
+TEST_P(AnalyzerSweep, HierarchyTrafficOrdering)
+{
+    // Register reads >= L1 fills >= unique L2 data (reuse shrinks
+    // traffic toward the top of the hierarchy) for streamed operands.
+    const LayerAnalysis la = run();
+    double l1_reads = 0.0;
+    double l1_writes = 0.0;
+    for (TensorKind t : {TensorKind::Weight, TensorKind::Input}) {
+        l1_reads += la.cost.l1_reads[t];
+        l1_writes += la.cost.l1_writes[t];
+    }
+    EXPECT_GE(l1_reads * 1.01, l1_writes);
+}
+
+TEST_P(AnalyzerSweep, EnergyComponentsNonNegative)
+{
+    const LayerAnalysis la = run();
+    const EnergyBreakdown &e = la.cost.energy;
+    EXPECT_GE(e.mac, 0.0);
+    EXPECT_GE(e.noc, 0.0);
+    EXPECT_GE(e.dram, 0.0);
+    for (TensorKind t : kAllTensors) {
+        EXPECT_GE(e.l1_read[t], 0.0);
+        EXPECT_GE(e.l1_write[t], 0.0);
+        EXPECT_GE(e.l2_read[t], 0.0);
+        EXPECT_GE(e.l2_write[t], 0.0);
+    }
+    EXPECT_GE(la.energy(), la.onchipEnergy());
+}
+
+TEST_P(AnalyzerSweep, BandwidthRequirementFinite)
+{
+    const LayerAnalysis la = run();
+    EXPECT_GE(la.noc_bw_requirement, 0.0);
+    EXPECT_LT(la.noc_bw_requirement, 1e7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayerDataflowSweep, AnalyzerSweep,
+    ::testing::Values(
+        SweepCase{"C-P", "vgg16", "CONV1", 256},
+        SweepCase{"C-P", "vgg16", "CONV11", 64},
+        SweepCase{"X-P", "vgg16", "CONV2", 256},
+        SweepCase{"X-P", "alexnet", "CONV1", 128},
+        SweepCase{"YX-P", "vgg16", "CONV5", 256},
+        SweepCase{"YX-P", "unet", "DOWN1", 256},
+        SweepCase{"YR-P", "vgg16", "CONV11", 168},
+        SweepCase{"YR-P", "alexnet", "CONV2", 168},
+        SweepCase{"YR-P", "mobilenetv2", "B2_dw", 256},
+        SweepCase{"KC-P", "vgg16", "CONV2", 256},
+        SweepCase{"KC-P", "mobilenetv2", "B2_expand", 256},
+        SweepCase{"KC-P", "resnet50", "S3B1_3x3", 512},
+        SweepCase{"KC-P", "resnext50", "S2B1_3x3", 256},
+        SweepCase{"YR-P", "unet", "UPCONV1", 256},
+        SweepCase{"KC-P", "dcgan", "TRCONV2", 256},
+        SweepCase{"X-P", "vgg16", "FC1", 256}),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        const SweepCase &sc = info.param;
+        std::string name = std::string(sc.dataflow) + "_" + sc.model +
+                           "_" + sc.layer + "_p" +
+                           std::to_string(sc.pes);
+        for (char &ch : name) {
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        }
+        return name;
+    });
+
+// ---- Whole-network and adaptive properties. ----
+
+TEST(AnalyzerNetwork, TotalsAreLayerSums)
+{
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const Network net = zoo::alexnet();
+    const NetworkAnalysis na =
+        analyzer.analyzeNetwork(net, dataflows::yrPartitioned());
+    double runtime = 0.0;
+    double macs = 0.0;
+    for (const auto &la : na.layers) {
+        runtime += la.runtime;
+        macs += la.total_macs;
+    }
+    EXPECT_DOUBLE_EQ(na.runtime, runtime);
+    EXPECT_DOUBLE_EQ(na.total_macs, macs);
+    EXPECT_NEAR(macs, net.totalMacs(), 1e-6 * macs);
+}
+
+TEST(AnalyzerNetwork, ClassAggregationCoversEverything)
+{
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const Network net = zoo::mobilenetV2();
+    const NetworkAnalysis na =
+        analyzer.analyzeNetwork(net, dataflows::kcPartitioned());
+    double by_class = 0.0;
+    for (double v : na.runtime_by_class)
+        by_class += v;
+    EXPECT_NEAR(by_class, na.runtime, 1e-6 * na.runtime);
+}
+
+TEST(AnalyzerNetwork, ResidualLinksAddEnergy)
+{
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    Network with_links = zoo::resnet50();
+    // Rebuild the same layers without the links.
+    Network without("ResNet50-nolinks");
+    for (const Layer &l : with_links.layers())
+        without.addLayer(l);
+    const NetworkAnalysis a = analyzer.analyzeNetwork(
+        with_links, dataflows::kcPartitioned());
+    const NetworkAnalysis b =
+        analyzer.analyzeNetwork(without, dataflows::kcPartitioned());
+    EXPECT_GT(a.energy, b.energy);
+    EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+}
+
+TEST(Adaptive, NeverWorseThanAnyFixedDataflow)
+{
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const Network net = zoo::alexnet();
+    const auto flows = dataflows::table3();
+    const NetworkAnalysis adaptive = dataflows::analyzeAdaptive(
+        analyzer, net, flows, dataflows::Objective::Runtime);
+    for (const Dataflow &df : flows) {
+        const NetworkAnalysis fixed = analyzer.analyzeNetwork(net, df);
+        EXPECT_LE(adaptive.runtime, fixed.runtime * (1.0 + 1e-9))
+            << df.name();
+    }
+}
+
+TEST(Adaptive, SelectsPerLayerMinimum)
+{
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const Network net = zoo::alexnet();
+    const auto flows = dataflows::table3();
+    const auto choices = dataflows::selectAdaptive(
+        analyzer, net, flows, dataflows::Objective::Energy);
+    ASSERT_EQ(choices.size(), net.layers().size());
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+        for (const Dataflow &df : flows) {
+            const LayerAnalysis la =
+                analyzer.analyzeLayer(net.layers()[i], df);
+            EXPECT_LE(choices[i].objective_value,
+                      la.onchipEnergy() * (1.0 + 1e-9))
+                << net.layers()[i].name() << " vs " << df.name();
+        }
+    }
+}
+
+TEST(Adaptive, MismatchedDataflowCountRejected)
+{
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const Network net = zoo::alexnet();
+    EXPECT_THROW(analyzer.analyzeNetworkAdaptive(
+                     net, {dataflows::kcPartitioned()}),
+                 Error);
+}
+
+} // namespace
+} // namespace maestro

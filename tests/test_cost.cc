@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the cost analysis engine: conservation laws, buffer
+ * requirements, register-file traffic, and energy consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/analyzer.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/model/zoo.hh"
+
+namespace maestro
+{
+namespace
+{
+
+Layer
+conv(Count k, Count c, Count hw, Count rs, Count stride = 1,
+     Count pad = 0)
+{
+    DimMap<Count> d;
+    d[Dim::N] = 1;
+    d[Dim::K] = k;
+    d[Dim::C] = c;
+    d[Dim::Y] = hw;
+    d[Dim::X] = hw;
+    d[Dim::R] = rs;
+    d[Dim::S] = rs;
+    Layer l("test", OpType::Conv2D, d);
+    l.stride(stride).padding(pad);
+    return l;
+}
+
+LayerAnalysis
+analyze(const Layer &layer, const Dataflow &df,
+        AcceleratorConfig cfg = AcceleratorConfig::paperStudy())
+{
+    return Analyzer(cfg).analyzeLayer(layer, df);
+}
+
+TEST(Cost, DramReadsAtLeastTensorSize)
+{
+    // Every weight/input element must cross DRAM at least once.
+    const Layer layer = conv(32, 32, 28, 3, 1, 1);
+    for (const Dataflow &df : dataflows::table3()) {
+        const LayerAnalysis la = analyze(layer, df);
+        for (TensorKind t : {TensorKind::Weight, TensorKind::Input}) {
+            EXPECT_GE(la.cost.dram_reads[t],
+                      static_cast<double>(layer.tensorVolume(t)) - 1.0)
+                << df.name() << " " << tensorName(t);
+        }
+    }
+}
+
+TEST(Cost, DramWritesEqualOutputs)
+{
+    const Layer layer = conv(32, 32, 28, 3, 1, 1);
+    for (const Dataflow &df : dataflows::table3()) {
+        const LayerAnalysis la = analyze(layer, df);
+        EXPECT_DOUBLE_EQ(
+            la.cost.dram_writes[TensorKind::Output],
+            static_cast<double>(layer.tensorVolume(TensorKind::Output)))
+            << df.name();
+    }
+}
+
+TEST(Cost, L2ReadsAtLeastDramFill)
+{
+    // Data staged in L2 is read out at least once to feed the PEs.
+    const Layer layer = conv(32, 32, 28, 3, 1, 1);
+    for (const Dataflow &df : dataflows::table3()) {
+        const LayerAnalysis la = analyze(layer, df);
+        for (TensorKind t : {TensorKind::Weight, TensorKind::Input}) {
+            EXPECT_GE(la.cost.l2_reads[t],
+                      la.cost.dram_reads[t] * 0.99)
+                << df.name() << " " << tensorName(t);
+        }
+    }
+}
+
+TEST(Cost, L1ReadsAtLeastMacsForStreamedOperands)
+{
+    // Each MAC reads at least its input operand from a register fed
+    // by L1; total L1 reads must be of MAC order.
+    const Layer layer = conv(32, 32, 28, 3, 1, 1);
+    for (const Dataflow &df : dataflows::table3()) {
+        const LayerAnalysis la = analyze(layer, df);
+        double l1_reads = 0.0;
+        for (TensorKind t : kAllTensors)
+            l1_reads += la.cost.l1_reads[t];
+        EXPECT_GE(l1_reads, la.total_macs * 0.9) << df.name();
+        EXPECT_LE(l1_reads, la.total_macs * 3.1) << df.name();
+    }
+}
+
+TEST(Cost, ReuseNeverExceedsAlgorithmicMax)
+{
+    const Layer layer = conv(64, 64, 28, 3, 1, 1);
+    for (const Dataflow &df : dataflows::table3()) {
+        const LayerAnalysis la = analyze(layer, df);
+        const double macs = la.total_macs;
+        EXPECT_LE(la.cost.reuse_factor[TensorKind::Input],
+                  macs / static_cast<double>(
+                             layer.tensorVolume(TensorKind::Input)) *
+                      1.01)
+            << df.name();
+        EXPECT_LE(la.cost.reuse_factor[TensorKind::Weight],
+                  macs / static_cast<double>(
+                             layer.tensorVolume(TensorKind::Weight)) *
+                      1.01)
+            << df.name();
+    }
+}
+
+TEST(Cost, BufferRequirementsPositiveAndConsistent)
+{
+    const Layer layer = conv(64, 64, 56, 3, 1, 1);
+    for (const Dataflow &df : dataflows::table3()) {
+        const LayerAnalysis la = analyze(layer, df);
+        EXPECT_GT(la.cost.l1_bytes_required, 0.0) << df.name();
+        EXPECT_GT(la.cost.l2_bytes_required, 0.0) << df.name();
+        // Doubling precision doubles byte requirements.
+        AcceleratorConfig wide = AcceleratorConfig::paperStudy();
+        wide.precision_bytes = 2;
+        const LayerAnalysis lb = Analyzer(wide).analyzeLayer(layer, df);
+        EXPECT_NEAR(lb.cost.l1_bytes_required,
+                    2.0 * la.cost.l1_bytes_required,
+                    1e-6 * la.cost.l1_bytes_required)
+            << df.name();
+    }
+}
+
+TEST(Cost, EnergyBreakdownSumsToTotal)
+{
+    const Layer layer = conv(64, 64, 28, 3, 1, 1);
+    const LayerAnalysis la = analyze(layer, dataflows::yrPartitioned());
+    const EnergyBreakdown &e = la.cost.energy;
+    const double sum =
+        e.mac + e.l1Total() + e.l2Total() + e.noc + e.dram;
+    EXPECT_NEAR(sum, e.total(), 1e-6 * sum);
+    EXPECT_NEAR(la.onchipEnergy(), e.total() - e.dram,
+                1e-6 * e.total());
+}
+
+TEST(Cost, RegisterTrafficKcpInnerLevel)
+{
+    // KC-P PE chunk: K1 C1 R3 S3 Y3 X3 -> 9 MACs; weights and inputs
+    // stream (one L1 read per MAC), one output register write.
+    const Layer layer = conv(512, 512, 14, 3, 1, 1);
+    const BoundDataflow bound =
+        bindDataflow(dataflows::kcPartitioned(), layer, 256);
+    const RegisterTraffic rt =
+        registerFileTraffic(bound.levels.back(), false);
+    EXPECT_DOUBLE_EQ(rt.l1_reads[TensorKind::Weight], 9.0);
+    EXPECT_DOUBLE_EQ(rt.l1_reads[TensorKind::Input], 9.0);
+    EXPECT_DOUBLE_EQ(rt.psum_writes, 1.0);
+    EXPECT_DOUBLE_EQ(rt.psum_reads, 0.0);
+    EXPECT_DOUBLE_EQ(rt.outputs, 1.0);
+}
+
+TEST(Cost, RegisterTrafficEyerissInnerLevel)
+{
+    // YR-P PE chunk: K2 C2 X3 S3, one (y, r) pair -> 12 MACs; the
+    // psum register holds across (c, s) and writes back per k.
+    const Layer layer = conv(64, 64, 56, 3, 1, 1);
+    const BoundDataflow bound =
+        bindDataflow(dataflows::yrPartitioned(), layer, 256);
+    const RegisterTraffic rt =
+        registerFileTraffic(bound.levels.back(), false);
+    EXPECT_DOUBLE_EQ(rt.l1_reads[TensorKind::Weight], 12.0);
+    EXPECT_DOUBLE_EQ(rt.l1_reads[TensorKind::Input], 12.0);
+    EXPECT_DOUBLE_EQ(rt.psum_writes, 2.0);
+    EXPECT_DOUBLE_EQ(rt.outputs, 2.0);
+}
+
+TEST(Cost, GroupedConvScalesCounts)
+{
+    Layer grouped = conv(4, 4, 28, 3, 1, 1);
+    grouped.groups(32);
+    Layer single = conv(4, 4, 28, 3, 1, 1);
+    const LayerAnalysis a = analyze(grouped, dataflows::yrPartitioned());
+    const LayerAnalysis b = analyze(single, dataflows::yrPartitioned());
+    EXPECT_NEAR(a.total_macs, 32.0 * b.total_macs, 1.0);
+    EXPECT_NEAR(a.runtime, 32.0 * b.runtime, 1e-6 * a.runtime);
+    EXPECT_NEAR(a.cost.l2_reads[TensorKind::Weight],
+                32.0 * b.cost.l2_reads[TensorKind::Weight], 1.0);
+}
+
+TEST(Cost, NoMulticastRaisesEnergyNotBelow)
+{
+    const Layer layer = conv(64, 64, 56, 3, 1, 1);
+    AcceleratorConfig with = AcceleratorConfig::paperStudy();
+    AcceleratorConfig without = with;
+    without.spatial_multicast = false;
+    for (const Dataflow &df : dataflows::table3()) {
+        const LayerAnalysis a = analyze(layer, df, with);
+        const LayerAnalysis b = analyze(layer, df, without);
+        EXPECT_GE(b.onchipEnergy(), a.onchipEnergy() * (1.0 - 1e-9))
+            << df.name();
+    }
+}
+
+TEST(Cost, NoReductionRaisesEnergyForReducingDataflows)
+{
+    const Layer layer = conv(64, 64, 56, 3, 1, 1);
+    AcceleratorConfig with = AcceleratorConfig::paperStudy();
+    AcceleratorConfig without = with;
+    without.spatial_reduction = false;
+    // C-P and KC-P spatially reduce over input channels.
+    for (const char *name : {"C-P", "KC-P"}) {
+        const Dataflow df = dataflows::byName(name);
+        const LayerAnalysis a = analyze(layer, df, with);
+        const LayerAnalysis b = analyze(layer, df, without);
+        EXPECT_GT(b.onchipEnergy(), a.onchipEnergy() * 1.05) << name;
+    }
+}
+
+TEST(Cost, DepthwiseLayerAnalyzes)
+{
+    DimMap<Count> d(1);
+    d[Dim::C] = 96;
+    d[Dim::Y] = 112;
+    d[Dim::X] = 112;
+    d[Dim::R] = 3;
+    d[Dim::S] = 3;
+    Layer dw("dw", OpType::DepthwiseConv, d);
+    dw.padding(1);
+    for (const Dataflow &df : dataflows::table3()) {
+        const LayerAnalysis la = analyze(dw, df);
+        EXPECT_DOUBLE_EQ(la.total_macs, 96.0 * 112 * 112 * 9)
+            << df.name();
+        EXPECT_DOUBLE_EQ(
+            la.cost.dram_writes[TensorKind::Output],
+            static_cast<double>(dw.tensorVolume(TensorKind::Output)))
+            << df.name();
+    }
+}
+
+} // namespace
+} // namespace maestro

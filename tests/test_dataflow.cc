@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the data-centric directive IR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hh"
+#include "src/core/dataflow.hh"
+#include "src/dataflows/catalog.hh"
+
+namespace maestro
+{
+namespace
+{
+
+DimMap<Count>
+extents(Count k, Count c, Count y, Count x, Count r, Count s)
+{
+    DimMap<Count> e;
+    e[Dim::N] = 1;
+    e[Dim::K] = k;
+    e[Dim::C] = c;
+    e[Dim::Y] = y;
+    e[Dim::X] = x;
+    e[Dim::R] = r;
+    e[Dim::S] = s;
+    return e;
+}
+
+TEST(SizeExpr, ConstantEval)
+{
+    const SizeExpr e = SizeExpr::of(8);
+    EXPECT_EQ(e.eval(extents(1, 1, 1, 1, 1, 1)), 8);
+    EXPECT_EQ(e.toString(), "8");
+}
+
+TEST(SizeExpr, SymbolicEval)
+{
+    const SizeExpr e = SizeExpr::sizeOf(Dim::R);
+    EXPECT_EQ(e.eval(extents(4, 4, 8, 8, 3, 3)), 3);
+    EXPECT_EQ(e.toString(), "Sz(R)");
+}
+
+TEST(SizeExpr, SymbolicWithAddend)
+{
+    // The paper's YX-P uses "8+Sz(S)-1" = Sz(S)+7.
+    const SizeExpr e = SizeExpr::sizeOf(Dim::S, 7);
+    EXPECT_EQ(e.eval(extents(4, 4, 8, 8, 3, 5)), 12);
+    EXPECT_EQ(e.toString(), "7+Sz(S)");
+}
+
+TEST(Directive, ToStringForms)
+{
+    EXPECT_EQ(Directive::temporal(Dim::C, SizeExpr::of(64),
+                                  SizeExpr::of(64))
+                  .toString(),
+              "TemporalMap(64,64) C");
+    EXPECT_EQ(Directive::spatial(Dim::Y, SizeExpr::sizeOf(Dim::R),
+                                 SizeExpr::of(1))
+                  .toString(),
+              "SpatialMap(Sz(R),1) Y");
+    EXPECT_EQ(Directive::cluster(SizeExpr::of(8)).toString(),
+              "Cluster(8)");
+}
+
+TEST(Dataflow, ValidateAcceptsCatalog)
+{
+    for (const Dataflow &df : dataflows::table3())
+        EXPECT_NO_THROW(df.validate()) << df.name();
+}
+
+TEST(Dataflow, ValidateRejectsEmpty)
+{
+    Dataflow df("empty");
+    EXPECT_THROW(df.validate(), Error);
+}
+
+TEST(Dataflow, ValidateRejectsTrailingCluster)
+{
+    Dataflow df("trailing");
+    df.add(Directive::spatial(Dim::K, SizeExpr::of(1), SizeExpr::of(1)))
+        .add(Directive::cluster(SizeExpr::of(4)));
+    EXPECT_THROW(df.validate(), Error);
+}
+
+TEST(Dataflow, ValidateRejectsDuplicateDimInLevel)
+{
+    Dataflow df("dup");
+    df.add(Directive::temporal(Dim::K, SizeExpr::of(1), SizeExpr::of(1)))
+        .add(Directive::spatial(Dim::K, SizeExpr::of(1),
+                                SizeExpr::of(1)));
+    EXPECT_THROW(df.validate(), Error);
+}
+
+TEST(Dataflow, DuplicateDimAllowedAcrossLevels)
+{
+    // YR-P maps Y at both levels — legal.
+    EXPECT_NO_THROW(dataflows::yrPartitioned().validate());
+}
+
+TEST(Dataflow, ValidateRejectsNonPositiveConstants)
+{
+    Dataflow df("bad-size");
+    df.add(Directive::temporal(Dim::K, SizeExpr::of(0), SizeExpr::of(1)));
+    EXPECT_THROW(df.validate(), Error);
+
+    Dataflow df2("bad-offset");
+    df2.add(
+        Directive::temporal(Dim::K, SizeExpr::of(1), SizeExpr::of(0)));
+    EXPECT_THROW(df2.validate(), Error);
+}
+
+TEST(Dataflow, NumLevels)
+{
+    EXPECT_EQ(dataflows::cPartitioned().numLevels(), 1u);
+    EXPECT_EQ(dataflows::kcPartitioned().numLevels(), 2u);
+    EXPECT_EQ(dataflows::yrPartitioned().numLevels(), 2u);
+}
+
+TEST(Dataflow, CatalogLookupAndAliases)
+{
+    EXPECT_EQ(dataflows::byName("KC-P").name(), "KC-P");
+    EXPECT_EQ(dataflows::byName("dla").name(), "KC-P");
+    EXPECT_EQ(dataflows::byName("RS").name(), "YR-P");
+    EXPECT_EQ(dataflows::byName("shi").name(), "YX-P");
+    EXPECT_EQ(dataflows::byName("WS").name(), "X-P");
+    EXPECT_EQ(dataflows::byName("NLR").name(), "C-P");
+    EXPECT_THROW(dataflows::byName("nope"), Error);
+}
+
+TEST(Dataflow, ToStringContainsAllDirectives)
+{
+    const Dataflow df = dataflows::kcPartitioned();
+    const std::string text = df.toString();
+    EXPECT_NE(text.find("SpatialMap(1,1) K"), std::string::npos);
+    EXPECT_NE(text.find("Cluster(64)"), std::string::npos);
+    EXPECT_NE(text.find("SpatialMap(1,1) C"), std::string::npos);
+}
+
+} // namespace
+} // namespace maestro

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the dimension/tensor vocabulary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hh"
+#include "src/core/dims.hh"
+
+namespace maestro
+{
+namespace
+{
+
+TEST(Dims, NamesRoundTrip)
+{
+    for (Dim d : kAllDims)
+        EXPECT_EQ(parseDim(dimName(d)), d);
+}
+
+TEST(Dims, OutputAliasesMapToInputSpace)
+{
+    EXPECT_EQ(parseDim("Y'"), Dim::Y);
+    EXPECT_EQ(parseDim("X'"), Dim::X);
+}
+
+TEST(Dims, UnknownNameThrows)
+{
+    EXPECT_THROW(parseDim("Q"), Error);
+    EXPECT_THROW(parseDim(""), Error);
+    EXPECT_THROW(parseDim("k"), Error);
+}
+
+TEST(Dims, DimMapDefaultsAndAccess)
+{
+    DimMap<Count> m;
+    for (Dim d : kAllDims)
+        EXPECT_EQ(m[d], 0);
+    m[Dim::K] = 42;
+    EXPECT_EQ(m[Dim::K], 42);
+    EXPECT_EQ(m[Dim::C], 0);
+
+    DimMap<Count> init(7);
+    for (Dim d : kAllDims)
+        EXPECT_EQ(init[d], 7);
+}
+
+TEST(Dims, TensorNames)
+{
+    EXPECT_EQ(tensorName(TensorKind::Weight), "weight");
+    EXPECT_EQ(tensorName(TensorKind::Input), "input");
+    EXPECT_EQ(tensorName(TensorKind::Output), "output");
+}
+
+TEST(Dims, TensorMapEquality)
+{
+    TensorMap<double> a(1.0);
+    TensorMap<double> b(1.0);
+    EXPECT_EQ(a, b);
+    b[TensorKind::Input] = 2.0;
+    EXPECT_FALSE(a == b);
+}
+
+} // namespace
+} // namespace maestro

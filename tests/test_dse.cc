@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the DSE tool: Pareto utilities, design-space
+ * plumbing, budget enforcement, skipping consistency, and the
+ * energy-from-counts rescaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/dse/explorer.hh"
+#include "src/model/zoo.hh"
+
+namespace maestro
+{
+namespace
+{
+
+TEST(Pareto, FrontierDropsDominatedPoints)
+{
+    // (maximize, minimize): (3,3) dominates (2,4); (1,1) survives as
+    // the low-energy end.
+    std::vector<dse::ObjectivePoint> pts = {
+        {3.0, 3.0, 0}, {2.0, 4.0, 1}, {1.0, 1.0, 2}, {2.0, 2.0, 3},
+    };
+    const auto frontier = dse::paretoFrontier(pts);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(frontier[0].index, 0u);
+    EXPECT_EQ(frontier[1].index, 3u);
+    EXPECT_EQ(frontier[2].index, 2u);
+}
+
+TEST(Pareto, HandlesTies)
+{
+    std::vector<dse::ObjectivePoint> pts = {
+        {2.0, 2.0, 0}, {2.0, 1.0, 1},
+    };
+    const auto frontier = dse::paretoFrontier(pts);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(frontier[0].index, 1u);
+}
+
+TEST(DesignSpace, Ranges)
+{
+    EXPECT_EQ(dse::linearRange(8, 32, 8),
+              (std::vector<Count>{8, 16, 24, 32}));
+    EXPECT_EQ(dse::pow2Range(64, 512),
+              (std::vector<Count>{64, 128, 256, 512}));
+    EXPECT_THROW(dse::linearRange(8, 4, 8), Error);
+}
+
+TEST(DesignSpace, PresetSizes)
+{
+    EXPECT_GT(dse::DesignSpace::figure13().totalPoints(), 1e6);
+    EXPECT_GT(dse::DesignSpace::large().totalPoints(), 1e8);
+    EXPECT_LT(dse::DesignSpace::small().totalPoints(), 1e5);
+}
+
+TEST(Explorer, RespectsBudgets)
+{
+    const Network net = zoo::vgg16();
+    const Layer &layer = net.layer("CONV11");
+    const dse::Explorer explorer(AcceleratorConfig::paperStudy());
+    dse::DseOptions options;
+    options.sample_stride = 13;
+
+    const dse::DseResult res =
+        explorer.explore(layer, dataflows::kcPartitioned(),
+                         dse::DesignSpace::small(), options);
+    EXPECT_GT(res.valid_points, 0.0);
+    EXPECT_GE(res.explored_points,
+              dse::DesignSpace::small().totalPoints() - 0.5);
+    for (const auto &p : res.samples) {
+        EXPECT_LE(p.area, options.area_budget_mm2 + 1e-9);
+        EXPECT_LE(p.power, options.power_budget_mw + 1e-9);
+        EXPECT_GE(static_cast<double>(p.l1_bytes), p.l1_required);
+        EXPECT_GE(static_cast<double>(p.l2_bytes), p.l2_required);
+    }
+}
+
+TEST(Explorer, TightBudgetShrinksValidSet)
+{
+    const Network net = zoo::vgg16();
+    const Layer &layer = net.layer("CONV11");
+    const dse::Explorer explorer(AcceleratorConfig::paperStudy());
+    dse::DseOptions loose;
+    dse::DseOptions tight;
+    tight.area_budget_mm2 = 4.0;
+    tight.power_budget_mw = 120.0;
+    const auto a = explorer.explore(layer, dataflows::yrPartitioned(),
+                                    dse::DesignSpace::small(), loose);
+    const auto b = explorer.explore(layer, dataflows::yrPartitioned(),
+                                    dse::DesignSpace::small(), tight);
+    EXPECT_LT(b.valid_points, a.valid_points);
+    EXPECT_LE(b.best_throughput.throughput,
+              a.best_throughput.throughput + 1e-9);
+}
+
+TEST(Explorer, BestsAreConsistent)
+{
+    const Network net = zoo::vgg16();
+    const Layer &layer = net.layer("CONV11");
+    const dse::Explorer explorer(AcceleratorConfig::paperStudy());
+    const auto res =
+        explorer.explore(layer, dataflows::kcPartitioned(),
+                         dse::DesignSpace::small(), dse::DseOptions());
+    ASSERT_TRUE(res.best_throughput.valid);
+    ASSERT_TRUE(res.best_energy.valid);
+    ASSERT_TRUE(res.best_edp.valid);
+    EXPECT_GE(res.best_throughput.throughput,
+              res.best_energy.throughput - 1e-9);
+    EXPECT_LE(res.best_energy.energy,
+              res.best_throughput.energy + 1e-9);
+    EXPECT_LE(res.best_edp.edp, res.best_throughput.edp + 1e-9);
+    EXPECT_LE(res.best_edp.edp, res.best_energy.edp + 1e-9);
+}
+
+TEST(Explorer, ParetoPointsAreMutuallyNonDominating)
+{
+    const Network net = zoo::vgg16();
+    const Layer &layer = net.layer("CONV2");
+    const dse::Explorer explorer(AcceleratorConfig::paperStudy());
+    dse::DseOptions options;
+    options.sample_stride = 7;
+    const auto res =
+        explorer.explore(layer, dataflows::yrPartitioned(),
+                         dse::DesignSpace::small(), options);
+    for (std::size_t i = 0; i < res.pareto.size(); ++i) {
+        for (std::size_t j = 0; j < res.pareto.size(); ++j) {
+            if (i == j)
+                continue;
+            const auto &a = res.pareto[i];
+            const auto &b = res.pareto[j];
+            const bool dominates = a.throughput >= b.throughput &&
+                                   a.energy <= b.energy &&
+                                   (a.throughput > b.throughput ||
+                                    a.energy < b.energy);
+            EXPECT_FALSE(dominates) << i << " dominates " << j;
+        }
+    }
+}
+
+TEST(Explorer, EnergyFromCountsMatchesAnalyzer)
+{
+    // Recomputing at the analyzer's own configuration must reproduce
+    // the analyzer's total energy.
+    const Network net = zoo::vgg16();
+    const Layer &layer = net.layer("CONV11");
+    AcceleratorConfig cfg = AcceleratorConfig::paperStudy();
+    const Analyzer analyzer(cfg);
+    const LayerAnalysis la =
+        analyzer.analyzeLayer(layer, dataflows::kcPartitioned());
+    const double recomputed = dse::energyFromCounts(
+        la.cost, cfg.l1_bytes, cfg.l2_bytes, cfg.precision_bytes,
+        cfg.noc.avgLatency(), EnergyModel());
+    EXPECT_NEAR(recomputed, la.energy(), 1e-6 * la.energy());
+}
+
+TEST(Explorer, BiggerL2CutsRecomputedDramEnergy)
+{
+    const Network net = zoo::vgg16();
+    const Layer &layer = net.layer("CONV11");
+    AcceleratorConfig cfg = AcceleratorConfig::paperStudy();
+    cfg.l2_bytes = 16 * 1024; // nothing resident at analysis time
+    const Analyzer analyzer(cfg);
+    const LayerAnalysis la =
+        analyzer.analyzeLayer(layer, dataflows::kcPartitioned());
+    const double small = dse::energyFromCounts(
+        la.cost, 512, 16 * 1024, 1, 1.0, EnergyModel());
+    const double big = dse::energyFromCounts(
+        la.cost, 512, 1 << 20, 1, 1.0, EnergyModel());
+    // The 1 MiB L2 holds CONV11's input: its refetches leave DRAM.
+    EXPECT_LT(big, small);
+}
+
+TEST(Explorer, EmptySpaceRejected)
+{
+    const Network net = zoo::vgg16();
+    const dse::Explorer explorer(AcceleratorConfig::paperStudy());
+    dse::DesignSpace empty;
+    EXPECT_THROW(explorer.explore(net.layer("CONV11"),
+                                  dataflows::kcPartitioned(), empty),
+                 Error);
+}
+
+} // namespace
+} // namespace maestro

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for the DSL frontend: lexer, parser, serializer, and the
+ * parse(serialize(x)) == x round-trip property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/frontend/lexer.hh"
+#include "src/frontend/parser.hh"
+#include "src/frontend/serializer.hh"
+#include "src/model/zoo.hh"
+
+namespace maestro
+{
+namespace
+{
+
+using frontend::parseString;
+using frontend::serialize;
+using frontend::Token;
+using frontend::TokenKind;
+using frontend::tokenize;
+
+TEST(Lexer, BasicTokens)
+{
+    const auto tokens = tokenize("SpatialMap(1,2) K;");
+    ASSERT_EQ(tokens.size(), 9u); // incl. End
+    EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[0].text, "SpatialMap");
+    EXPECT_EQ(tokens[1].kind, TokenKind::LParen);
+    EXPECT_EQ(tokens[2].value, 1);
+    EXPECT_EQ(tokens[3].kind, TokenKind::Comma);
+    EXPECT_EQ(tokens[4].value, 2);
+    EXPECT_EQ(tokens[6].text, "K");
+    EXPECT_EQ(tokens[7].kind, TokenKind::Semicolon);
+    EXPECT_EQ(tokens[8].kind, TokenKind::End);
+}
+
+TEST(Lexer, CommentsAndLines)
+{
+    const auto tokens =
+        tokenize("// comment\nA /* multi\nline */ B");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0].text, "A");
+    EXPECT_EQ(tokens[0].line, 2);
+    EXPECT_EQ(tokens[1].text, "B");
+    EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(Lexer, HyphenatedIdentifiersVsMinus)
+{
+    // "C-P" is one identifier; "Sz(S)-1" keeps the minus operator.
+    const auto tokens = tokenize("C-P Sz(S)-1");
+    EXPECT_EQ(tokens[0].text, "C-P");
+    EXPECT_EQ(tokens[1].text, "Sz");
+    EXPECT_EQ(tokens[4].kind, TokenKind::RParen);
+    EXPECT_EQ(tokens[5].kind, TokenKind::Minus);
+    EXPECT_EQ(tokens[6].value, 1);
+}
+
+TEST(Lexer, RejectsUnknownCharacters)
+{
+    EXPECT_THROW(tokenize("a @ b"), Error);
+    EXPECT_THROW(tokenize("/* unterminated"), Error);
+}
+
+TEST(Parser, SizeExpressions)
+{
+    const auto parsed = parseString(
+        "Dataflow t { TemporalMap(8+Sz(S)-1, 8) X; }");
+    const Dataflow &df = parsed.dataflows.at("t");
+    const Directive &d = df.directives()[0];
+    EXPECT_EQ(d.size.constant, 7);
+    EXPECT_EQ(d.size.dim, Dim::S);
+    EXPECT_EQ(d.offset.constant, 8);
+}
+
+TEST(Parser, OutputDimAliases)
+{
+    const auto parsed =
+        parseString("Dataflow t { SpatialMap(1,1) Y'; }");
+    EXPECT_EQ(parsed.dataflows.at("t").directives()[0].dim, Dim::Y);
+}
+
+TEST(Parser, NetworkWithLayersAndPerLayerDataflow)
+{
+    const auto parsed = parseString(R"(
+        Network Tiny {
+          Layer L1 {
+            Type: CONV2D;
+            Stride: 2;
+            Padding: 1;
+            Dimensions { K: 8; C: 3; Y: 16; X: 16; R: 3; S: 3; }
+            Dataflow { SpatialMap(1,1) K; }
+          }
+          Layer L2 {
+            Type: FC;
+            Dimensions { K: 10; C: 128; }
+          }
+        }
+    )");
+    ASSERT_EQ(parsed.networks.size(), 1u);
+    const Network &net = parsed.networks[0];
+    EXPECT_EQ(net.layers().size(), 2u);
+    EXPECT_EQ(net.layer("L1").strideVal(), 2);
+    EXPECT_EQ(net.layer("L1").dim(Dim::K), 8);
+    // Unspecified dims default to 1.
+    EXPECT_EQ(net.layer("L2").dim(Dim::Y), 1);
+    EXPECT_EQ(parsed.layer_dataflows.count("Tiny/L1"), 1u);
+}
+
+TEST(Parser, AcceleratorBlock)
+{
+    const auto parsed = parseString(R"(
+        Accelerator {
+          NumPEs: 128;
+          L1: 1024;
+          L2: 65536;
+          NocBandwidth: 24;
+          Multicast: false;
+        }
+    )");
+    ASSERT_TRUE(parsed.accelerator.has_value());
+    EXPECT_EQ(parsed.accelerator->num_pes, 128);
+    EXPECT_EQ(parsed.accelerator->l1_bytes, 1024);
+    EXPECT_DOUBLE_EQ(parsed.accelerator->noc.bandwidth(), 24.0);
+    EXPECT_FALSE(parsed.accelerator->spatial_multicast);
+    EXPECT_TRUE(parsed.accelerator->spatial_reduction);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers)
+{
+    try {
+        parseString("Dataflow t {\n  Bogus(1,1) K;\n}");
+        FAIL() << "expected an Error";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parser, RejectsDuplicateDataflow)
+{
+    EXPECT_THROW(parseString("Dataflow a { TemporalMap(1,1) K; }\n"
+                             "Dataflow a { TemporalMap(1,1) C; }"),
+                 Error);
+}
+
+TEST(Parser, RejectsUnknownBlocks)
+{
+    EXPECT_THROW(parseString("Garbage x { }"), Error);
+    EXPECT_THROW(parseString("Network n { NotALayer x { } }"), Error);
+}
+
+TEST(RoundTrip, CatalogDataflows)
+{
+    for (const Dataflow &df : dataflows::table3()) {
+        const auto parsed = parseString(serialize(df));
+        const auto it = parsed.dataflows.find(df.name());
+        ASSERT_NE(it, parsed.dataflows.end()) << df.name();
+        EXPECT_TRUE(it->second.sameDirectives(df)) << df.name();
+    }
+}
+
+TEST(RoundTrip, ZooNetworks)
+{
+    for (const char *name : {"vgg16", "alexnet", "mobilenetv2"}) {
+        const Network net = zoo::byName(name);
+        const auto parsed = parseString(serialize(net));
+        ASSERT_EQ(parsed.networks.size(), 1u) << name;
+        const Network &back = parsed.networks[0];
+        ASSERT_EQ(back.layers().size(), net.layers().size()) << name;
+        for (std::size_t i = 0; i < net.layers().size(); ++i) {
+            const Layer &a = net.layers()[i];
+            const Layer &b = back.layers()[i];
+            EXPECT_EQ(a.name(), b.name());
+            EXPECT_EQ(a.type(), b.type());
+            EXPECT_EQ(a.strideVal(), b.strideVal());
+            EXPECT_EQ(a.paddingVal(), b.paddingVal());
+            EXPECT_EQ(a.groupsVal(), b.groupsVal());
+            for (Dim d : kAllDims)
+                EXPECT_EQ(a.dim(d), b.dim(d)) << a.name();
+        }
+    }
+}
+
+TEST(RoundTrip, AcceleratorConfig)
+{
+    AcceleratorConfig cfg = AcceleratorConfig::eyerissLike();
+    cfg.spatial_multicast = false;
+    const auto parsed = parseString(serialize(cfg));
+    ASSERT_TRUE(parsed.accelerator.has_value());
+    EXPECT_EQ(parsed.accelerator->num_pes, cfg.num_pes);
+    EXPECT_EQ(parsed.accelerator->l1_bytes, cfg.l1_bytes);
+    EXPECT_EQ(parsed.accelerator->l2_bytes, cfg.l2_bytes);
+    EXPECT_DOUBLE_EQ(parsed.accelerator->noc.bandwidth(),
+                     cfg.noc.bandwidth());
+    EXPECT_EQ(parsed.accelerator->spatial_multicast,
+              cfg.spatial_multicast);
+    EXPECT_EQ(parsed.accelerator->precision_bytes,
+              cfg.precision_bytes);
+}
+
+TEST(Parser, FileNotFound)
+{
+    EXPECT_THROW(frontend::parseFile("/nonexistent/path.m"), Error);
+}
+
+} // namespace
+} // namespace maestro

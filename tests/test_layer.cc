@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the layer descriptor and the model zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hh"
+#include "src/model/zoo.hh"
+
+namespace maestro
+{
+namespace
+{
+
+DimMap<Count>
+dims(Count n, Count k, Count c, Count y, Count x, Count r, Count s)
+{
+    DimMap<Count> d;
+    d[Dim::N] = n;
+    d[Dim::K] = k;
+    d[Dim::C] = c;
+    d[Dim::Y] = y;
+    d[Dim::X] = x;
+    d[Dim::R] = r;
+    d[Dim::S] = s;
+    return d;
+}
+
+TEST(Layer, OutputSizeWithPadding)
+{
+    Layer l("conv", OpType::Conv2D, dims(1, 64, 3, 224, 224, 3, 3));
+    l.padding(1);
+    EXPECT_EQ(l.outputY(), 224);
+    EXPECT_EQ(l.outputX(), 224);
+    EXPECT_EQ(l.effectiveDim(Dim::Y), 226);
+}
+
+TEST(Layer, OutputSizeWithStride)
+{
+    Layer l("conv", OpType::Conv2D, dims(1, 96, 3, 227, 227, 11, 11));
+    l.stride(4);
+    EXPECT_EQ(l.outputY(), 55); // AlexNet CONV1
+}
+
+TEST(Layer, MacCountDenseConv)
+{
+    Layer l("conv", OpType::Conv2D, dims(1, 64, 3, 224, 224, 3, 3));
+    l.padding(1);
+    // N*K*C*Y'*X'*R*S = 64*3*224*224*9
+    EXPECT_DOUBLE_EQ(l.macs(), 64.0 * 3 * 224 * 224 * 9);
+}
+
+TEST(Layer, MacCountDepthwiseDropsK)
+{
+    Layer l("dw", OpType::DepthwiseConv, dims(1, 1, 32, 112, 112, 3, 3));
+    l.padding(1);
+    EXPECT_DOUBLE_EQ(l.macs(), 32.0 * 112 * 112 * 9);
+}
+
+TEST(Layer, TensorVolumes)
+{
+    Layer l("conv", OpType::Conv2D, dims(1, 4, 6, 8, 8, 3, 3));
+    EXPECT_EQ(l.tensorVolume(TensorKind::Weight), 4 * 6 * 3 * 3);
+    EXPECT_EQ(l.tensorVolume(TensorKind::Input), 6 * 8 * 8);
+    EXPECT_EQ(l.tensorVolume(TensorKind::Output), 4 * 6 * 6);
+}
+
+TEST(Layer, DepthwiseOutputVolumeCoupledToC)
+{
+    Layer l("dw", OpType::DepthwiseConv, dims(1, 1, 32, 10, 10, 3, 3));
+    EXPECT_EQ(l.tensorVolume(TensorKind::Output), 32 * 8 * 8);
+    EXPECT_EQ(l.tensorVolume(TensorKind::Weight), 32 * 9);
+}
+
+TEST(Layer, TransposedConvUpsamples)
+{
+    // DCGAN-style: 4 -> 8 with 4x4 stride-2 pad-1 (effective pad 2).
+    Layer l("tr", OpType::TransposedConv, dims(1, 512, 1024, 4, 4, 4, 4));
+    l.stride(2).padding(2).inputDensity(0.25);
+    EXPECT_EQ(l.effectiveDim(Dim::Y), (4 - 1) * 2 + 1 + 2 * 2);
+    EXPECT_EQ(l.outputY(), 8);
+}
+
+TEST(Layer, OperatorClassification)
+{
+    Layer early("e", OpType::Conv2D, dims(1, 64, 3, 224, 224, 3, 3));
+    EXPECT_EQ(early.operatorClass(), OperatorClass::EarlyConv);
+
+    // Paper footnote: late when C > Y.
+    Layer late("l", OpType::Conv2D, dims(1, 512, 512, 14, 14, 3, 3));
+    EXPECT_EQ(late.operatorClass(), OperatorClass::LateConv);
+
+    Layer pw("p", OpType::Conv2D, dims(1, 128, 64, 56, 56, 1, 1));
+    EXPECT_EQ(pw.operatorClass(), OperatorClass::Pointwise);
+
+    Layer dw("d", OpType::DepthwiseConv, dims(1, 1, 32, 112, 112, 3, 3));
+    EXPECT_EQ(dw.operatorClass(), OperatorClass::Depthwise);
+
+    Layer fc("f", OpType::FullyConnected, dims(1, 1000, 4096, 1, 1, 1, 1));
+    EXPECT_EQ(fc.operatorClass(), OperatorClass::FullyConnected);
+}
+
+TEST(Layer, ValidationRejectsBadShapes)
+{
+    Layer zero("z", OpType::Conv2D, dims(1, 0, 3, 8, 8, 3, 3));
+    EXPECT_THROW(zero.validate(), Error);
+
+    Layer filter_too_big("f", OpType::Conv2D, dims(1, 4, 3, 2, 2, 3, 3));
+    EXPECT_THROW(filter_too_big.validate(), Error);
+
+    Layer bad_density("d", OpType::Conv2D, dims(1, 4, 3, 8, 8, 3, 3));
+    bad_density.inputDensity(0.0);
+    EXPECT_THROW(bad_density.validate(), Error);
+}
+
+TEST(Network, DuplicateLayerNameRejected)
+{
+    Network net("n");
+    net.addLayer(Layer("a", OpType::Conv2D, dims(1, 4, 3, 8, 8, 3, 3)));
+    EXPECT_THROW(
+        net.addLayer(Layer("a", OpType::Conv2D, dims(1, 4, 3, 8, 8, 3, 3))),
+        Error);
+}
+
+TEST(Network, ResidualLinkValidation)
+{
+    Network net("n");
+    net.addLayer(Layer("a", OpType::Conv2D, dims(1, 4, 3, 8, 8, 3, 3)));
+    net.addLayer(Layer("b", OpType::Conv2D, dims(1, 4, 4, 6, 6, 3, 3)));
+    EXPECT_NO_THROW(net.addResidualLink(0, 1));
+    EXPECT_THROW(net.addResidualLink(1, 0), Error);
+    EXPECT_THROW(net.addResidualLink(0, 5), Error);
+}
+
+TEST(Zoo, Vgg16Shape)
+{
+    const Network net = zoo::vgg16();
+    EXPECT_EQ(net.layers().size(), 16u); // 13 conv + 3 FC
+    // Known MAC total: ~15.3G for the convs + ~124M FC.
+    EXPECT_NEAR(net.totalMacs(), 15.5e9, 0.5e9);
+    EXPECT_EQ(net.layer("CONV11").dim(Dim::K), 512);
+}
+
+TEST(Zoo, AlexnetConv1)
+{
+    const Network net = zoo::alexnet();
+    const Layer &c1 = net.layer("CONV1");
+    EXPECT_EQ(c1.outputY(), 55);
+    EXPECT_NEAR(c1.macs(), 105.0e6, 1e6);
+}
+
+TEST(Zoo, Resnet50HasResidualLinks)
+{
+    const Network net = zoo::resnet50();
+    EXPECT_EQ(net.residualLinks().size(), 16u); // 3+4+6+3 bottlenecks
+    // ~4 GMACs nominal; our constant-resolution stages land nearby.
+    EXPECT_GT(net.totalMacs(), 3.0e9);
+    EXPECT_LT(net.totalMacs(), 8.0e9);
+}
+
+TEST(Zoo, ResnextGroupedConvs)
+{
+    const Network net = zoo::resnext50();
+    const Layer &grouped = net.layer("S2B1_3x3");
+    EXPECT_EQ(grouped.groupsVal(), 32);
+    EXPECT_EQ(grouped.dim(Dim::C), 4); // per-group channels (128/32)
+}
+
+TEST(Zoo, MobilenetHasDepthwise)
+{
+    const Network net = zoo::mobilenetV2();
+    int dw = 0;
+    int pw = 0;
+    for (const auto &l : net.layers()) {
+        if (l.operatorClass() == OperatorClass::Depthwise)
+            ++dw;
+        if (l.operatorClass() == OperatorClass::Pointwise)
+            ++pw;
+    }
+    EXPECT_EQ(dw, 17);
+    EXPECT_GT(pw, 20);
+}
+
+TEST(Zoo, UnetHasTransposedConvs)
+{
+    const Network net = zoo::unet();
+    int tr = 0;
+    for (const auto &l : net.layers()) {
+        if (l.operatorClass() == OperatorClass::Transposed)
+            ++tr;
+    }
+    EXPECT_EQ(tr, 4);
+    EXPECT_EQ(net.layer("DOWN1").dim(Dim::Y), 572);
+}
+
+TEST(Zoo, LstmGatesAreSequenceBatchedGemms)
+{
+    const Network net = zoo::lstm(1024, 512, 16);
+    EXPECT_EQ(net.layers().size(), 4u);
+    const Layer &gate = net.layer("GATE_I");
+    EXPECT_EQ(gate.type(), OpType::FullyConnected);
+    EXPECT_EQ(gate.dim(Dim::N), 16);
+    EXPECT_EQ(gate.dim(Dim::K), 1024);
+    EXPECT_EQ(gate.dim(Dim::C), 1536);
+    // MACs: seq x 4 gates x hidden x (hidden + input).
+    EXPECT_DOUBLE_EQ(net.totalMacs(), 16.0 * 4 * 1024 * 1536);
+}
+
+TEST(Zoo, AllModelsValidateAndByName)
+{
+    for (const char *name : {"vgg16", "alexnet", "resnet50", "resnext50",
+                             "mobilenetv2", "unet", "dcgan", "lstm"}) {
+        const Network net = zoo::byName(name);
+        EXPECT_FALSE(net.layers().empty()) << name;
+        for (const auto &l : net.layers())
+            EXPECT_NO_THROW(l.validate()) << net.name() << ":" << l.name();
+    }
+    EXPECT_THROW(zoo::byName("lenet"), Error);
+}
+
+} // namespace
+} // namespace maestro

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for the integer-math helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/math_util.hh"
+
+namespace maestro
+{
+namespace
+{
+
+TEST(CeilDiv, ExactAndInexact)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0);
+    EXPECT_EQ(ceilDiv(8, 4), 2);
+    EXPECT_EQ(ceilDiv(9, 4), 3);
+    EXPECT_EQ(ceilDiv(1, 1), 1);
+}
+
+TEST(NumMapPositions, ChunkCoversExtent)
+{
+    EXPECT_EQ(numMapPositions(4, 8, 1), 1);
+    EXPECT_EQ(numMapPositions(4, 4, 4), 1);
+}
+
+TEST(NumMapPositions, SlidingWindow)
+{
+    // Extent 12, size 6, offset 1: positions 0..6 -> 7.
+    EXPECT_EQ(numMapPositions(12, 6, 1), 7);
+    // Tiled: extent 12, size 3, offset 3 -> 4 positions.
+    EXPECT_EQ(numMapPositions(12, 3, 3), 4);
+    // Partial tail: extent 13, size 3, offset 3 -> 5 positions.
+    EXPECT_EQ(numMapPositions(13, 3, 3), 5);
+}
+
+TEST(EdgeChunkSize, FullAndPartialTail)
+{
+    EXPECT_EQ(edgeChunkSize(12, 3, 3), 3);
+    EXPECT_EQ(edgeChunkSize(13, 3, 3), 1);
+    EXPECT_EQ(edgeChunkSize(12, 6, 1), 6);
+}
+
+TEST(ConvOutputs, StandardCases)
+{
+    EXPECT_EQ(convOutputs(8, 3, 1), 6);
+    EXPECT_EQ(convOutputs(3, 3, 1), 1);
+    EXPECT_EQ(convOutputs(2, 3, 1), 0);
+    EXPECT_EQ(convOutputs(227, 11, 4), 55);
+}
+
+} // namespace
+} // namespace maestro

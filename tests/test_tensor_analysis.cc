@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the tensor analysis engine (paper Table 1 couplings).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/tensor_analysis.hh"
+
+namespace maestro
+{
+namespace
+{
+
+DimMap<Count>
+dims(Count n, Count k, Count c, Count y, Count x, Count r, Count s)
+{
+    DimMap<Count> d;
+    d[Dim::N] = n;
+    d[Dim::K] = k;
+    d[Dim::C] = c;
+    d[Dim::Y] = y;
+    d[Dim::X] = x;
+    d[Dim::R] = r;
+    d[Dim::S] = s;
+    return d;
+}
+
+TEST(TensorAnalysis, DenseConvCouplings)
+{
+    Layer l("c", OpType::Conv2D, dims(1, 4, 6, 8, 8, 3, 3));
+    const TensorInfo info = analyzeTensors(l);
+
+    const TensorSpec &w = info.spec(TensorKind::Weight);
+    EXPECT_TRUE(w.coupled[Dim::K]);
+    EXPECT_TRUE(w.coupled[Dim::C]);
+    EXPECT_TRUE(w.coupled[Dim::R]);
+    EXPECT_TRUE(w.coupled[Dim::S]);
+    EXPECT_FALSE(w.coupled[Dim::N]);
+    EXPECT_FALSE(w.coupled[Dim::Y]);
+
+    const TensorSpec &i = info.spec(TensorKind::Input);
+    EXPECT_TRUE(i.coupled[Dim::N]);
+    EXPECT_TRUE(i.coupled[Dim::C]);
+    EXPECT_TRUE(i.coupled[Dim::Y]);
+    EXPECT_TRUE(i.coupled[Dim::X]);
+    EXPECT_FALSE(i.coupled[Dim::K]);
+
+    const TensorSpec &o = info.spec(TensorKind::Output);
+    EXPECT_TRUE(o.is_output);
+    EXPECT_TRUE(o.coupled[Dim::N]);
+    EXPECT_TRUE(o.coupled[Dim::K]);
+    EXPECT_TRUE(o.coupled[Dim::Y]);
+    EXPECT_TRUE(o.coupled[Dim::X]);
+    EXPECT_FALSE(o.coupled[Dim::C]);
+}
+
+TEST(TensorAnalysis, ReductionDims)
+{
+    Layer l("c", OpType::Conv2D, dims(1, 4, 6, 8, 8, 3, 3));
+    const TensorInfo info = analyzeTensors(l);
+    EXPECT_TRUE(info.reduction[Dim::C]);
+    EXPECT_TRUE(info.reduction[Dim::R]);
+    EXPECT_TRUE(info.reduction[Dim::S]);
+    EXPECT_FALSE(info.reduction[Dim::K]);
+    EXPECT_FALSE(info.reduction[Dim::N]);
+    EXPECT_FALSE(info.reduction[Dim::Y]);
+}
+
+TEST(TensorAnalysis, DepthwiseOutputCoupledToC)
+{
+    // Paper Sec. 4.1: in depth-wise convs the output couples to the
+    // input channel, not the output channel.
+    Layer l("dw", OpType::DepthwiseConv, dims(1, 1, 32, 10, 10, 3, 3));
+    const TensorInfo info = analyzeTensors(l);
+    const TensorSpec &o = info.spec(TensorKind::Output);
+    EXPECT_TRUE(o.coupled[Dim::C]);
+    EXPECT_FALSE(o.coupled[Dim::K]);
+    EXPECT_FALSE(info.reduction[Dim::C]);
+    EXPECT_TRUE(info.reduction[Dim::R]);
+    const TensorSpec &w = info.spec(TensorKind::Weight);
+    EXPECT_FALSE(w.coupled[Dim::K]);
+}
+
+TEST(TensorAnalysis, CoupledDimsList)
+{
+    Layer l("c", OpType::Conv2D, dims(1, 4, 6, 8, 8, 3, 3));
+    const TensorInfo info = analyzeTensors(l);
+    const auto w_dims = info.spec(TensorKind::Weight).coupledDims();
+    EXPECT_EQ(w_dims,
+              (std::vector<Dim>{Dim::K, Dim::C, Dim::R, Dim::S}));
+}
+
+TEST(TensorAnalysis, OutputSpaceShift)
+{
+    // Co-mapped Y and R with equal shift: output does not move
+    // (the Eyeriss diagonal).
+    EXPECT_EQ(outputSpaceShift(1, 1), 0);
+    EXPECT_EQ(outputSpaceShift(1, 0), 1);
+    EXPECT_EQ(outputSpaceShift(0, 1), -1);
+}
+
+} // namespace
+} // namespace maestro

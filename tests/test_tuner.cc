@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the dataflow auto-tuner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/dataflows/tuner.hh"
+#include "src/model/zoo.hh"
+
+namespace maestro
+{
+namespace
+{
+
+TEST(Tuner, CandidatesAreStructurallyValid)
+{
+    const Network net = zoo::vgg16();
+    const auto candidates = dataflows::generateCandidates(
+        net.layer("CONV11"), dataflows::TunerOptions());
+    EXPECT_GT(candidates.size(), 50u);
+    for (const Dataflow &df : candidates)
+        EXPECT_NO_THROW(df.validate()) << df.name();
+}
+
+TEST(Tuner, CandidatesBindToEveryZooLayerClass)
+{
+    // Every candidate must bind on representative layers of every
+    // operator class (no crash, positive runtime).
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    struct Pick { const char *model, *layer; };
+    const Pick picks[] = {
+        {"vgg16", "CONV1"},          // early conv
+        {"vgg16", "CONV13"},         // late conv
+        {"mobilenetv2", "B2_dw"},    // depth-wise
+        {"mobilenetv2", "B2_expand"},// point-wise
+        {"vgg16", "FC3"},            // fully connected
+    };
+    dataflows::TunerOptions options;
+    options.cluster_sizes = {1, 8, 32};
+    options.channel_tiles = {1, 16};
+    for (const Pick &pick : picks) {
+        const Network net = zoo::byName(pick.model);
+        const Layer &layer = net.layer(pick.layer);
+        for (const Dataflow &df :
+             dataflows::generateCandidates(layer, options)) {
+            const LayerAnalysis la = analyzer.analyzeLayer(layer, df);
+            EXPECT_GT(la.runtime, 0.0)
+                << pick.model << "/" << pick.layer << " " << df.name();
+        }
+    }
+}
+
+TEST(Tuner, RankedResultsAreSorted)
+{
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const Network net = zoo::vgg16();
+    const auto res = dataflows::tuneDataflow(
+        analyzer, net.layer("CONV11"), dataflows::Objective::Runtime);
+    ASSERT_FALSE(res.ranked.empty());
+    for (std::size_t i = 1; i < res.ranked.size(); ++i) {
+        EXPECT_LE(res.ranked[i - 1].objective_value,
+                  res.ranked[i].objective_value);
+    }
+    EXPECT_DOUBLE_EQ(res.best().objective_value,
+                     res.ranked.front().objective_value);
+}
+
+TEST(Tuner, BeatsOrMatchesWorstCatalogEntry)
+{
+    // The tuned dataflow must be no worse than the best catalog entry
+    // times a small slack (its space includes catalog-like shapes).
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const Network net = zoo::vgg16();
+    const Layer &layer = net.layer("CONV11");
+    double best_catalog = 0.0;
+    for (const Dataflow &df : dataflows::table3()) {
+        const double r = analyzer.analyzeLayer(layer, df).runtime;
+        if (best_catalog == 0.0 || r < best_catalog)
+            best_catalog = r;
+    }
+    const auto res = dataflows::tuneDataflow(
+        analyzer, layer, dataflows::Objective::Runtime);
+    EXPECT_LE(res.best().runtime, best_catalog * 1.25);
+}
+
+TEST(Tuner, ObjectiveSelectsDifferentWinners)
+{
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const Network net = zoo::vgg16();
+    const Layer &layer = net.layer("CONV2");
+    const auto by_runtime = dataflows::tuneDataflow(
+        analyzer, layer, dataflows::Objective::Runtime);
+    const auto by_energy = dataflows::tuneDataflow(
+        analyzer, layer, dataflows::Objective::Energy);
+    EXPECT_LE(by_energy.best().energy,
+              by_runtime.best().energy * (1.0 + 1e-9));
+    EXPECT_LE(by_runtime.best().runtime,
+              by_energy.best().runtime * (1.0 + 1e-9));
+}
+
+TEST(Tuner, TopKRespected)
+{
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const Network net = zoo::vgg16();
+    dataflows::TunerOptions options;
+    options.top_k = 3;
+    const auto res =
+        dataflows::tuneDataflow(analyzer, net.layer("CONV11"),
+                                dataflows::Objective::Edp, options);
+    EXPECT_LE(res.ranked.size(), 3u);
+}
+
+TEST(Tuner, EmptyRankingThrowsOnBest)
+{
+    dataflows::TunerResult empty;
+    EXPECT_THROW(empty.best(), Error);
+}
+
+} // namespace
+} // namespace maestro

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * maestro — command-line driver for the library.
+ *
+ * Subcommands:
+ *   analyze   analytical model for one layer or a whole network
+ *   simulate  reference cycle-level simulation of one layer
+ *   dse       hardware design space exploration for one layer
+ *   tune      dataflow auto-tuning for one layer
+ *
+ * Inputs come from the zoo (--model vgg16 [--layer CONV2]) or a DSL
+ * file (--file my.m). Dataflows come from the catalog (--dataflow
+ * KC-P) or the file's Dataflow blocks. Hardware defaults to the
+ * paper's 256-PE study config, overridable with --pes/--noc-bw/... or
+ * a file's Accelerator block.
+ *
+ * Examples:
+ *   maestro analyze --model vgg16 --layer CONV11 --dataflow KC-P
+ *   maestro analyze --model mobilenetv2 --dataflow YR-P
+ *   maestro simulate --model alexnet --layer CONV2 --dataflow YR-P
+ *   maestro dse --model vgg16 --layer CONV2 --dataflow KC-P --area 16
+ *   maestro tune --model vgg16 --layer CONV11 --objective energy
+ *   maestro analyze --file examples/sample.m --dataflow row-stationary
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+
+#include "src/common/error.hh"
+#include "src/common/table.hh"
+#include "src/core/analyzer.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/dataflows/tuner.hh"
+#include "src/dse/explorer.hh"
+#include "src/frontend/parser.hh"
+#include "src/model/zoo.hh"
+#include "src/sim/reference_sim.hh"
+
+namespace
+{
+
+using namespace maestro;
+
+/** Parsed command line: subcommand plus --key value options. */
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> options;
+
+    bool has(const std::string &key) const { return options.count(key); }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        const auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+
+    Count
+    getInt(const std::string &key, Count fallback) const
+    {
+        const auto it = options.find(key);
+        return it == options.end() ? fallback : std::stoll(it->second);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        const auto it = options.find(key);
+        return it == options.end() ? fallback : std::stod(it->second);
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    fatalIf(argc < 2, "usage: maestro <analyze|simulate|dse|tune> "
+                      "[--key value ...]");
+    Args args;
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string key = argv[i];
+        fatalIf(key.rfind("--", 0) != 0,
+                msg("expected --option, found '", key, "'"));
+        fatalIf(i + 1 >= argc, msg("missing value for ", key));
+        args.options[key.substr(2)] = argv[++i];
+    }
+    return args;
+}
+
+/** Everything a subcommand needs, resolved from the arguments. */
+struct Inputs
+{
+    Network network{"none"};
+    std::optional<std::string> layer_name;
+    std::vector<Dataflow> dataflows;
+    AcceleratorConfig config = AcceleratorConfig::paperStudy();
+};
+
+Inputs
+resolveInputs(const Args &args)
+{
+    Inputs in;
+    std::optional<frontend::ParsedFile> file;
+    if (args.has("file"))
+        file = frontend::parseFile(args.get("file"));
+
+    if (args.has("model")) {
+        in.network = zoo::byName(args.get("model"));
+    } else if (file && !file->networks.empty()) {
+        in.network = file->networks.front();
+    } else {
+        throw Error("provide --model <zoo-name> or --file with a "
+                    "Network block");
+    }
+
+    if (args.has("layer"))
+        in.layer_name = args.get("layer");
+
+    if (args.has("dataflow")) {
+        const std::string name = args.get("dataflow");
+        if (file && file->dataflows.count(name)) {
+            in.dataflows.push_back(file->dataflows.at(name));
+        } else {
+            in.dataflows.push_back(dataflows::byName(name));
+        }
+    } else if (file && !file->dataflows.empty()) {
+        for (const auto &[name, df] : file->dataflows)
+            in.dataflows.push_back(df);
+    } else {
+        in.dataflows = dataflows::table3();
+    }
+
+    if (file && file->accelerator)
+        in.config = *file->accelerator;
+    in.config.num_pes = args.getInt("pes", in.config.num_pes);
+    if (args.has("noc-bw")) {
+        in.config.noc = NocModel(args.getDouble("noc-bw", 32.0),
+                                 in.config.noc.avgLatency());
+    }
+    if (args.has("l1"))
+        in.config.l1_bytes = args.getInt("l1", in.config.l1_bytes);
+    if (args.has("l2"))
+        in.config.l2_bytes = args.getInt("l2", in.config.l2_bytes);
+    in.config.validate();
+    return in;
+}
+
+/** The layers a subcommand operates on. */
+std::vector<const Layer *>
+selectLayers(const Inputs &in)
+{
+    std::vector<const Layer *> out;
+    if (in.layer_name) {
+        out.push_back(&in.network.layer(*in.layer_name));
+    } else {
+        for (const Layer &l : in.network.layers())
+            out.push_back(&l);
+    }
+    return out;
+}
+
+int
+cmdAnalyze(const Inputs &in)
+{
+    const Analyzer analyzer(in.config);
+    for (const Dataflow &df : in.dataflows) {
+        std::cout << "== dataflow " << df.name() << " ==\n";
+        Table table({"layer", "runtime(cyc)", "MACs/cyc", "util",
+                     "energy(MACs)", "L1 req(B)", "L2 req(KB)",
+                     "BW req", "bottleneck"});
+        double total_runtime = 0.0;
+        double total_energy = 0.0;
+        for (const Layer *layer : selectLayers(in)) {
+            const LayerAnalysis la = analyzer.analyzeLayer(*layer, df);
+            total_runtime += la.runtime;
+            total_energy += la.onchipEnergy();
+            table.addRow(
+                {layer->name(), engFormat(la.runtime),
+                 fixedFormat(la.throughput, 1),
+                 fixedFormat(la.utilization, 2),
+                 engFormat(la.onchipEnergy()),
+                 fixedFormat(la.cost.l1_bytes_required, 0),
+                 fixedFormat(la.cost.l2_bytes_required / 1024.0, 1),
+                 fixedFormat(la.noc_bw_requirement, 1),
+                 la.bottleneck});
+        }
+        table.print(std::cout);
+        std::cout << "total: " << engFormat(total_runtime)
+                  << " cycles, " << engFormat(total_energy)
+                  << " MAC-units energy\n\n";
+    }
+    return 0;
+}
+
+int
+cmdSimulate(const Inputs &in)
+{
+    fatalIf(!in.layer_name, "simulate needs --layer");
+    const Layer &layer = in.network.layer(*in.layer_name);
+    const Analyzer analyzer(in.config);
+    Table table({"dataflow", "analytical(cyc)", "simulated(cyc)",
+                 "error(%)", "sim MACs", "sim active PEs"});
+    for (const Dataflow &df : in.dataflows) {
+        const LayerAnalysis la = analyzer.analyzeLayer(layer, df);
+        const SimResult sim = simulateLayer(layer, df, in.config);
+        table.addRow({df.name(), engFormat(la.runtime),
+                      engFormat(sim.cycles),
+                      fixedFormat(100.0 * (la.runtime - sim.cycles) /
+                                      sim.cycles,
+                                  2),
+                      engFormat(sim.macs),
+                      fixedFormat(sim.avg_active_pes, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdDse(const Args &args, const Inputs &in)
+{
+    fatalIf(!in.layer_name, "dse needs --layer");
+    fatalIf(in.dataflows.size() != 1,
+            "dse needs exactly one --dataflow");
+    const Layer &layer = in.network.layer(*in.layer_name);
+    dse::DseOptions options;
+    options.area_budget_mm2 = args.getDouble("area", 16.0);
+    options.power_budget_mw = args.getDouble("power", 450.0);
+    const dse::Explorer explorer(in.config);
+    const dse::DseResult res = explorer.explore(
+        layer, in.dataflows.front(), dse::DesignSpace::figure13(),
+        options);
+    std::cout << "explored " << engFormat(res.explored_points) << " ("
+              << engFormat(res.valid_points) << " valid) in "
+              << fixedFormat(res.seconds, 2) << " s ("
+              << engFormat(res.rate) << " designs/s)\n";
+    Table table({"objective", "PEs", "L1(B)", "L2(KB)", "BW",
+                 "area", "power", "MACs/cyc", "energy"});
+    auto add = [&](const char *name, const dse::DesignPoint &p) {
+        table.addRow({name, std::to_string(p.num_pes),
+                      std::to_string(p.l1_bytes),
+                      fixedFormat(p.l2_bytes / 1024.0, 0),
+                      fixedFormat(p.noc_bandwidth, 0),
+                      fixedFormat(p.area, 2), fixedFormat(p.power, 0),
+                      fixedFormat(p.throughput, 1),
+                      engFormat(p.energy)});
+    };
+    add("throughput", res.best_throughput);
+    add("energy", res.best_energy);
+    add("EDP", res.best_edp);
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTune(const Args &args, const Inputs &in)
+{
+    fatalIf(!in.layer_name, "tune needs --layer");
+    const Layer &layer = in.network.layer(*in.layer_name);
+    const std::string obj = args.get("objective", "runtime");
+    dataflows::Objective objective = dataflows::Objective::Runtime;
+    if (obj == "energy")
+        objective = dataflows::Objective::Energy;
+    else if (obj == "edp")
+        objective = dataflows::Objective::Edp;
+    else
+        fatalIf(obj != "runtime",
+                "objective must be runtime, energy, or edp");
+
+    const Analyzer analyzer(in.config);
+    const dataflows::TunerResult res =
+        dataflows::tuneDataflow(analyzer, layer, objective);
+    std::cout << "tuned " << res.candidates << " candidates ("
+              << res.rejected << " rejected) for " << layer.name()
+              << ", objective " << obj << "\n\n";
+    Table table({"rank", "dataflow", "runtime", "energy", "util"});
+    int rank = 1;
+    for (const auto &td : res.ranked) {
+        table.addRow({std::to_string(rank++), td.dataflow.name(),
+                      engFormat(td.runtime), engFormat(td.energy),
+                      fixedFormat(td.utilization, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nwinning dataflow:\n"
+              << res.best().dataflow.toString();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace maestro;
+    try {
+        const Args args = parseArgs(argc, argv);
+        const Inputs in = resolveInputs(args);
+        if (args.command == "analyze")
+            return cmdAnalyze(in);
+        if (args.command == "simulate")
+            return cmdSimulate(in);
+        if (args.command == "dse")
+            return cmdDse(args, in);
+        if (args.command == "tune")
+            return cmdTune(args, in);
+        throw Error(msg("unknown command '", args.command, "'"));
+    } catch (const Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
