@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_model"
+  "../bench/ablation_model.pdb"
+  "CMakeFiles/ablation_model.dir/ablation_model.cpp.o"
+  "CMakeFiles/ablation_model.dir/ablation_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

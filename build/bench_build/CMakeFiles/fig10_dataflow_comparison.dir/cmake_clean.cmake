@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_dataflow_comparison"
+  "../bench/fig10_dataflow_comparison.pdb"
+  "CMakeFiles/fig10_dataflow_comparison.dir/fig10_dataflow_comparison.cpp.o"
+  "CMakeFiles/fig10_dataflow_comparison.dir/fig10_dataflow_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dataflow_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_reuse"
+  "../bench/fig11_reuse.pdb"
+  "CMakeFiles/fig11_reuse.dir/fig11_reuse.cpp.o"
+  "CMakeFiles/fig11_reuse.dir/fig11_reuse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

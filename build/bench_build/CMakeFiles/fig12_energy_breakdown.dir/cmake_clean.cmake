@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_energy_breakdown"
+  "../bench/fig12_energy_breakdown.pdb"
+  "CMakeFiles/fig12_energy_breakdown.dir/fig12_energy_breakdown.cpp.o"
+  "CMakeFiles/fig12_energy_breakdown.dir/fig12_energy_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

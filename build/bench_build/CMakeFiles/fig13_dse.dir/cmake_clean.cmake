@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_dse"
+  "../bench/fig13_dse.pdb"
+  "CMakeFiles/fig13_dse.dir/fig13_dse.cpp.o"
+  "CMakeFiles/fig13_dse.dir/fig13_dse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/model_speed"
+  "../bench/model_speed.pdb"
+  "CMakeFiles/model_speed.dir/model_speed.cpp.o"
+  "CMakeFiles/model_speed.dir/model_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_catalog"
+  "../bench/table3_catalog.pdb"
+  "CMakeFiles/table3_catalog.dir/table3_catalog.cpp.o"
+  "CMakeFiles/table3_catalog.dir/table3_catalog.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

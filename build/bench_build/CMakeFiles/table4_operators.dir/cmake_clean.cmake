@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_operators"
+  "../bench/table4_operators.pdb"
+  "CMakeFiles/table4_operators.dir/table4_operators.cpp.o"
+  "CMakeFiles/table4_operators.dir/table4_operators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_hw_support"
+  "../bench/table5_hw_support.pdb"
+  "CMakeFiles/table5_hw_support.dir/table5_hw_support.cpp.o"
+  "CMakeFiles/table5_hw_support.dir/table5_hw_support.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_hw_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_dataflow.dir/adaptive_dataflow.cpp.o"
+  "CMakeFiles/adaptive_dataflow.dir/adaptive_dataflow.cpp.o.d"
+  "adaptive_dataflow"
+  "adaptive_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

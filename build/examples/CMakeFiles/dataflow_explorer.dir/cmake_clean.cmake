@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_explorer.dir/dataflow_explorer.cpp.o"
+  "CMakeFiles/dataflow_explorer.dir/dataflow_explorer.cpp.o.d"
+  "dataflow_explorer"
+  "dataflow_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

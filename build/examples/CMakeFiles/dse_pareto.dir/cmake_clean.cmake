@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_pareto.dir/dse_pareto.cpp.o"
+  "CMakeFiles/dse_pareto.dir/dse_pareto.cpp.o.d"
+  "dse_pareto"
+  "dse_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_validate.dir/dsl_validate.cpp.o"
+  "CMakeFiles/dsl_validate.dir/dsl_validate.cpp.o.d"
+  "dsl_validate"
+  "dsl_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

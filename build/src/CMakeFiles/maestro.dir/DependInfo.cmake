@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/error.cc" "src/CMakeFiles/maestro.dir/common/error.cc.o" "gcc" "src/CMakeFiles/maestro.dir/common/error.cc.o.d"
+  "/root/repo/src/common/math_util.cc" "src/CMakeFiles/maestro.dir/common/math_util.cc.o" "gcc" "src/CMakeFiles/maestro.dir/common/math_util.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/maestro.dir/common/table.cc.o" "gcc" "src/CMakeFiles/maestro.dir/common/table.cc.o.d"
+  "/root/repo/src/core/analyzer.cc" "src/CMakeFiles/maestro.dir/core/analyzer.cc.o" "gcc" "src/CMakeFiles/maestro.dir/core/analyzer.cc.o.d"
+  "/root/repo/src/core/cluster_analysis.cc" "src/CMakeFiles/maestro.dir/core/cluster_analysis.cc.o" "gcc" "src/CMakeFiles/maestro.dir/core/cluster_analysis.cc.o.d"
+  "/root/repo/src/core/cost_analysis.cc" "src/CMakeFiles/maestro.dir/core/cost_analysis.cc.o" "gcc" "src/CMakeFiles/maestro.dir/core/cost_analysis.cc.o.d"
+  "/root/repo/src/core/dataflow.cc" "src/CMakeFiles/maestro.dir/core/dataflow.cc.o" "gcc" "src/CMakeFiles/maestro.dir/core/dataflow.cc.o.d"
+  "/root/repo/src/core/dims.cc" "src/CMakeFiles/maestro.dir/core/dims.cc.o" "gcc" "src/CMakeFiles/maestro.dir/core/dims.cc.o.d"
+  "/root/repo/src/core/flat_analysis.cc" "src/CMakeFiles/maestro.dir/core/flat_analysis.cc.o" "gcc" "src/CMakeFiles/maestro.dir/core/flat_analysis.cc.o.d"
+  "/root/repo/src/core/performance_analysis.cc" "src/CMakeFiles/maestro.dir/core/performance_analysis.cc.o" "gcc" "src/CMakeFiles/maestro.dir/core/performance_analysis.cc.o.d"
+  "/root/repo/src/core/reuse_analysis.cc" "src/CMakeFiles/maestro.dir/core/reuse_analysis.cc.o" "gcc" "src/CMakeFiles/maestro.dir/core/reuse_analysis.cc.o.d"
+  "/root/repo/src/core/tensor_analysis.cc" "src/CMakeFiles/maestro.dir/core/tensor_analysis.cc.o" "gcc" "src/CMakeFiles/maestro.dir/core/tensor_analysis.cc.o.d"
+  "/root/repo/src/dataflows/adaptive.cc" "src/CMakeFiles/maestro.dir/dataflows/adaptive.cc.o" "gcc" "src/CMakeFiles/maestro.dir/dataflows/adaptive.cc.o.d"
+  "/root/repo/src/dataflows/catalog.cc" "src/CMakeFiles/maestro.dir/dataflows/catalog.cc.o" "gcc" "src/CMakeFiles/maestro.dir/dataflows/catalog.cc.o.d"
+  "/root/repo/src/dataflows/tuner.cc" "src/CMakeFiles/maestro.dir/dataflows/tuner.cc.o" "gcc" "src/CMakeFiles/maestro.dir/dataflows/tuner.cc.o.d"
+  "/root/repo/src/dse/design_space.cc" "src/CMakeFiles/maestro.dir/dse/design_space.cc.o" "gcc" "src/CMakeFiles/maestro.dir/dse/design_space.cc.o.d"
+  "/root/repo/src/dse/explorer.cc" "src/CMakeFiles/maestro.dir/dse/explorer.cc.o" "gcc" "src/CMakeFiles/maestro.dir/dse/explorer.cc.o.d"
+  "/root/repo/src/dse/pareto.cc" "src/CMakeFiles/maestro.dir/dse/pareto.cc.o" "gcc" "src/CMakeFiles/maestro.dir/dse/pareto.cc.o.d"
+  "/root/repo/src/frontend/lexer.cc" "src/CMakeFiles/maestro.dir/frontend/lexer.cc.o" "gcc" "src/CMakeFiles/maestro.dir/frontend/lexer.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/CMakeFiles/maestro.dir/frontend/parser.cc.o" "gcc" "src/CMakeFiles/maestro.dir/frontend/parser.cc.o.d"
+  "/root/repo/src/frontend/serializer.cc" "src/CMakeFiles/maestro.dir/frontend/serializer.cc.o" "gcc" "src/CMakeFiles/maestro.dir/frontend/serializer.cc.o.d"
+  "/root/repo/src/hw/accelerator.cc" "src/CMakeFiles/maestro.dir/hw/accelerator.cc.o" "gcc" "src/CMakeFiles/maestro.dir/hw/accelerator.cc.o.d"
+  "/root/repo/src/hw/area_power.cc" "src/CMakeFiles/maestro.dir/hw/area_power.cc.o" "gcc" "src/CMakeFiles/maestro.dir/hw/area_power.cc.o.d"
+  "/root/repo/src/hw/energy.cc" "src/CMakeFiles/maestro.dir/hw/energy.cc.o" "gcc" "src/CMakeFiles/maestro.dir/hw/energy.cc.o.d"
+  "/root/repo/src/hw/noc.cc" "src/CMakeFiles/maestro.dir/hw/noc.cc.o" "gcc" "src/CMakeFiles/maestro.dir/hw/noc.cc.o.d"
+  "/root/repo/src/model/layer.cc" "src/CMakeFiles/maestro.dir/model/layer.cc.o" "gcc" "src/CMakeFiles/maestro.dir/model/layer.cc.o.d"
+  "/root/repo/src/model/network.cc" "src/CMakeFiles/maestro.dir/model/network.cc.o" "gcc" "src/CMakeFiles/maestro.dir/model/network.cc.o.d"
+  "/root/repo/src/model/zoo.cc" "src/CMakeFiles/maestro.dir/model/zoo.cc.o" "gcc" "src/CMakeFiles/maestro.dir/model/zoo.cc.o.d"
+  "/root/repo/src/sim/reference_sim.cc" "src/CMakeFiles/maestro.dir/sim/reference_sim.cc.o" "gcc" "src/CMakeFiles/maestro.dir/sim/reference_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

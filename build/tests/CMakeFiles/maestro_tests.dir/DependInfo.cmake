@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analyzer_properties.cc" "tests/CMakeFiles/maestro_tests.dir/test_analyzer_properties.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_analyzer_properties.cc.o.d"
+  "/root/repo/tests/test_cluster_analysis.cc" "tests/CMakeFiles/maestro_tests.dir/test_cluster_analysis.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_cluster_analysis.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/maestro_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_cost.cc" "tests/CMakeFiles/maestro_tests.dir/test_cost.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_cost.cc.o.d"
+  "/root/repo/tests/test_dataflow.cc" "tests/CMakeFiles/maestro_tests.dir/test_dataflow.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_dataflow.cc.o.d"
+  "/root/repo/tests/test_dims.cc" "tests/CMakeFiles/maestro_tests.dir/test_dims.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_dims.cc.o.d"
+  "/root/repo/tests/test_dse.cc" "tests/CMakeFiles/maestro_tests.dir/test_dse.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_dse.cc.o.d"
+  "/root/repo/tests/test_flat_analysis.cc" "tests/CMakeFiles/maestro_tests.dir/test_flat_analysis.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_flat_analysis.cc.o.d"
+  "/root/repo/tests/test_frontend.cc" "tests/CMakeFiles/maestro_tests.dir/test_frontend.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_frontend.cc.o.d"
+  "/root/repo/tests/test_hw.cc" "tests/CMakeFiles/maestro_tests.dir/test_hw.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_hw.cc.o.d"
+  "/root/repo/tests/test_layer.cc" "tests/CMakeFiles/maestro_tests.dir/test_layer.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_layer.cc.o.d"
+  "/root/repo/tests/test_math_util.cc" "tests/CMakeFiles/maestro_tests.dir/test_math_util.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_math_util.cc.o.d"
+  "/root/repo/tests/test_performance.cc" "tests/CMakeFiles/maestro_tests.dir/test_performance.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_performance.cc.o.d"
+  "/root/repo/tests/test_reuse_analysis.cc" "tests/CMakeFiles/maestro_tests.dir/test_reuse_analysis.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_reuse_analysis.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/maestro_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_tensor_analysis.cc" "tests/CMakeFiles/maestro_tests.dir/test_tensor_analysis.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_tensor_analysis.cc.o.d"
+  "/root/repo/tests/test_tuner.cc" "tests/CMakeFiles/maestro_tests.dir/test_tuner.cc.o" "gcc" "tests/CMakeFiles/maestro_tests.dir/test_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/maestro.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

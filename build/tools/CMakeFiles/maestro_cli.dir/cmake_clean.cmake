@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maestro_cli.dir/maestro_cli.cpp.o"
+  "CMakeFiles/maestro_cli.dir/maestro_cli.cpp.o.d"
+  "maestro"
+  "maestro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maestro_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
