@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Thread-safe LRU memo cache backing the staged analysis pipeline.
+ *
+ * A fixed-capacity key/value cache with least-recently-used eviction
+ * and hit/miss/eviction counters. All operations take an internal
+ * mutex, so one cache may be shared by the worker threads of a batch
+ * evaluation; the intended values are shared_ptr<const T> artifacts so
+ * hits never copy the cached payload.
+ */
+
+#ifndef MAESTRO_COMMON_LRU_CACHE_HH
+#define MAESTRO_COMMON_LRU_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace maestro
+{
+
+/**
+ * Counters describing one cache's effectiveness.
+ */
+struct CacheStats
+{
+    std::uint64_t hits = 0;      ///< lookups served from the cache
+    std::uint64_t misses = 0;    ///< lookups that had to compute
+    std::uint64_t evictions = 0; ///< entries dropped by the LRU policy
+    std::size_t entries = 0;     ///< entries currently resident
+
+    /** Hit fraction in [0, 1] (0 when never queried). */
+    double
+    hitRate() const
+    {
+        const double total =
+            static_cast<double>(hits) + static_cast<double>(misses);
+        return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+    }
+
+    /** Element-wise accumulation (for aggregating stage stats). */
+    CacheStats &
+    operator+=(const CacheStats &other)
+    {
+        hits += other.hits;
+        misses += other.misses;
+        evictions += other.evictions;
+        entries += other.entries;
+        return *this;
+    }
+};
+
+/**
+ * Fixed-capacity thread-safe LRU cache.
+ *
+ * @tparam Key Hashable, equality-comparable key.
+ * @tparam Value Copyable value (use shared_ptr for heavy payloads).
+ * @tparam Hash Hash functor for Key.
+ */
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache
+{
+  public:
+    /** Creates a cache holding at most `capacity` entries (>= 1). */
+    explicit LruCache(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    /**
+     * Looks up a key, refreshing its recency on a hit.
+     *
+     * @return The cached value, or nullopt on a miss.
+     */
+    std::optional<Value>
+    get(const Key &key)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = index_.find(key);
+        if (it == index_.end()) {
+            ++misses_;
+            return std::nullopt;
+        }
+        ++hits_;
+        order_.splice(order_.begin(), order_, it->second);
+        return it->second->second;
+    }
+
+    /** Inserts or refreshes a key, evicting the LRU entry if full. */
+    void
+    put(const Key &key, Value value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        insertLocked(key, std::move(value));
+    }
+
+    /**
+     * Returns the cached value for a key, computing and inserting it
+     * on a miss. The compute function runs outside the cache lock, so
+     * two threads racing on the same key may both compute; the first
+     * insertion wins and the duplicate is discarded (values must be
+     * deterministic for a given key, which analysis artifacts are).
+     *
+     * @throws Whatever `compute` throws; nothing is cached then.
+     */
+    template <typename Fn>
+    Value
+    getOrCompute(const Key &key, Fn &&compute)
+    {
+        if (auto hit = get(key))
+            return std::move(*hit);
+        Value value = compute();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = index_.find(key);
+            if (it != index_.end()) {
+                // A racing thread inserted first; keep its entry.
+                order_.splice(order_.begin(), order_, it->second);
+                return it->second->second;
+            }
+            insertLocked(key, value);
+        }
+        return value;
+    }
+
+    /** Snapshot of the counters. */
+    CacheStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        CacheStats s;
+        s.hits = hits_;
+        s.misses = misses_;
+        s.evictions = evictions_;
+        s.entries = index_.size();
+        return s;
+    }
+
+    /** Drops every entry (counters keep accumulating). */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        order_.clear();
+        index_.clear();
+    }
+
+    /** Maximum entry count. */
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    using Entry = std::pair<Key, Value>;
+
+    /** Inserts/refreshes under the caller-held lock. */
+    void
+    insertLocked(const Key &key, Value value)
+    {
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            it->second->second = std::move(value);
+            order_.splice(order_.begin(), order_, it->second);
+            return;
+        }
+        order_.emplace_front(key, std::move(value));
+        index_[key] = order_.begin();
+        if (index_.size() > capacity_) {
+            index_.erase(order_.back().first);
+            order_.pop_back();
+            ++evictions_;
+        }
+    }
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::list<Entry> order_; ///< most-recent first
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash>
+        index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace maestro
+
+#endif // MAESTRO_COMMON_LRU_CACHE_HH

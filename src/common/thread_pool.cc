@@ -1,0 +1,146 @@
+#include "src/common/thread_pool.hh"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace maestro
+{
+
+namespace
+{
+
+/** Shared state of one parallelFor batch. */
+struct ForState
+{
+    std::atomic<std::size_t> next{0}; ///< next unclaimed index
+    std::size_t count = 0;            ///< total indices
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t pending_helpers = 0;  ///< helpers still draining
+    std::exception_ptr error;         ///< first body exception
+};
+
+/**
+ * Drains indices off the shared counter until exhausted (or until an
+ * error cancels the batch).
+ */
+void
+drain(ForState &state, const std::function<void(std::size_t)> &body)
+{
+    std::size_t i;
+    while ((i = state.next.fetch_add(1)) < state.count) {
+        try {
+            body(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            if (!state.error)
+                state.error = std::current_exception();
+            // Cancel the remaining indices.
+            state.next.store(state.count);
+            return;
+        }
+    }
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stop_ set and queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (threads_.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    const auto state = std::make_shared<ForState>();
+    state->count = count;
+    const std::size_t helpers = std::min(threads_.size(), count - 1);
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->pending_helpers = helpers;
+    }
+    for (std::size_t h = 0; h < helpers; ++h) {
+        // The state shared_ptr keeps the batch alive until every
+        // helper checked out; `body` outlives the batch because
+        // parallelFor blocks below until pending_helpers hits zero.
+        submit([state, &body] {
+            drain(*state, body);
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (--state->pending_helpers == 0)
+                state->done_cv.notify_all();
+        });
+    }
+
+    drain(*state, body);
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(
+        lock, [&] { return state->pending_helpers == 0; });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+void
+ThreadPool::run(std::size_t num_threads, std::size_t count,
+                const std::function<void(std::size_t)> &body)
+{
+    if (num_threads <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool pool(num_threads - 1);
+    pool.parallelFor(count, body);
+}
+
+} // namespace maestro

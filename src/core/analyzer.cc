@@ -1,40 +1,15 @@
 #include "src/core/analyzer.hh"
 
-#include <algorithm>
+#include <utility>
 
 #include "src/common/error.hh"
-#include "src/core/cluster_analysis.hh"
-#include "src/core/reuse_analysis.hh"
-#include "src/core/tensor_analysis.hh"
+#include "src/common/thread_pool.hh"
 
 namespace maestro
 {
 
 namespace
 {
-
-/** Scales every activity count of a cost result (grouped convs). */
-void
-scaleCost(CostResult &cost, double factor)
-{
-    cost.total_macs *= factor;
-    for (TensorKind t : kAllTensors) {
-        cost.l1_reads[t] *= factor;
-        cost.l1_writes[t] *= factor;
-        cost.l2_reads[t] *= factor;
-        cost.l2_writes[t] *= factor;
-        cost.dram_reads[t] *= factor;
-        cost.dram_writes[t] *= factor;
-        cost.energy.l1_read[t] *= factor;
-        cost.energy.l1_write[t] *= factor;
-        cost.energy.l2_read[t] *= factor;
-        cost.energy.l2_write[t] *= factor;
-    }
-    cost.noc_elements *= factor;
-    cost.energy.mac *= factor;
-    cost.energy.noc *= factor;
-    cost.energy.dram *= factor;
-}
 
 std::size_t
 classIndex(OperatorClass cls)
@@ -44,79 +19,87 @@ classIndex(OperatorClass cls)
 
 } // namespace
 
-Analyzer::Analyzer(AcceleratorConfig config, EnergyModel energy)
-    : config_(std::move(config)), energy_(std::move(energy))
+Analyzer::Analyzer(AcceleratorConfig config, EnergyModel energy,
+                   std::shared_ptr<AnalysisPipeline> pipeline)
+    : config_(std::move(config)), energy_(std::move(energy)),
+      pipeline_(pipeline ? std::move(pipeline)
+                         : std::make_shared<AnalysisPipeline>())
 {
     config_.validate();
+    hw_fingerprint_ = hardwareFingerprint(config_, energy_);
 }
 
 LayerAnalysis
 Analyzer::analyzeLayer(const Layer &layer, const Dataflow &dataflow) const
 {
-    layer.validate();
-
-    const TensorInfo tensors = analyzeTensors(layer);
-    const bool depthwise = layer.type() == OpType::DepthwiseConv;
-    const BoundDataflow bound =
-        bindDataflow(dataflow, layer, config_.num_pes);
-    const std::vector<LevelReuse> reuse =
-        analyzeReuse(bound, tensors, depthwise);
-    const FlatAnalysis flat =
-        analyzeFlat(bound, reuse, tensors, depthwise, config_);
-    const double compute_scale =
-        layer.inputDensityVal() * layer.weightDensityVal();
-    const PerformanceResult perf =
-        analyzePerformance(bound, reuse, flat, layer, config_,
-                           compute_scale);
-    CostResult cost = analyzeCost(bound, reuse, flat, perf, layer,
-                                  config_, energy_);
-
-    const double groups = static_cast<double>(layer.groupsVal());
-    scaleCost(cost, groups);
-
-    LayerAnalysis out;
-    out.layer_name = layer.name();
-    out.dataflow_name = dataflow.name();
-    out.op_class = layer.operatorClass();
-    out.runtime = perf.runtime * groups;
-    out.total_macs = cost.total_macs;
-    out.throughput =
-        out.runtime > 0.0 ? out.total_macs / out.runtime : 0.0;
-    out.active_pes = perf.active_pes;
-    out.utilization =
-        perf.active_pes / static_cast<double>(config_.num_pes);
-    out.noc_bw_requirement = perf.noc_bw_requirement;
-    out.bottleneck = perf.bottleneck;
-    out.perf = perf;
-    out.cost = std::move(cost);
-    return out;
+    return pipeline_->analyzeLayer(layer, dataflow, config_, energy_,
+                                   hw_fingerprint_);
 }
 
-NetworkAnalysis
-Analyzer::analyzeNetwork(const Network &network,
-                         const Dataflow &dataflow) const
+std::vector<Analyzer::BatchEval>
+Analyzer::evaluateBatch(const std::vector<BatchJob> &jobs,
+                        std::size_t num_threads) const
 {
+    std::vector<BatchEval> results(jobs.size());
+    // Each worker writes only its own slot, so results are in job
+    // order and bit-identical for any thread count.
+    ThreadPool::run(num_threads, jobs.size(), [&](std::size_t i) {
+        BatchEval &out = results[i];
+        try {
+            out.analysis =
+                analyzeLayer(jobs[i].layer, jobs[i].dataflow);
+            out.ok = true;
+        } catch (const std::exception &e) {
+            out.ok = false;
+            out.error = e.what();
+        }
+    });
+    return results;
+}
+
+std::vector<LayerAnalysis>
+Analyzer::analyzeLayers(std::vector<BatchJob> jobs,
+                        std::size_t num_threads) const
+{
+    std::vector<BatchEval> evals = evaluateBatch(jobs, num_threads);
     std::vector<LayerAnalysis> layers;
-    layers.reserve(network.layers().size());
-    for (const auto &layer : network.layers())
-        layers.push_back(analyzeLayer(layer, dataflow));
-    return aggregate(network, std::move(layers), dataflow.name());
+    layers.reserve(evals.size());
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+        fatalIf(!evals[i].ok,
+                msg("layer '", jobs[i].layer.name(),
+                    "': ", evals[i].error));
+        layers.push_back(std::move(evals[i].analysis));
+    }
+    return layers;
 }
 
 NetworkAnalysis
-Analyzer::analyzeNetworkAdaptive(
-    const Network &network, const std::vector<Dataflow> &dataflows) const
+Analyzer::analyzeNetwork(const Network &network, const Dataflow &dataflow,
+                         std::size_t num_threads) const
+{
+    std::vector<BatchJob> jobs;
+    jobs.reserve(network.layers().size());
+    for (const auto &layer : network.layers())
+        jobs.push_back({layer, dataflow});
+    return aggregate(network, analyzeLayers(std::move(jobs), num_threads),
+                     dataflow.name());
+}
+
+NetworkAnalysis
+Analyzer::analyzeNetworkAdaptive(const Network &network,
+                                 const std::vector<Dataflow> &dataflows,
+                                 std::size_t num_threads) const
 {
     fatalIf(dataflows.size() != network.layers().size(),
             msg("adaptive analysis needs one dataflow per layer: got ",
                 dataflows.size(), " for ", network.layers().size(),
                 " layers"));
-    std::vector<LayerAnalysis> layers;
-    layers.reserve(network.layers().size());
+    std::vector<BatchJob> jobs;
+    jobs.reserve(network.layers().size());
     for (std::size_t i = 0; i < network.layers().size(); ++i)
-        layers.push_back(
-            analyzeLayer(network.layers()[i], dataflows[i]));
-    return aggregate(network, std::move(layers), "Adaptive");
+        jobs.push_back({network.layers()[i], dataflows[i]});
+    return aggregate(network, analyzeLayers(std::move(jobs), num_threads),
+                     "Adaptive");
 }
 
 NetworkAnalysis

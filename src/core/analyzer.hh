@@ -1,19 +1,25 @@
 /**
  * @file
- * Top-level MAESTRO API: orchestrates the tensor, cluster, reuse,
- * performance, and cost analysis engines (paper Fig. 7) for one layer
- * or a whole network, and aggregates per-operator-class statistics for
- * the Fig. 10-style studies.
+ * Top-level MAESTRO API: a facade over the staged analysis pipeline
+ * (paper Fig. 7) for one layer or a whole network, with a
+ * thread-parallel batch entry point and per-operator-class aggregation
+ * for the Fig. 10-style studies.
+ *
+ * Every Analyzer owns (or shares) an AnalysisPipeline, so repeated
+ * shapes across layers, networks, and whole sweeps are analyzed once;
+ * see src/core/pipeline.hh for the staging and cache-key design.
  */
 
 #ifndef MAESTRO_CORE_ANALYZER_HH
 #define MAESTRO_CORE_ANALYZER_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "src/core/cost_analysis.hh"
+#include "src/core/analyzer_result.hh"
 #include "src/core/dataflow.hh"
+#include "src/core/pipeline.hh"
 #include "src/hw/accelerator.hh"
 #include "src/model/network.hh"
 
@@ -21,101 +27,40 @@ namespace maestro
 {
 
 /**
- * Combined analysis result for one layer under one dataflow.
- *
- * All counts include the layer's group multiplier (grouped
- * convolutions run their per-group schedule `groups` times).
- */
-struct LayerAnalysis
-{
-    std::string layer_name;
-    std::string dataflow_name;
-    OperatorClass op_class = OperatorClass::EarlyConv;
-
-    /** Runtime in cycles. */
-    double runtime = 0.0;
-
-    /** Total MACs (all groups, density discounted). */
-    double total_macs = 0.0;
-
-    /** Throughput in MACs per cycle. */
-    double throughput = 0.0;
-
-    /** Average active PEs. */
-    double active_pes = 0.0;
-
-    /** PE utilization in [0, 1]. */
-    double utilization = 0.0;
-
-    /** Steady-state NoC bandwidth requirement (elements/cycle). */
-    double noc_bw_requirement = 0.0;
-
-    /** Dominant delay source: "compute", "noc", or "offchip". */
-    std::string bottleneck;
-
-    /** Full performance detail. */
-    PerformanceResult perf;
-
-    /** Full cost detail (counts scaled by groups). */
-    CostResult cost;
-
-    /** Total energy in MAC-energy units (including DRAM). */
-    double energy() const { return cost.energy.total(); }
-
-    /** On-chip energy (MAC + L1 + L2 + NoC), the paper's Fig. 10/12. */
-    double onchipEnergy() const { return cost.onchipEnergy(); }
-
-    /** Energy-delay product (on-chip energy x cycles). */
-    double edp() const { return cost.onchipEnergy() * runtime; }
-};
-
-/**
- * Aggregated analysis of a whole network under one dataflow (or an
- * adaptive per-layer dataflow assignment).
- */
-struct NetworkAnalysis
-{
-    std::string network_name;
-    std::string dataflow_name;
-
-    /** Sum of layer runtimes (layers run back-to-back). */
-    double runtime = 0.0;
-
-    /** Sum of layer energies (MAC units, incl. residual-link cost). */
-    double energy = 0.0;
-
-    /** On-chip energy total. */
-    double onchip_energy = 0.0;
-
-    /** Total MACs. */
-    double total_macs = 0.0;
-
-    /** Per-layer results in network order. */
-    std::vector<LayerAnalysis> layers;
-
-    /** Runtime aggregated by operator class (indexed like
-     *  kAllOperatorClasses). */
-    std::array<double, kNumOperatorClasses> runtime_by_class{};
-
-    /** On-chip energy aggregated by operator class. */
-    std::array<double, kNumOperatorClasses> energy_by_class{};
-};
-
-/**
- * The MAESTRO analyzer: a hardware configuration plus an energy model.
+ * The MAESTRO analyzer: a hardware configuration plus an energy model,
+ * evaluated through a staged, memoizing pipeline.
  */
 class Analyzer
 {
   public:
-    /** Creates an analyzer for the given hardware. */
+    /**
+     * Creates an analyzer for the given hardware.
+     *
+     * @param config Hardware configuration (validated here).
+     * @param energy Energy model to apply.
+     * @param pipeline Staged pipeline to evaluate through; pass an
+     *        existing one to share stage caches across analyzers
+     *        (e.g., a DSE sweep varying only some hardware knobs).
+     *        A private pipeline is created when null.
+     */
     explicit Analyzer(AcceleratorConfig config,
-                      EnergyModel energy = EnergyModel());
+                      EnergyModel energy = EnergyModel(),
+                      std::shared_ptr<AnalysisPipeline> pipeline = nullptr);
 
     /** The configuration in use. */
     const AcceleratorConfig &config() const { return config_; }
 
     /** The energy model in use. */
     const EnergyModel &energyModel() const { return energy_; }
+
+    /** The shared analysis pipeline. */
+    const std::shared_ptr<AnalysisPipeline> &pipeline() const
+    {
+        return pipeline_;
+    }
+
+    /** Cache statistics of the underlying pipeline. */
+    PipelineStats pipelineStats() const { return pipeline_->stats(); }
 
     /**
      * Analyzes one layer under one dataflow.
@@ -125,13 +70,56 @@ class Analyzer
     LayerAnalysis analyzeLayer(const Layer &layer,
                                const Dataflow &dataflow) const;
 
+    /** One (layer, dataflow) evaluation request for evaluateBatch. */
+    struct BatchJob
+    {
+        Layer layer;
+        Dataflow dataflow{"batch"};
+    };
+
+    /** Outcome of one batch job. */
+    struct BatchEval
+    {
+        /** True when the job analyzed successfully. */
+        bool ok = false;
+
+        /** Error message when !ok (empty otherwise). */
+        std::string error;
+
+        /** The analysis (valid only when ok). */
+        LayerAnalysis analysis;
+    };
+
+    /**
+     * Evaluates a batch of (layer, dataflow) jobs, optionally across
+     * a worker pool.
+     *
+     * Results are returned in job order and are bit-identical for any
+     * thread count: each job is an independent pure evaluation, and
+     * the shared pipeline caches only deterministic artifacts. Jobs
+     * that throw (unbindable dataflows, invalid layers) are reported
+     * per-entry instead of aborting the batch.
+     *
+     * @param jobs Evaluation requests.
+     * @param num_threads Total concurrent threads (<= 1 = serial;
+     *        N > 1 uses the calling thread plus N - 1 pool workers).
+     */
+    std::vector<BatchEval>
+    evaluateBatch(const std::vector<BatchJob> &jobs,
+                  std::size_t num_threads = 1) const;
+
     /**
      * Analyzes a network, applying the same dataflow to every layer.
      * Residual links add the paper Table 4 extra global-buffer traffic
-     * (re-fetching the producer's output at the consumer).
+     * (re-fetching the producer's output at the consumer). Repeated
+     * layer shapes are analyzed once (pipeline dedup).
+     *
+     * @param num_threads Worker threads for the per-layer sweep
+     *        (results are identical for any value).
      */
     NetworkAnalysis analyzeNetwork(const Network &network,
-                                   const Dataflow &dataflow) const;
+                                   const Dataflow &dataflow,
+                                   std::size_t num_threads = 1) const;
 
     /**
      * Analyzes a network with a per-layer dataflow choice (index i of
@@ -139,16 +127,26 @@ class Analyzer
      * paper Fig. 10(f).
      */
     NetworkAnalysis analyzeNetworkAdaptive(
-        const Network &network,
-        const std::vector<Dataflow> &dataflows) const;
+        const Network &network, const std::vector<Dataflow> &dataflows,
+        std::size_t num_threads = 1) const;
 
   private:
     NetworkAnalysis aggregate(const Network &network,
                               std::vector<LayerAnalysis> layers,
                               std::string dataflow_name) const;
 
+    /** Runs a batch and throws the first per-layer error, if any. */
+    std::vector<LayerAnalysis>
+    analyzeLayers(std::vector<BatchJob> jobs,
+                  std::size_t num_threads) const;
+
     AcceleratorConfig config_;
     EnergyModel energy_;
+    std::shared_ptr<AnalysisPipeline> pipeline_;
+
+    /** hardwareFingerprint(config_, energy_), hoisted out of the
+     *  per-layer hot path (both are immutable after construction). */
+    std::string hw_fingerprint_;
 };
 
 } // namespace maestro

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Result types of the top-level analysis: per-layer and per-network
+ * aggregates. Split out of analyzer.hh so the staged pipeline
+ * (src/core/pipeline.hh) and the analyzer facade can share them
+ * without a circular include.
+ */
+
+#ifndef MAESTRO_CORE_ANALYZER_RESULT_HH
+#define MAESTRO_CORE_ANALYZER_RESULT_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/core/cost_analysis.hh"
+#include "src/model/network.hh"
+
+namespace maestro
+{
+
+/**
+ * Combined analysis result for one layer under one dataflow.
+ *
+ * All counts include the layer's group multiplier (grouped
+ * convolutions run their per-group schedule `groups` times).
+ */
+struct LayerAnalysis
+{
+    std::string layer_name;
+    std::string dataflow_name;
+    OperatorClass op_class = OperatorClass::EarlyConv;
+
+    /** Runtime in cycles. */
+    double runtime = 0.0;
+
+    /** Total MACs (all groups, density discounted). */
+    double total_macs = 0.0;
+
+    /** Throughput in MACs per cycle. */
+    double throughput = 0.0;
+
+    /** Average active PEs. */
+    double active_pes = 0.0;
+
+    /** PE utilization in [0, 1]. */
+    double utilization = 0.0;
+
+    /** Steady-state NoC bandwidth requirement (elements/cycle). */
+    double noc_bw_requirement = 0.0;
+
+    /** Dominant delay source: "compute", "noc", or "offchip". */
+    std::string bottleneck;
+
+    /** Full performance detail. */
+    PerformanceResult perf;
+
+    /** Full cost detail (counts scaled by groups). */
+    CostResult cost;
+
+    /** Total energy in MAC-energy units (including DRAM). */
+    double energy() const { return cost.energy.total(); }
+
+    /** On-chip energy (MAC + L1 + L2 + NoC), the paper's Fig. 10/12. */
+    double onchipEnergy() const { return cost.onchipEnergy(); }
+
+    /** Energy-delay product (on-chip energy x cycles). */
+    double edp() const { return cost.onchipEnergy() * runtime; }
+};
+
+/**
+ * Aggregated analysis of a whole network under one dataflow (or an
+ * adaptive per-layer dataflow assignment).
+ */
+struct NetworkAnalysis
+{
+    std::string network_name;
+    std::string dataflow_name;
+
+    /** Sum of layer runtimes (layers run back-to-back). */
+    double runtime = 0.0;
+
+    /** Sum of layer energies (MAC units, incl. residual-link cost). */
+    double energy = 0.0;
+
+    /** On-chip energy total. */
+    double onchip_energy = 0.0;
+
+    /** Total MACs. */
+    double total_macs = 0.0;
+
+    /** Per-layer results in network order. */
+    std::vector<LayerAnalysis> layers;
+
+    /** Runtime aggregated by operator class (indexed like
+     *  kAllOperatorClasses). */
+    std::array<double, kNumOperatorClasses> runtime_by_class{};
+
+    /** On-chip energy aggregated by operator class. */
+    std::array<double, kNumOperatorClasses> energy_by_class{};
+};
+
+} // namespace maestro
+
+#endif // MAESTRO_CORE_ANALYZER_RESULT_HH

@@ -63,8 +63,20 @@ struct CostResult
      */
     TensorMap<double> dram_fill_model;
 
-    /** Per-tensor element counts (for capacity re-derivation). */
+    /** Per-tensor element counts (for capacity re-derivation).
+     *  Per-group, like dram_fill_model: grouped convolutions process
+     *  one group's tensors at a time, so the L2 residency check is
+     *  per-group (see `groups`). */
     TensorMap<double> tensor_volumes;
+
+    /**
+     * Group multiplier applied to the activity counts (1 for dense
+     * layers). tensor_volumes and dram_fill_model are per-group;
+     * every other count in this struct is already scaled by this
+     * factor. Re-derivations of DRAM traffic from the per-group fill
+     * model (dse::energyFromCounts) must multiply by `groups`.
+     */
+    double groups = 1.0;
 
     /** Per-tensor DRAM writes. */
     TensorMap<double> dram_writes;

@@ -167,21 +167,30 @@ tuneDataflow(const Analyzer &analyzer, const Layer &layer,
         generateCandidates(layer, options);
     result.candidates = candidates.size();
 
+    // Evaluate every candidate through the analyzer's batch API (the
+    // pipeline dedups shared artifacts); rejection counting and
+    // ranking below stay in candidate order, so any thread count
+    // produces identical results.
+    std::vector<Analyzer::BatchJob> jobs;
+    jobs.reserve(candidates.size());
+    for (const Dataflow &df : candidates)
+        jobs.push_back({layer, df});
+    const std::vector<Analyzer::BatchEval> evals =
+        analyzer.evaluateBatch(jobs, options.num_threads);
+
     std::vector<TunedDataflow> evaluated;
-    for (const Dataflow &df : candidates) {
-        LayerAnalysis la;
-        try {
-            la = analyzer.analyzeLayer(layer, df);
-        } catch (const Error &) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (!evals[i].ok) {
             ++result.rejected;
             continue;
         }
+        const LayerAnalysis &la = evals[i].analysis;
         if (options.enforce_l1_capacity && !la.cost.fits_l1) {
             ++result.rejected;
             continue;
         }
         TunedDataflow td;
-        td.dataflow = df;
+        td.dataflow = candidates[i];
         td.runtime = la.runtime;
         td.energy = la.onchipEnergy();
         td.edp = la.edp();

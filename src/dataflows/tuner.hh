@@ -43,6 +43,13 @@ struct TunerOptions
 
     /** Skip candidates whose L1 requirement exceeds the config. */
     bool enforce_l1_capacity = false;
+
+    /**
+     * Threads evaluating candidates (<= 1 = serial). Candidates are
+     * ranked in a deterministic order, so results are bit-identical
+     * for any value.
+     */
+    std::size_t num_threads = 1;
 };
 
 /**

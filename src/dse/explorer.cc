@@ -5,24 +5,12 @@
 #include <map>
 
 #include "src/common/error.hh"
+#include "src/common/thread_pool.hh"
 
 namespace maestro
 {
 namespace dse
 {
-
-namespace
-{
-
-/** Cached per-(PEs, bandwidth) analyzer output. */
-struct EvalCache
-{
-    double runtime = 0.0;
-    double macs = 0.0;
-    CostResult cost;
-};
-
-} // namespace
 
 double
 energyFromCounts(const CostResult &cost, Count l1_bytes, Count l2_bytes,
@@ -39,25 +27,30 @@ energyFromCounts(const CostResult &cost, Count l1_bytes, Count l2_bytes,
         total += cost.l2_reads[t] * l2r + cost.l2_writes[t] * l2w;
     }
     total += cost.noc_elements * energy.nocEnergy(noc_avg_hops);
-    // Capacity-aware DRAM fill (see header).
+    // Capacity-aware DRAM fill (see header). tensor_volumes and
+    // dram_fill_model are per-group; the residency decision is made
+    // per group and the resulting fill scaled to all groups.
     double dram = cost.dram_writes[TensorKind::Output];
     for (TensorKind t : {TensorKind::Weight, TensorKind::Input}) {
         const double volume = cost.tensor_volumes[t];
         const bool resident =
             volume * static_cast<double>(precision_bytes) <=
             0.5 * static_cast<double>(l2_bytes);
-        dram += resident
-                    ? std::min(cost.dram_fill_model[t], volume)
-                    : cost.dram_fill_model[t];
+        dram += cost.groups *
+                (resident ? std::min(cost.dram_fill_model[t], volume)
+                          : cost.dram_fill_model[t]);
     }
     total += dram * energy.dramEnergy();
     return total;
 }
 
 Explorer::Explorer(AcceleratorConfig base, AreaPowerModel area_power,
-                   EnergyModel energy)
+                   EnergyModel energy,
+                   std::shared_ptr<AnalysisPipeline> pipeline)
     : base_(std::move(base)), area_power_(area_power),
-      energy_(std::move(energy))
+      energy_(std::move(energy)),
+      pipeline_(pipeline ? std::move(pipeline)
+                         : std::make_shared<AnalysisPipeline>())
 {
     base_.validate();
 }
@@ -99,26 +92,62 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
     const double inner_per_l2 =
         static_cast<double>(space.noc_bandwidths.size());
 
-    std::map<std::pair<Count, Count>, EvalCache> cache;
-    auto evaluate = [&](Count pes, double bw) -> const EvalCache & {
+    auto makeConfig = [&](Count pes, double bw) {
+        AcceleratorConfig cfg = base_;
+        cfg.num_pes = pes;
+        cfg.noc = NocModel(bw, base_.noc.avgLatency());
+        return cfg;
+    };
+
+    // Runtime/energy counts depend only on (PEs, bandwidth); the local
+    // map avoids re-fetching from the pipeline inside the loop nest.
+    std::map<std::pair<Count, Count>, LayerAnalysis> cache;
+    auto evaluate = [&](Count pes, double bw) -> const LayerAnalysis & {
         const auto key = std::make_pair(
             pes, static_cast<Count>(bw * 1024.0));
         auto it = cache.find(key);
         if (it == cache.end()) {
-            AcceleratorConfig cfg = base_;
-            cfg.num_pes = pes;
-            cfg.noc = NocModel(bw, base_.noc.avgLatency());
-            Analyzer analyzer(cfg, energy_);
-            const LayerAnalysis la =
-                analyzer.analyzeLayer(layer, dataflow);
-            EvalCache entry;
-            entry.runtime = la.runtime;
-            entry.macs = la.total_macs;
-            entry.cost = la.cost;
-            it = cache.emplace(key, std::move(entry)).first;
+            Analyzer analyzer(makeConfig(pes, bw), energy_, pipeline_);
+            it = cache.emplace(key,
+                               analyzer.analyzeLayer(layer, dataflow))
+                     .first;
         }
         return it->second;
     };
+
+    if (options.num_threads > 1) {
+        // Pre-populate the pipeline caches in parallel with a
+        // conservative superset of the pairs the sweep can reach (every
+        // bandwidth for every PE count that survives the PE-level
+        // budget check). Extra pairs cost throwaway work and missed
+        // ones fall back to the serial path, so the sweep below stays
+        // byte-identical to a single-threaded run. Failures are
+        // ignored here: the serial walk re-raises them
+        // deterministically if it actually needs the pair.
+        std::vector<std::pair<Count, double>> pairs;
+        for (Count pes : space.pe_counts) {
+            if (area_power_.minAreaForPes(pes) + min_rest_area >
+                    options.area_budget_mm2 ||
+                area_power_.minPowerForPes(pes) * base_.clock_ghz +
+                        min_rest_power >
+                    options.power_budget_mw) {
+                continue;
+            }
+            for (double bw : space.noc_bandwidths)
+                pairs.emplace_back(pes, bw);
+        }
+        ThreadPool::run(
+            options.num_threads, pairs.size(), [&](std::size_t i) {
+                try {
+                    Analyzer analyzer(
+                        makeConfig(pairs[i].first, pairs[i].second),
+                        energy_, pipeline_);
+                    analyzer.analyzeLayer(layer, dataflow);
+                } catch (const std::exception &) {
+                    // Re-raised by the serial sweep when reachable.
+                }
+            });
+    }
 
     auto better = [](const DesignPoint &cand, const DesignPoint &best,
                      OptTarget target) {
@@ -215,7 +244,7 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
                         continue;
                     }
 
-                    const EvalCache &eval = evaluate(pes, bw);
+                    const LayerAnalysis &eval = evaluate(pes, bw);
                     result.evaluated_points += 1.0;
                     if (eval.cost.l1_bytes_required >
                             static_cast<double>(l1) ||
@@ -232,7 +261,7 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
                     point.area = area;
                     point.power = power;
                     point.runtime = eval.runtime;
-                    point.throughput = eval.macs / eval.runtime;
+                    point.throughput = eval.total_macs / eval.runtime;
                     point.energy = energyFromCounts(
                         eval.cost, l1, l2, base_.precision_bytes,
                         base_.noc.avgLatency(), energy_);

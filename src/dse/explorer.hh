@@ -16,8 +16,13 @@
  *    reported buffer requirements (double-buffered working sets).
  *
  * Runtime depends only on (PEs, NoC bandwidth); energy rescales with
- * buffer sizes from the activity counts — the tool caches analyzer
- * calls per (PEs, bandwidth) pair, mirroring the paper's fast DSE.
+ * buffer sizes from the activity counts — the tool evaluates one
+ * analyzer call per (PEs, bandwidth) pair through a shared staged
+ * pipeline (src/core/pipeline.hh), so the bound dataflow, reuse, and
+ * flat-nest artifacts are computed once per PE count and reused across
+ * the bandwidth axis, mirroring the paper's fast DSE. With
+ * DseOptions::num_threads > 1 the per-pair evaluations run on a
+ * worker pool before the (deterministic, serial) sweep consumes them.
  */
 
 #ifndef MAESTRO_DSE_EXPLORER_HH
@@ -75,6 +80,14 @@ struct DseOptions
 
     /** Cap on retained scatter samples. */
     std::size_t max_samples = 20000;
+
+    /**
+     * Total concurrent threads evaluating analyzer calls (<= 1 =
+     * serial). Results are bit-identical for any value: the parallel
+     * phase only pre-populates the shared pipeline caches; the sweep
+     * itself stays serial and deterministic.
+     */
+    std::size_t num_threads = 1;
 };
 
 /**
@@ -111,10 +124,15 @@ class Explorer
      *             clock); the four swept fields are overwritten.
      * @param area_power Area/power regression models.
      * @param energy Energy table.
+     * @param pipeline Analysis pipeline to evaluate through; pass an
+     *        existing one to share stage caches with other sweeps
+     *        (a private pipeline is created when null).
      */
-    explicit Explorer(AcceleratorConfig base,
-                      AreaPowerModel area_power = AreaPowerModel(),
-                      EnergyModel energy = EnergyModel());
+    explicit Explorer(
+        AcceleratorConfig base,
+        AreaPowerModel area_power = AreaPowerModel(),
+        EnergyModel energy = EnergyModel(),
+        std::shared_ptr<AnalysisPipeline> pipeline = nullptr);
 
     /**
      * Runs the sweep for one layer under one dataflow.
@@ -127,6 +145,7 @@ class Explorer
     AcceleratorConfig base_;
     AreaPowerModel area_power_;
     EnergyModel energy_;
+    std::shared_ptr<AnalysisPipeline> pipeline_;
 };
 
 /**
@@ -135,6 +154,14 @@ class Explorer
  * capacities, without re-running the analyzer. Bigger L2s make whole
  * tensors resident and collapse their DRAM refetches — the mechanism
  * behind the paper's energy-optimized designs buying 10.6x the SRAM.
+ *
+ * Grouped convolutions: cost.tensor_volumes and cost.dram_fill_model
+ * are per-group (the L2 residency check is per-group, since groups
+ * run back-to-back), so the derived DRAM fill is scaled by
+ * cost.groups to match the all-groups dram_reads/writes the analyzer
+ * reports. With the analyzed configuration's own capacities this
+ * function reproduces cost.energy.total() exactly for density-1
+ * layers (see tests).
  */
 double energyFromCounts(const CostResult &cost, Count l1_bytes,
                         Count l2_bytes, Count precision_bytes,

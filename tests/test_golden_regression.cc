@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Golden-number regression tests for the staged analysis pipeline.
+ *
+ * The values below were captured from the pre-pipeline analyzer (the
+ * monolithic tensor -> bind -> reuse -> flat -> perf -> cost chain)
+ * with "%.17g" formatting, which round-trips doubles exactly. The
+ * pipeline refactor's hard constraint is byte-identical numerics, so
+ * every comparison here is exact (EXPECT_EQ on doubles, no tolerance).
+ *
+ * The sweep spans zoo models with early/late conv, fully-connected,
+ * depthwise, grouped, transposed-conv, and high-resolution layers,
+ * both study hardware configs, and the Table-3 dataflow styles; plus
+ * whole-network aggregates (serial and 2-thread), a DSE sweep, and a
+ * tuner ranking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/analyzer.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/dataflows/tuner.hh"
+#include "src/dse/explorer.hh"
+#include "src/model/zoo.hh"
+
+namespace maestro
+{
+namespace
+{
+
+/** One frozen layer evaluation. */
+struct LayerGolden
+{
+    const char *model;
+    const char *layer;
+    const char *dataflow;
+    const char *hw; ///< "paper" or "eyeriss"
+
+    double runtime;
+    double total_macs;
+    double active_pes;
+    double noc_bw_req;
+    double l1_bytes_required;
+    double l2_bytes_required;
+    double energy_total;
+    double onchip_energy;
+    double sum_dram_reads;
+    double sum_l2_reads;
+    double sum_l1_reads;
+    double noc_elements;
+};
+
+const LayerGolden kLayerGoldens[] = {
+    {"vgg16", "CONV1", "KC-P", "paper", 7225358.9149612831, 86704128,
+     12, 15.444444444444445, 308, 278, 1384326796.8, 711622796.79999995,
+     152256, 10502848, 173408256, 10502848},
+    {"vgg16", "CONV1", "YR-P", "paper", 387684.6543141593, 86704128,
+     224, 43.44444444444445, 40, 1290.6666666666667, 1550934807.04,
+     878230807.03999996, 152256, 11414336, 231211008, 11414336},
+    {"vgg16", "CONV2", "C-P", "paper", 29045923, 1849688064, 64,
+     128.11111111111111, 38, 2306, 158405283840, 33342115840, 622104576,
+     625315840, 3699376128, 625315840},
+    {"vgg16", "CONV2", "KC-P", "eyeriss", 314281990, 1849688064, 128,
+     192.22222222222223, 1192, 6920, 72934187916.236053,
+     10077791116.236053, 311070720, 314281984, 3699376128, 314281984},
+    {"vgg16", "CONV11", "KC-P", "paper", 2023477.0205078125, 462422016,
+     256, 320.44444444444446, 38, 5768, 3900239462.4000001,
+     3388239462.4000001, 2459648, 47202304, 924844032, 47202304},
+    {"vgg16", "CONV11", "YX-P", "paper", 4246748.1251980243, 462422016,
+     112, 29.444444444444443, 38, 562, 6673576542.2080002,
+     5689717342.2080002, 4818944, 80325017.600000009, 1056964608,
+     80325017.600000009},
+    {"vgg16", "FC1", "KC-P", "paper", 4415501.0009765625, 102760448,
+     256, 324, 2052, 648, 25953473024, 5395546624, 102785536, 128454656,
+     205520896, 128454656},
+    {"alexnet", "CONV2", "YR-P", "paper", 3317783.4037062121, 447897600,
+     135, 23.199999999999999, 64, 928, 2914962988.8000002,
+     2740761388.8000002, 684384, 21381120, 895795200, 21381120},
+    {"alexnet", "CONV1", "X-P", "paper", 1916733.1095377605, 105415200,
+     55, 22.09090909090909, 486, 5346, 955066260.60000014,
+     859099260.60000014, 189435, 15746400, 210830400, 15746400},
+    {"resnet50", "CONV1", "KC-P", "paper", 9834537.1961956527,
+     118013952, 12, 15.081632653061224, 1668, 1478, 971798607.3599999,
+     779248207.3599999, 159936, 9429952, 236027904, 9429952},
+    {"resnet50", "S2B1_3x3", "YR-P", "paper", 689172.72090517241,
+     115605504, 168, 41.333333333333336, 40, 992, 1046573219.84,
+     958918819.84000003, 237568, 13348864, 231211008, 13348864},
+    {"resnext50", "S2B1_3x3", "KC-P", "paper", 903713.79310344823,
+     14450688, 16, 4.4444444444444446, 38, 368, 282998149.12,
+     121513349.12, 406016, 1653248, 28901376, 1653248},
+    {"resnext50", "S2B1_3x3", "YR-P", "eyeriss", 805888, 14450688, 168,
+     41.333333333333336, 80, 1984, 225266320.80161184,
+     63781520.801611841, 406016, 1668608, 28901376, 1668608},
+    {"mobilenetv2", "B2_dw", "YR-P", "paper", 41046.875000000007,
+     2709504, 168, 134.66666666666669, 28, 1616.0000000000002,
+     382753777.92000008, 75035377.920000017, 1237536.0000000002,
+     1527744.0000000002, 5419008, 1527744.0000000002},
+    {"mobilenetv2", "B2_expand", "KC-P", "paper", 451642.01041666669,
+     19267584, 64, 84, 52, 168, 574245416.96000004, 292952616.96000004,
+     202240, 6022656, 38535168, 6022656},
+    {"dcgan", "TRCONV2", "KC-P", "paper", 1835084.0056818181, 134217728,
+     256, 1281, 66, 10248, 3661337886.7200003, 1976243486.7200003,
+     8392704, 20447232, 671088640, 20447232},
+    {"unet", "DOWN3", "YX-P", "paper", 30587926.38237847, 5863145472,
+     250.66666666666666, 65.271604938271594, 38, 1185.9999999999998,
+     257200643977.21594, 81152003977.216003, 870064127.99999964,
+     904269107.19999993, 11975786496, 904269107.19999993},
+};
+
+/** One frozen whole-network evaluation at the paper-study config. */
+struct NetworkGolden
+{
+    const char *model;
+    const char *dataflow;
+    double runtime;
+    double energy;
+    double onchip_energy;
+    double total_macs;
+};
+
+const NetworkGolden kNetworkGoldens[] = {
+    {"vgg16", "KC-P", 74255839.093321458, 299348371491.5199,
+     126560625891.51997, 15470264320},
+    {"resnet50", "KC-P", 36236777.806189723, 48625546132.160019,
+     35673653332.160019, 3498311680},
+    {"resnet50", "YR-P", 145013295.86325768, 90459833287.680023,
+     72369918087.680038, 3498311680},
+    {"mobilenetv2", "YR-P", 21947049.687538862, 13821108446.719994,
+     10171743646.719997, 300774272},
+    {"resnext50", "KC-P", 52600673.739271626, 64403112954.559998,
+     45042004154.559982, 3408396288},
+};
+
+AcceleratorConfig
+configByName(const std::string &name)
+{
+    return name == "eyeriss" ? AcceleratorConfig::eyerissLike()
+                             : AcceleratorConfig::paperStudy();
+}
+
+double
+sumTensors(const TensorMap<double> &counts)
+{
+    double total = 0.0;
+    for (TensorKind t : kAllTensors)
+        total += counts[t];
+    return total;
+}
+
+class GoldenLayer : public ::testing::TestWithParam<LayerGolden>
+{
+};
+
+TEST_P(GoldenLayer, MatchesPrePipelineNumbersExactly)
+{
+    const LayerGolden &g = GetParam();
+    const Network net = zoo::byName(g.model);
+    const Analyzer analyzer(configByName(g.hw));
+    const LayerAnalysis la = analyzer.analyzeLayer(
+        net.layer(g.layer), dataflows::byName(g.dataflow));
+
+    EXPECT_EQ(la.runtime, g.runtime);
+    EXPECT_EQ(la.total_macs, g.total_macs);
+    EXPECT_EQ(la.active_pes, g.active_pes);
+    EXPECT_EQ(la.noc_bw_requirement, g.noc_bw_req);
+    EXPECT_EQ(la.cost.l1_bytes_required, g.l1_bytes_required);
+    EXPECT_EQ(la.cost.l2_bytes_required, g.l2_bytes_required);
+    EXPECT_EQ(la.energy(), g.energy_total);
+    EXPECT_EQ(la.onchipEnergy(), g.onchip_energy);
+    EXPECT_EQ(sumTensors(la.cost.dram_reads), g.sum_dram_reads);
+    EXPECT_EQ(sumTensors(la.cost.l2_reads), g.sum_l2_reads);
+    EXPECT_EQ(sumTensors(la.cost.l1_reads), g.sum_l1_reads);
+    EXPECT_EQ(la.cost.noc_elements, g.noc_elements);
+}
+
+TEST_P(GoldenLayer, CacheHitReturnsIdenticalNumbers)
+{
+    const LayerGolden &g = GetParam();
+    const Network net = zoo::byName(g.model);
+    const Analyzer analyzer(configByName(g.hw));
+    const Layer &layer = net.layer(g.layer);
+    const Dataflow df = dataflows::byName(g.dataflow);
+
+    const LayerAnalysis first = analyzer.analyzeLayer(layer, df);
+    const LayerAnalysis second = analyzer.analyzeLayer(layer, df);
+    EXPECT_GE(analyzer.pipelineStats().layer.hits, 1u);
+
+    EXPECT_EQ(first.runtime, second.runtime);
+    EXPECT_EQ(first.energy(), second.energy());
+    EXPECT_EQ(sumTensors(first.cost.dram_reads),
+              sumTensors(second.cost.dram_reads));
+    EXPECT_EQ(first.runtime, g.runtime);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Golden, GoldenLayer, ::testing::ValuesIn(kLayerGoldens),
+    [](const ::testing::TestParamInfo<LayerGolden> &info) {
+        std::string name = std::string(info.param.model) + '_' +
+                           info.param.layer + '_' +
+                           info.param.dataflow + '_' + info.param.hw;
+        for (char &ch : name) {
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        }
+        return name;
+    });
+
+class GoldenNetwork : public ::testing::TestWithParam<NetworkGolden>
+{
+};
+
+TEST_P(GoldenNetwork, MatchesPrePipelineNumbersExactly)
+{
+    const NetworkGolden &g = GetParam();
+    const Network net = zoo::byName(g.model);
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const NetworkAnalysis na =
+        analyzer.analyzeNetwork(net, dataflows::byName(g.dataflow));
+
+    EXPECT_EQ(na.runtime, g.runtime);
+    EXPECT_EQ(na.energy, g.energy);
+    EXPECT_EQ(na.onchip_energy, g.onchip_energy);
+    EXPECT_EQ(na.total_macs, g.total_macs);
+    EXPECT_EQ(na.layers.size(), net.layers().size());
+}
+
+TEST_P(GoldenNetwork, TwoThreadsMatchesGoldenExactly)
+{
+    const NetworkGolden &g = GetParam();
+    const Network net = zoo::byName(g.model);
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const NetworkAnalysis na = analyzer.analyzeNetwork(
+        net, dataflows::byName(g.dataflow), /*num_threads=*/2);
+
+    EXPECT_EQ(na.runtime, g.runtime);
+    EXPECT_EQ(na.energy, g.energy);
+    EXPECT_EQ(na.onchip_energy, g.onchip_energy);
+    EXPECT_EQ(na.total_macs, g.total_macs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Golden, GoldenNetwork, ::testing::ValuesIn(kNetworkGoldens),
+    [](const ::testing::TestParamInfo<NetworkGolden> &info) {
+        std::string name = std::string(info.param.model) + '_' +
+                           info.param.dataflow;
+        for (char &ch : name) {
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        }
+        return name;
+    });
+
+/** The DSE sweep's frozen statistics and winning design. */
+TEST(GoldenDse, SmallSpaceSweepMatchesPrePipelineNumbers)
+{
+    const Network net = zoo::vgg16();
+    const dse::Explorer explorer(AcceleratorConfig::paperStudy());
+    const dse::DseResult res =
+        explorer.explore(net.layer("CONV2"), dataflows::byName("KC-P"),
+                         dse::DesignSpace::small());
+
+    EXPECT_EQ(res.explored_points, 4032);
+    EXPECT_EQ(res.evaluated_points, 2795);
+    EXPECT_EQ(res.valid_points, 1076);
+    EXPECT_EQ(res.samples.size(), 2u);
+    EXPECT_EQ(res.pareto.size(), 1u);
+
+    for (const dse::DesignPoint *p :
+         {&res.best_throughput, &res.best_energy, &res.best_edp}) {
+        EXPECT_TRUE(p->valid);
+        EXPECT_EQ(p->num_pes, 192);
+        EXPECT_EQ(p->l1_bytes, 512);
+        EXPECT_EQ(p->l2_bytes, 32768);
+        EXPECT_EQ(p->noc_bandwidth, 64);
+        EXPECT_EQ(p->area, 12.566927999999999);
+        EXPECT_EQ(p->power, 330.01864000000006);
+        EXPECT_EQ(p->runtime, 9940404.1818181816);
+        EXPECT_EQ(p->throughput, 186.07775198751293);
+        EXPECT_EQ(p->energy, 50713798067.625099);
+        EXPECT_EQ(p->edp, 5.0411565038730336e+17);
+    }
+}
+
+/** The tuner's frozen ranking for a late VGG conv layer. */
+TEST(GoldenTuner, Vgg16Conv11RuntimeRankingMatches)
+{
+    const Network net = zoo::vgg16();
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const dataflows::TunerResult res = dataflows::tuneDataflow(
+        analyzer, net.layer("CONV11"), dataflows::Objective::Runtime);
+
+    EXPECT_EQ(res.candidates, 186u);
+    EXPECT_EQ(res.rejected, 0u);
+    ASSERT_GE(res.ranked.size(), 3u);
+    EXPECT_EQ(res.ranked[0].dataflow.name(), "T-YC-c16-t8");
+    EXPECT_EQ(res.ranked[0].objective_value, 2065033.59375);
+    EXPECT_EQ(res.ranked[0].energy, 4105023979.5200005);
+    EXPECT_EQ(res.ranked[1].dataflow.name(), "T-YC-c16-t16");
+    EXPECT_EQ(res.ranked[1].objective_value, 2065650.1875);
+    EXPECT_EQ(res.ranked[1].energy, 3840672727.04);
+    EXPECT_EQ(res.ranked[2].dataflow.name(), "T-YC-c16-t32");
+    EXPECT_EQ(res.ranked[2].objective_value, 2066883.375);
+    EXPECT_EQ(res.ranked[2].energy, 3708497100.8000002);
+}
+
+} // namespace
+} // namespace maestro

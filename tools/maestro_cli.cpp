@@ -21,8 +21,14 @@
  *   maestro dse --model vgg16 --layer CONV2 --dataflow KC-P --area 16
  *   maestro tune --model vgg16 --layer CONV11 --objective energy
  *   maestro analyze --file examples/sample.m --dataflow row-stationary
+ *
+ * Shared options: --threads N runs analyzer evaluations on N worker
+ * threads (results are bit-identical to --threads 1); --stats on
+ * prints pipeline cache hit/miss counters and evaluation throughput
+ * after the command's normal output.
  */
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -162,10 +168,59 @@ selectLayers(const Inputs &in)
     return out;
 }
 
-int
-cmdAnalyze(const Inputs &in)
+/** Shared --threads/--stats options. */
+struct RunOptions
 {
+    std::size_t num_threads = 1;
+    bool print_stats = false;
+};
+
+RunOptions
+runOptions(const Args &args)
+{
+    RunOptions opts;
+    opts.num_threads =
+        static_cast<std::size_t>(args.getInt("threads", 1));
+    fatalIf(opts.num_threads < 1, "--threads must be >= 1");
+    opts.print_stats = args.get("stats", "off") != "off";
+    return opts;
+}
+
+/** Prints per-stage cache counters and evaluation throughput. */
+void
+printPipelineStats(const PipelineStats &stats, double seconds)
+{
+    std::cout << "\npipeline: " << stats.evaluations
+              << " analyzer evaluations in "
+              << fixedFormat(seconds, 3) << " s";
+    if (seconds > 0.0) {
+        std::cout << " ("
+                  << fixedFormat(static_cast<double>(stats.evaluations) /
+                                     seconds,
+                                 1)
+                  << " evals/s)";
+    }
+    std::cout << "\n";
+    Table table({"stage", "hits", "misses", "evictions", "hit-rate"});
+    auto add = [&](const char *name, const CacheStats &cs) {
+        table.addRow({name, std::to_string(cs.hits),
+                      std::to_string(cs.misses),
+                      std::to_string(cs.evictions),
+                      fixedFormat(100.0 * cs.hitRate(), 1) + "%"});
+    };
+    add("tensor", stats.tensor);
+    add("binding", stats.binding);
+    add("flat", stats.flat);
+    add("layer", stats.layer);
+    table.print(std::cout);
+}
+
+int
+cmdAnalyze(const Args &args, const Inputs &in)
+{
+    const RunOptions opts = runOptions(args);
     const Analyzer analyzer(in.config);
+    const auto t0 = std::chrono::steady_clock::now();
     for (const Dataflow &df : in.dataflows) {
         std::cout << "== dataflow " << df.name() << " ==\n";
         Table table({"layer", "runtime(cyc)", "MACs/cyc", "util",
@@ -173,8 +228,18 @@ cmdAnalyze(const Inputs &in)
                      "BW req", "bottleneck"});
         double total_runtime = 0.0;
         double total_energy = 0.0;
-        for (const Layer *layer : selectLayers(in)) {
-            const LayerAnalysis la = analyzer.analyzeLayer(*layer, df);
+        const std::vector<const Layer *> layers = selectLayers(in);
+        std::vector<Analyzer::BatchJob> jobs;
+        jobs.reserve(layers.size());
+        for (const Layer *layer : layers)
+            jobs.push_back({*layer, df});
+        const std::vector<Analyzer::BatchEval> evals =
+            analyzer.evaluateBatch(jobs, opts.num_threads);
+        for (std::size_t i = 0; i < layers.size(); ++i) {
+            const Layer *layer = layers[i];
+            fatalIf(!evals[i].ok, msg("layer '", layer->name(),
+                                      "': ", evals[i].error));
+            const LayerAnalysis &la = evals[i].analysis;
             total_runtime += la.runtime;
             total_energy += la.onchipEnergy();
             table.addRow(
@@ -191,6 +256,12 @@ cmdAnalyze(const Inputs &in)
         std::cout << "total: " << engFormat(total_runtime)
                   << " cycles, " << engFormat(total_energy)
                   << " MAC-units energy\n\n";
+    }
+    if (opts.print_stats) {
+        const auto t1 = std::chrono::steady_clock::now();
+        printPipelineStats(
+            analyzer.pipelineStats(),
+            std::chrono::duration<double>(t1 - t0).count());
     }
     return 0;
 }
@@ -225,10 +296,14 @@ cmdDse(const Args &args, const Inputs &in)
     fatalIf(in.dataflows.size() != 1,
             "dse needs exactly one --dataflow");
     const Layer &layer = in.network.layer(*in.layer_name);
+    const RunOptions opts = runOptions(args);
     dse::DseOptions options;
     options.area_budget_mm2 = args.getDouble("area", 16.0);
     options.power_budget_mw = args.getDouble("power", 450.0);
-    const dse::Explorer explorer(in.config);
+    options.num_threads = opts.num_threads;
+    auto pipeline = std::make_shared<AnalysisPipeline>();
+    const dse::Explorer explorer(in.config, AreaPowerModel(),
+                                 EnergyModel(), pipeline);
     const dse::DseResult res = explorer.explore(
         layer, in.dataflows.front(), dse::DesignSpace::figure13(),
         options);
@@ -251,6 +326,8 @@ cmdDse(const Args &args, const Inputs &in)
     add("energy", res.best_energy);
     add("EDP", res.best_edp);
     table.print(std::cout);
+    if (opts.print_stats)
+        printPipelineStats(pipeline->stats(), res.seconds);
     return 0;
 }
 
@@ -269,9 +346,15 @@ cmdTune(const Args &args, const Inputs &in)
         fatalIf(obj != "runtime",
                 "objective must be runtime, energy, or edp");
 
+    const RunOptions opts = runOptions(args);
     const Analyzer analyzer(in.config);
+    dataflows::TunerOptions tuner_options;
+    tuner_options.num_threads = opts.num_threads;
+    const auto t0 = std::chrono::steady_clock::now();
     const dataflows::TunerResult res =
-        dataflows::tuneDataflow(analyzer, layer, objective);
+        dataflows::tuneDataflow(analyzer, layer, objective,
+                                tuner_options);
+    const auto t1 = std::chrono::steady_clock::now();
     std::cout << "tuned " << res.candidates << " candidates ("
               << res.rejected << " rejected) for " << layer.name()
               << ", objective " << obj << "\n\n";
@@ -285,6 +368,11 @@ cmdTune(const Args &args, const Inputs &in)
     table.print(std::cout);
     std::cout << "\nwinning dataflow:\n"
               << res.best().dataflow.toString();
+    if (opts.print_stats) {
+        printPipelineStats(
+            analyzer.pipelineStats(),
+            std::chrono::duration<double>(t1 - t0).count());
+    }
     return 0;
 }
 
@@ -298,7 +386,7 @@ main(int argc, char **argv)
         const Args args = parseArgs(argc, argv);
         const Inputs in = resolveInputs(args);
         if (args.command == "analyze")
-            return cmdAnalyze(in);
+            return cmdAnalyze(args, in);
         if (args.command == "simulate")
             return cmdSimulate(in);
         if (args.command == "dse")
