@@ -210,6 +210,78 @@ pipelineStudy()
         std::thread::hardware_concurrency());
 }
 
+/**
+ * DSE sweep-rate study: the Fig. 13 space (vgg16 CONV2, KC-P) under
+ * the paper's Eyeriss budget and a loose budget, measuring grid
+ * points per second for the exact grid walk and the fast closed-form
+ * sweep at 1/2/4 threads. Emits a second MAESTRO_BENCH_JSON line
+ * ("dse_sweep"); BENCH_dse.json checks in a captured copy alongside
+ * the pre-rewrite baseline rates.
+ */
+void
+dseSweepStudy()
+{
+    const AcceleratorConfig cfg = AcceleratorConfig::paperStudy();
+    const dse::Explorer explorer(cfg);
+    const dse::DesignSpace space = dse::DesignSpace::figure13();
+    const double total = space.totalPoints();
+    const Layer &layer = vgg().layer("CONV2");
+    const Dataflow df = dataflows::byName("KC-P");
+
+    struct BudgetCase { const char *name; double area, power; };
+    const BudgetCase budgets[] = {
+        {"paper", 16.0, 450.0},
+        {"loose", 100.0, 5000.0},
+    };
+
+    std::printf("MAESTRO_BENCH_JSON {\"bench\":\"dse_sweep\","
+                "\"space\":\"figure13\",\"layer\":\"CONV2\","
+                "\"dataflow\":\"KC-P\",\"total_points\":%.0f,"
+                "\"hw_threads\":%u,\"budgets\":{",
+                total, std::thread::hardware_concurrency());
+    bool first_budget = true;
+    for (const BudgetCase &budget : budgets) {
+        auto sweepSeconds = [&](bool exact, std::size_t threads,
+                                dse::DseResult *out) {
+            return bestSeconds(3, [&] {
+                dse::DseOptions options;
+                options.exact = exact;
+                options.num_threads = threads;
+                options.area_budget_mm2 = budget.area;
+                options.power_budget_mw = budget.power;
+                dse::DseResult res =
+                    explorer.explore(layer, df, space, options);
+                if (out)
+                    *out = res;
+                benchmark::DoNotOptimize(res);
+            });
+        };
+        dse::DseResult exact_res, fast_res;
+        const double exact_s = sweepSeconds(true, 1, &exact_res);
+        const double fast_1t = sweepSeconds(false, 1, &fast_res);
+        const double fast_2t = sweepSeconds(false, 2, nullptr);
+        const double fast_4t = sweepSeconds(false, 4, nullptr);
+        const bool bests_match =
+            exact_res.best_throughput.throughput ==
+                fast_res.best_throughput.throughput &&
+            exact_res.best_energy.energy == fast_res.best_energy.energy &&
+            exact_res.best_edp.edp == fast_res.best_edp.edp &&
+            exact_res.valid_points == fast_res.valid_points;
+        std::printf(
+            "%s\"%s\":{\"exact_pts_per_sec\":%.3e,"
+            "\"fast_pts_per_sec_1t\":%.3e,"
+            "\"fast_pts_per_sec_2t\":%.3e,"
+            "\"fast_pts_per_sec_4t\":%.3e,"
+            "\"fast_vs_exact_speedup\":%.1f,"
+            "\"bests_match\":%s}",
+            first_budget ? "" : ",", budget.name, total / exact_s,
+            total / fast_1t, total / fast_2t, total / fast_4t,
+            exact_s / fast_1t, bests_match ? "true" : "false");
+        first_budget = false;
+    }
+    std::printf("}}\n");
+}
+
 } // namespace
 
 int
@@ -221,5 +293,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     pipelineStudy();
+    dseSweepStudy();
     return 0;
 }

@@ -1,5 +1,6 @@
 #include "src/common/thread_pool.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -141,6 +142,26 @@ ThreadPool::run(std::size_t num_threads, std::size_t count,
     }
     ThreadPool pool(num_threads - 1);
     pool.parallelFor(count, body);
+}
+
+void
+ThreadPool::runChunked(
+    std::size_t num_threads, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (num_threads <= 1 || count <= 1) {
+        body(0, count);
+        return;
+    }
+    const std::size_t chunks = std::min(count, num_threads * 4);
+    run(num_threads, chunks, [&](std::size_t chunk) {
+        const std::size_t begin = chunk * count / chunks;
+        const std::size_t end = (chunk + 1) * count / chunks;
+        if (begin < end)
+            body(begin, end);
+    });
 }
 
 } // namespace maestro

@@ -65,6 +65,19 @@ class ThreadPool
     static void run(std::size_t num_threads, std::size_t count,
                     const std::function<void(std::size_t)> &body);
 
+    /**
+     * Chunked variant of run() for sharded reductions: splits
+     * [0, count) into contiguous ranges (a few per thread, so uneven
+     * shards still balance) and runs body(begin, end) for each.
+     * Callers that write results into preallocated per-index slots get
+     * output independent of the chunking and of num_threads; with
+     * num_threads <= 1 this is a single body(0, count) call on the
+     * calling thread.
+     */
+    static void
+    runChunked(std::size_t num_threads, std::size_t count,
+               const std::function<void(std::size_t, std::size_t)> &body);
+
   private:
     /** Worker main loop: pop tasks until stopped. */
     void workerLoop();

@@ -14,6 +14,27 @@ CostResult::onchipEnergy() const
     return energy.total() - energy.dram;
 }
 
+CostResult::AccessSums
+CostResult::accessSums() const
+{
+    AccessSums sums;
+    sums.total_macs = total_macs;
+    for (TensorKind tensor : kAllTensors) {
+        sums.l1_reads += l1_reads[tensor];
+        sums.l1_writes += l1_writes[tensor];
+        sums.l2_reads += l2_reads[tensor];
+        sums.l2_writes += l2_writes[tensor];
+    }
+    sums.noc_elements = noc_elements;
+    sums.output_dram_writes = dram_writes[TensorKind::Output];
+    sums.weight_volume = tensor_volumes[TensorKind::Weight];
+    sums.input_volume = tensor_volumes[TensorKind::Input];
+    sums.weight_fill = dram_fill_model[TensorKind::Weight];
+    sums.input_fill = dram_fill_model[TensorKind::Input];
+    sums.groups = groups;
+    return sums;
+}
+
 RegisterTraffic
 registerFileTraffic(const BoundLevel &pe_level, bool depthwise)
 {

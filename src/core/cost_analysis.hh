@@ -105,6 +105,33 @@ struct CostResult
 
     /** Total on-chip energy (MAC + L1 + L2 + NoC, no DRAM). */
     double onchipEnergy() const;
+
+    /**
+     * The count sums dse::energyFromSums consumes: per-level access
+     * totals (summed over tensors in kAllTensors order) plus the
+     * DRAM-fill inputs. Total energy at fixed counts is affine in the
+     * per-access energies, so these scalars — not the full per-tensor
+     * breakdown — are all the DSE needs to re-price a design's buffer
+     * capacities.
+     */
+    struct AccessSums
+    {
+        double total_macs = 0.0;
+        double l1_reads = 0.0;
+        double l1_writes = 0.0;
+        double l2_reads = 0.0;
+        double l2_writes = 0.0;
+        double noc_elements = 0.0;
+        double output_dram_writes = 0.0;
+        double weight_volume = 0.0; ///< per-group elements
+        double input_volume = 0.0;  ///< per-group elements
+        double weight_fill = 0.0;   ///< per-group DRAM fill model
+        double input_fill = 0.0;    ///< per-group DRAM fill model
+        double groups = 1.0;
+    };
+
+    /** Collapses this result's counts into the sums above. */
+    AccessSums accessSums() const;
 };
 
 /**

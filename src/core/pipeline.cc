@@ -70,6 +70,30 @@ scaleCost(CostResult &cost, double factor)
 
 } // namespace
 
+LayerAnalysis
+assembleLayerAnalysis(const PerformanceResult &perf, CostResult cost,
+                      const Layer &layer,
+                      const AcceleratorConfig &config)
+{
+    const double groups = static_cast<double>(layer.groupsVal());
+    scaleCost(cost, groups);
+
+    LayerAnalysis out;
+    out.op_class = layer.operatorClass();
+    out.runtime = perf.runtime * groups;
+    out.total_macs = cost.total_macs;
+    out.throughput =
+        out.runtime > 0.0 ? out.total_macs / out.runtime : 0.0;
+    out.active_pes = perf.active_pes;
+    out.utilization =
+        perf.active_pes / static_cast<double>(config.num_pes);
+    out.noc_bw_requirement = perf.noc_bw_requirement;
+    out.bottleneck = perf.bottleneck;
+    out.perf = perf;
+    out.cost = std::move(cost);
+    return out;
+}
+
 std::string
 shapeFingerprint(const Layer &layer)
 {
@@ -223,25 +247,9 @@ AnalysisPipeline::analyzeLayer(const Layer &layer,
                 analyzeCost(binding->bound, binding->reuse, *flat,
                             perf, layer, config, energy);
 
-            const double groups =
-                static_cast<double>(layer.groupsVal());
-            scaleCost(cost, groups);
-
-            auto out = std::make_shared<LayerAnalysis>();
-            out->op_class = layer.operatorClass();
-            out->runtime = perf.runtime * groups;
-            out->total_macs = cost.total_macs;
-            out->throughput = out->runtime > 0.0
-                                  ? out->total_macs / out->runtime
-                                  : 0.0;
-            out->active_pes = perf.active_pes;
-            out->utilization = perf.active_pes /
-                               static_cast<double>(config.num_pes);
-            out->noc_bw_requirement = perf.noc_bw_requirement;
-            out->bottleneck = perf.bottleneck;
-            out->perf = perf;
-            out->cost = std::move(cost);
-            return std::shared_ptr<const LayerAnalysis>(std::move(out));
+            return std::shared_ptr<const LayerAnalysis>(
+                std::make_shared<LayerAnalysis>(assembleLayerAnalysis(
+                    perf, std::move(cost), layer, config)));
         });
 
     // Names are call-specific, not part of the cached artifact.

@@ -78,6 +78,19 @@ std::string hardwareFingerprint(const AcceleratorConfig &config,
                                 const EnergyModel &energy);
 
 /**
+ * Final assembly of a layer analysis from the stage-4 engine outputs:
+ * applies the grouped-convolution scaling to the cost counts and
+ * derives the per-layer summary fields (runtime, throughput,
+ * utilization). Pure — shared by the pipeline and by callers that run
+ * the stage engines directly (the DSE fast sweep), so both produce
+ * bit-identical LayerAnalysis values. layer_name / dataflow_name are
+ * left empty (call-specific, not part of the computation).
+ */
+LayerAnalysis assembleLayerAnalysis(const PerformanceResult &perf,
+                                    CostResult cost, const Layer &layer,
+                                    const AcceleratorConfig &config);
+
+/**
  * The staged, memoizing analysis pipeline.
  */
 class AnalysisPipeline

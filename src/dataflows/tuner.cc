@@ -1,8 +1,10 @@
 #include "src/dataflows/tuner.hh"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "src/common/error.hh"
+#include "src/core/pipeline.hh"
 
 namespace maestro
 {
@@ -152,7 +154,9 @@ generateCandidates(const Layer &layer, const TunerOptions &options)
         }
     }
 
-    // De-duplicate names created by clamping-equivalent candidates.
+    // Clamping-equivalent candidates (e.g. transposed channel pairs
+    // whose tile directive collapses away) are structural duplicates;
+    // tuneDataflow removes them by fingerprint before evaluation.
     for (Dataflow &df : out)
         df.validate();
     return out;
@@ -163,9 +167,24 @@ tuneDataflow(const Analyzer &analyzer, const Layer &layer,
              Objective objective, const TunerOptions &options)
 {
     TunerResult result;
-    const std::vector<Dataflow> candidates =
+    const std::vector<Dataflow> generated =
         generateCandidates(layer, options);
-    result.candidates = candidates.size();
+    result.candidates = generated.size();
+
+    // Drop structural duplicates before evaluation: clamping-equivalent
+    // candidates share a dataflowFingerprint and would evaluate (and
+    // rank) identically; the first occurrence is kept.
+    std::vector<Dataflow> candidates;
+    candidates.reserve(generated.size());
+    {
+        std::unordered_set<std::string> seen;
+        for (const Dataflow &df : generated) {
+            if (seen.insert(dataflowFingerprint(df)).second)
+                candidates.push_back(df);
+            else
+                ++result.deduped;
+        }
+    }
 
     // Evaluate every candidate through the analyzer's batch API (the
     // pipeline dedups shared artifacts); rejection counting and

@@ -81,6 +81,10 @@ struct TunerResult
     /** Candidates that failed to bind or violated capacity. */
     std::size_t rejected = 0;
 
+    /** Structural duplicates (same dataflowFingerprint) dropped
+     *  before evaluation; the first occurrence was kept. */
+    std::size_t deduped = 0;
+
     /** Convenience: the winner. @throws Error if nothing survived. */
     const TunedDataflow &best() const;
 };

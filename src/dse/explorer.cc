@@ -1,47 +1,334 @@
 #include "src/dse/explorer.hh"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cstdint>
 #include <map>
+#include <utility>
 
 #include "src/common/error.hh"
 #include "src/common/thread_pool.hh"
+#include "src/core/cluster_analysis.hh"
+#include "src/core/flat_analysis.hh"
+#include "src/core/performance_analysis.hh"
+#include "src/core/pipeline.hh"
+#include "src/core/reuse_analysis.hh"
+#include "src/core/tensor_analysis.hh"
 
 namespace maestro
 {
 namespace dse
 {
 
+namespace
+{
+
+/** KiB of a byte count (the area/power models are per-KiB). */
+double
+kibOf(Count bytes)
+{
+    return static_cast<double>(bytes) / 1024.0;
+}
+
+/** The per-tensor L2 residency predicate of energyFromSums; monotone
+ *  nondecreasing in l2_bytes, which makes the first resident L2 size a
+ *  partition point of the sorted size list. */
+bool
+l2Resident(double volume, Count precision_bytes, Count l2_bytes)
+{
+    return volume * static_cast<double>(precision_bytes) <=
+           0.5 * static_cast<double>(l2_bytes);
+}
+
+/**
+ * Per-PE-count terms of the area/power model shared by every inner
+ * (L1, L2, BW) choice. Both sweep strategies derive all budget figures
+ * through the helpers below with identical expressions and association
+ * order, so their results agree bit for bit.
+ */
+struct PeBudgetTerms
+{
+    double pe_area = 0.0;
+    double pe_power = 0.0;
+    double arbiter_area = 0.0;
+    double arbiter_power = 0.0;
+};
+
+PeBudgetTerms
+peBudgetTerms(Count pes, const AreaPowerCoefficients &co,
+              const AcceleratorConfig &base)
+{
+    PeBudgetTerms t;
+    t.pe_area =
+        static_cast<double>(pes) *
+        (co.mac_area * static_cast<double>(base.vector_width) +
+         co.sram_area_fixed);
+    t.pe_power =
+        static_cast<double>(pes) *
+        (co.mac_power * static_cast<double>(base.vector_width) +
+         co.sram_power_fixed) *
+        base.clock_ghz;
+    t.arbiter_area = co.arbiter_area_coeff * static_cast<double>(pes) *
+                     static_cast<double>(pes);
+    t.arbiter_power = co.arbiter_power_coeff *
+                      static_cast<double>(pes) *
+                      static_cast<double>(pes) * base.clock_ghz;
+    return t;
+}
+
+double
+areaAtL1(const PeBudgetTerms &t, Count pes, double l1_kib,
+         const AreaPowerCoefficients &co)
+{
+    return t.pe_area + t.arbiter_area +
+           static_cast<double>(pes) * co.sram_area_per_kib * l1_kib;
+}
+
+double
+powerAtL1(const PeBudgetTerms &t, Count pes, double l1_kib,
+          const AreaPowerCoefficients &co, double clock_ghz)
+{
+    return t.pe_power + t.arbiter_power +
+           static_cast<double>(pes) * co.sram_power_per_kib * l1_kib *
+               clock_ghz;
+}
+
+double
+areaAtL2(double area_l1, double l2_kib, const AreaPowerCoefficients &co)
+{
+    return area_l1 + co.sram_area_fixed + co.sram_area_per_kib * l2_kib;
+}
+
+double
+powerAtL2(double power_l1, double l2_kib,
+          const AreaPowerCoefficients &co, double clock_ghz)
+{
+    return power_l1 +
+           (co.sram_power_fixed + co.sram_power_per_kib * l2_kib) *
+               clock_ghz;
+}
+
+double
+areaAtBw(double area_l2, double bw, const AreaPowerCoefficients &co)
+{
+    return area_l2 + co.bus_area_per_lane * bw;
+}
+
+double
+powerAtBw(double power_l2, double bw, const AreaPowerCoefficients &co,
+          double clock_ghz)
+{
+    return power_l2 + co.bus_power_per_lane * bw * clock_ghz;
+}
+
+/**
+ * Serial traversal index of one grid point: the position the exact
+ * pes -> l1 -> l2 -> bw loop nest visits it at. Used as the total-order
+ * tiebreak that makes "first encountered wins" explicit and therefore
+ * independent of traversal strategy and thread count.
+ */
+std::uint64_t
+orderIndex(std::size_t pes_idx, std::size_t i1, std::size_t i2,
+           std::size_t ibw, const DesignSpace &space)
+{
+    return ((static_cast<std::uint64_t>(pes_idx) *
+                 space.l1_sizes.size() +
+             i1) *
+                space.l2_sizes.size() +
+            i2) *
+               space.noc_bandwidths.size() +
+           ibw;
+}
+
+/** The per-(PEs, BW) analysis scalars that price any interior point. */
+struct PairScalars
+{
+    double runtime = 0.0;
+    double total_macs = 0.0;
+    double l1_required = 0.0;
+    double l2_required = 0.0;
+    CostResult::AccessSums sums;
+};
+
+PairScalars
+pairScalars(const LayerAnalysis &analysis)
+{
+    PairScalars s;
+    s.runtime = analysis.runtime;
+    s.total_macs = analysis.total_macs;
+    s.l1_required = analysis.cost.l1_bytes_required;
+    s.l2_required = analysis.cost.l2_bytes_required;
+    s.sums = analysis.cost.accessSums();
+    return s;
+}
+
+/**
+ * Prices one grid point. Every DesignPoint either sweep strategy
+ * reports is built here, so their bytes agree.
+ */
+DesignPoint
+buildPoint(const DesignSpace &space, std::size_t pes_idx,
+           std::size_t i1, std::size_t i2, std::size_t ibw,
+           const PairScalars &s, const AreaPowerCoefficients &co,
+           const AcceleratorConfig &base, const EnergyModel &energy)
+{
+    const Count pes = space.pe_counts[pes_idx];
+    const Count l1 = space.l1_sizes[i1];
+    const Count l2 = space.l2_sizes[i2];
+    const double bw = space.noc_bandwidths[ibw];
+    const PeBudgetTerms terms = peBudgetTerms(pes, co, base);
+    const double area_l1 = areaAtL1(terms, pes, kibOf(l1), co);
+    const double power_l1 =
+        powerAtL1(terms, pes, kibOf(l1), co, base.clock_ghz);
+
+    DesignPoint point;
+    point.num_pes = pes;
+    point.l1_bytes = l1;
+    point.l2_bytes = l2;
+    point.noc_bandwidth = bw;
+    point.area = areaAtBw(areaAtL2(area_l1, kibOf(l2), co), bw, co);
+    point.power = powerAtBw(
+        powerAtL2(power_l1, kibOf(l2), co, base.clock_ghz), bw, co,
+        base.clock_ghz);
+    point.runtime = s.runtime;
+    point.throughput = s.total_macs / s.runtime;
+    point.energy = energyFromSums(s.sums, l1, l2, base.precision_bytes,
+                                  base.noc.avgLatency(), energy);
+    point.edp = point.energy * point.runtime;
+    point.l1_required = s.l1_required;
+    point.l2_required = s.l2_required;
+    point.valid = true;
+    return point;
+}
+
+/**
+ * Strict preference of `cand` over `best` for one target: the serial
+ * sweep's update rule with "first encountered wins" made explicit — on
+ * a full objective tie the smaller traversal index wins, which is
+ * exactly what an in-order serial walk does implicitly.
+ */
+bool
+betterPoint(const DesignPoint &cand, std::uint64_t cand_order,
+            const DesignPoint &best, std::uint64_t best_order,
+            OptTarget target)
+{
+    if (!best.valid)
+        return true;
+    switch (target) {
+      case OptTarget::Throughput:
+        if (cand.throughput != best.throughput)
+            return cand.throughput > best.throughput;
+        if (cand.energy != best.energy)
+            return cand.energy < best.energy;
+        return cand_order < best_order;
+      case OptTarget::Energy:
+        if (cand.energy != best.energy)
+            return cand.energy < best.energy;
+        if (cand.throughput != best.throughput)
+            return cand.throughput > best.throughput;
+        return cand_order < best_order;
+      case OptTarget::Edp:
+        if (cand.edp != best.edp)
+            return cand.edp < best.edp;
+        return cand_order < best_order;
+    }
+    return false;
+}
+
+/** The three running optima plus their traversal-index tiebreaks. */
+struct BestSet
+{
+    DesignPoint throughput, energy, edp;
+    std::uint64_t throughput_order = 0;
+    std::uint64_t energy_order = 0;
+    std::uint64_t edp_order = 0;
+
+    void
+    offer(const DesignPoint &point, std::uint64_t order)
+    {
+        if (betterPoint(point, order, throughput, throughput_order,
+                        OptTarget::Throughput)) {
+            throughput = point;
+            throughput_order = order;
+        }
+        if (betterPoint(point, order, energy, energy_order,
+                        OptTarget::Energy)) {
+            energy = point;
+            energy_order = order;
+        }
+        if (betterPoint(point, order, edp, edp_order, OptTarget::Edp)) {
+            edp = point;
+            edp_order = order;
+        }
+    }
+};
+
+/** First index whose size meets the requirement (capacity feasibility
+ *  is a suffix of the ascending size list). */
+std::size_t
+firstFeasible(const std::vector<Count> &sizes, double required)
+{
+    return static_cast<std::size_t>(
+        std::partition_point(sizes.begin(), sizes.end(),
+                             [&](Count size) {
+                                 return required >
+                                        static_cast<double>(size);
+                             }) -
+        sizes.begin());
+}
+
+/** First index whose L2 size makes the tensor resident (residency is a
+ *  suffix of the ascending size list). */
+std::size_t
+firstResident(const std::vector<Count> &sizes, double volume,
+              Count precision_bytes)
+{
+    return static_cast<std::size_t>(
+        std::partition_point(sizes.begin(), sizes.end(),
+                             [&](Count size) {
+                                 return !l2Resident(
+                                     volume, precision_bytes, size);
+                             }) -
+        sizes.begin());
+}
+
+} // namespace
+
+double
+energyFromSums(const CostResult::AccessSums &sums, Count l1_bytes,
+               Count l2_bytes, Count precision_bytes,
+               double noc_avg_hops, const EnergyModel &energy)
+{
+    double total = sums.total_macs * energy.macEnergy();
+    total += sums.l1_reads * energy.l1ReadEnergy(l1_bytes);
+    total += sums.l1_writes * energy.l1WriteEnergy(l1_bytes);
+    total += sums.l2_reads * energy.l2ReadEnergy(l2_bytes);
+    total += sums.l2_writes * energy.l2WriteEnergy(l2_bytes);
+    total += sums.noc_elements * energy.nocEnergy(noc_avg_hops);
+    // Capacity-aware DRAM fill (see energyFromCounts): volumes and
+    // fills are per-group; the residency decision is made per group
+    // and the resulting fill scaled to all groups.
+    double dram = sums.output_dram_writes;
+    dram += sums.groups *
+            (l2Resident(sums.weight_volume, precision_bytes, l2_bytes)
+                 ? std::min(sums.weight_fill, sums.weight_volume)
+                 : sums.weight_fill);
+    dram += sums.groups *
+            (l2Resident(sums.input_volume, precision_bytes, l2_bytes)
+                 ? std::min(sums.input_fill, sums.input_volume)
+                 : sums.input_fill);
+    total += dram * energy.dramEnergy();
+    return total;
+}
+
 double
 energyFromCounts(const CostResult &cost, Count l1_bytes, Count l2_bytes,
                  Count precision_bytes, double noc_avg_hops,
                  const EnergyModel &energy)
 {
-    double total = cost.total_macs * energy.macEnergy();
-    const double l1r = energy.l1ReadEnergy(l1_bytes);
-    const double l1w = energy.l1WriteEnergy(l1_bytes);
-    const double l2r = energy.l2ReadEnergy(l2_bytes);
-    const double l2w = energy.l2WriteEnergy(l2_bytes);
-    for (TensorKind t : kAllTensors) {
-        total += cost.l1_reads[t] * l1r + cost.l1_writes[t] * l1w;
-        total += cost.l2_reads[t] * l2r + cost.l2_writes[t] * l2w;
-    }
-    total += cost.noc_elements * energy.nocEnergy(noc_avg_hops);
-    // Capacity-aware DRAM fill (see header). tensor_volumes and
-    // dram_fill_model are per-group; the residency decision is made
-    // per group and the resulting fill scaled to all groups.
-    double dram = cost.dram_writes[TensorKind::Output];
-    for (TensorKind t : {TensorKind::Weight, TensorKind::Input}) {
-        const double volume = cost.tensor_volumes[t];
-        const bool resident =
-            volume * static_cast<double>(precision_bytes) <=
-            0.5 * static_cast<double>(l2_bytes);
-        dram += cost.groups *
-                (resident ? std::min(cost.dram_fill_model[t], volume)
-                          : cost.dram_fill_model[t]);
-    }
-    total += dram * energy.dramEnergy();
-    return total;
+    return energyFromSums(cost.accessSums(), l1_bytes, l2_bytes,
+                          precision_bytes, noc_avg_hops, energy);
 }
 
 Explorer::Explorer(AcceleratorConfig base, AreaPowerModel area_power,
@@ -63,14 +350,26 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
     fatalIf(space.pe_counts.empty() || space.l1_sizes.empty() ||
                 space.l2_sizes.empty() || space.noc_bandwidths.empty(),
             "explore: empty design space");
+    fatalIf(!std::is_sorted(space.pe_counts.begin(),
+                            space.pe_counts.end()) ||
+                !std::is_sorted(space.l1_sizes.begin(),
+                                space.l1_sizes.end()) ||
+                !std::is_sorted(space.l2_sizes.begin(),
+                                space.l2_sizes.end()) ||
+                !std::is_sorted(space.noc_bandwidths.begin(),
+                                space.noc_bandwidths.end()),
+            "explore: design-space value lists must be sorted "
+            "ascending");
 
     const auto t0 = std::chrono::steady_clock::now();
     DseResult result;
 
     const AreaPowerCoefficients &co = area_power_.coefficients();
-    const double min_l2_kib =
-        static_cast<double>(space.l2_sizes.front()) / 1024.0;
+    const double min_l2_kib = kibOf(space.l2_sizes.front());
     const double min_bw = space.noc_bandwidths.front();
+    const std::size_t n1 = space.l1_sizes.size();
+    const std::size_t n2 = space.l2_sizes.size();
+    const std::size_t nbw = space.noc_bandwidths.size();
 
     // Minimum area/power contributions of the non-PE axes (the first
     // entry of each sorted list).
@@ -82,16 +381,6 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
          co.bus_power_per_lane * min_bw) *
         base_.clock_ghz;
 
-    const double inner_per_pe =
-        static_cast<double>(space.l1_sizes.size()) *
-        static_cast<double>(space.l2_sizes.size()) *
-        static_cast<double>(space.noc_bandwidths.size());
-    const double inner_per_l1 =
-        static_cast<double>(space.l2_sizes.size()) *
-        static_cast<double>(space.noc_bandwidths.size());
-    const double inner_per_l2 =
-        static_cast<double>(space.noc_bandwidths.size());
-
     auto makeConfig = [&](Count pes, double bw) {
         AcceleratorConfig cfg = base_;
         cfg.num_pes = pes;
@@ -99,219 +388,555 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
         return cfg;
     };
 
-    // Runtime/energy counts depend only on (PEs, bandwidth); the local
-    // map avoids re-fetching from the pipeline inside the loop nest.
-    std::map<std::pair<Count, Count>, LayerAnalysis> cache;
-    auto evaluate = [&](Count pes, double bw) -> const LayerAnalysis & {
-        const auto key = std::make_pair(
-            pes, static_cast<Count>(bw * 1024.0));
-        auto it = cache.find(key);
-        if (it == cache.end()) {
-            Analyzer analyzer(makeConfig(pes, bw), energy_, pipeline_);
-            it = cache.emplace(key,
-                               analyzer.analyzeLayer(layer, dataflow))
-                     .first;
-        }
-        return it->second;
+    /** PE counts surviving the PE-level budget check; the PE-level
+     *  subtree skip of the exact walk applies identically here. */
+    auto peSkipped = [&](Count pes) {
+        return area_power_.minAreaForPes(pes) + min_rest_area >
+                   options.area_budget_mm2 ||
+               area_power_.minPowerForPes(pes) * base_.clock_ghz +
+                       min_rest_power >
+                   options.power_budget_mw;
     };
 
-    if (options.num_threads > 1) {
-        // Pre-populate the pipeline caches in parallel with a
-        // conservative superset of the pairs the sweep can reach (every
-        // bandwidth for every PE count that survives the PE-level
-        // budget check). Extra pairs cost throwaway work and missed
-        // ones fall back to the serial path, so the sweep below stays
-        // byte-identical to a single-threaded run. Failures are
-        // ignored here: the serial walk re-raises them
-        // deterministically if it actually needs the pair.
-        std::vector<std::pair<Count, double>> pairs;
-        for (Count pes : space.pe_counts) {
-            if (area_power_.minAreaForPes(pes) + min_rest_area >
-                    options.area_budget_mm2 ||
-                area_power_.minPowerForPes(pes) * base_.clock_ghz +
-                        min_rest_power >
-                    options.power_budget_mw) {
-                continue;
-            }
-            for (double bw : space.noc_bandwidths)
-                pairs.emplace_back(pes, bw);
-        }
-        ThreadPool::run(
-            options.num_threads, pairs.size(), [&](std::size_t i) {
-                try {
-                    Analyzer analyzer(
-                        makeConfig(pairs[i].first, pairs[i].second),
-                        energy_, pipeline_);
-                    analyzer.analyzeLayer(layer, dataflow);
-                } catch (const std::exception &) {
-                    // Re-raised by the serial sweep when reachable.
-                }
-            });
-    }
+    BestSet bests;
+    ParetoAccumulator frontier;
 
-    auto better = [](const DesignPoint &cand, const DesignPoint &best,
-                     OptTarget target) {
-        if (!best.valid)
-            return true;
-        switch (target) {
-          case OptTarget::Throughput:
-            if (cand.throughput != best.throughput)
-                return cand.throughput > best.throughput;
-            return cand.energy < best.energy;
-          case OptTarget::Energy:
-            if (cand.energy != best.energy)
-                return cand.energy < best.energy;
-            return cand.throughput > best.throughput;
-          case OptTarget::Edp:
-            return cand.edp < best.edp;
+    // Rebuilds the reported frontier points by decoding each survivor's
+    // traversal index and re-pricing through buildPoint; scalarsAt maps
+    // a (PEs, BW) pair to its analysis scalars.
+    auto finishFrontier = [&](auto &&scalarsAt) {
+        result.frontier_size = frontier.size();
+        for (const FrontierPoint &fp :
+             frontier.finish(options.max_pareto_points)) {
+            std::uint64_t rest = fp.order;
+            const std::size_t ibw = rest % nbw;
+            rest /= nbw;
+            const std::size_t i2 = rest % n2;
+            rest /= n2;
+            const std::size_t i1 = rest % n1;
+            rest /= n1;
+            const std::size_t pes_idx = static_cast<std::size_t>(rest);
+            result.pareto.push_back(
+                buildPoint(space, pes_idx, i1, i2, ibw,
+                           scalarsAt(pes_idx, ibw), co, base_, energy_));
         }
-        return false;
     };
 
-    std::size_t sample_counter = 0;
+    if (options.exact) {
+        // ------------------------------------------------------------
+        // Exact sweep: the brute-force grid walk, kept as the oracle.
+        // ------------------------------------------------------------
+        const double inner_per_pe = static_cast<double>(n1) *
+                                    static_cast<double>(n2) *
+                                    static_cast<double>(nbw);
+        const double inner_per_l1 =
+            static_cast<double>(n2) * static_cast<double>(nbw);
+        const double inner_per_l2 = static_cast<double>(nbw);
 
-    for (Count pes : space.pe_counts) {
-        const double pe_min_area =
-            area_power_.minAreaForPes(pes) + min_rest_area;
-        const double pe_min_power =
-            area_power_.minPowerForPes(pes) * base_.clock_ghz +
-            min_rest_power;
-        if (pe_min_area > options.area_budget_mm2 ||
-            pe_min_power > options.power_budget_mw) {
-            // Every inner choice only adds area/power: skip the whole
-            // subtree (counted as explored, per the paper's method).
-            result.explored_points += inner_per_pe;
-            continue;
+        // Runtime/energy counts depend only on (PEs, bandwidth); the
+        // local map avoids re-fetching from the pipeline inside the
+        // loop nest. Keyed on the bandwidth's bit pattern: quantizing
+        // (e.g. to 1/1024ths) would alias close bandwidths to one
+        // analysis.
+        std::map<std::pair<Count, std::uint64_t>, LayerAnalysis> cache;
+        auto evaluate = [&](Count pes,
+                            double bw) -> const LayerAnalysis & {
+            const auto key = std::make_pair(
+                pes, std::bit_cast<std::uint64_t>(bw));
+            auto it = cache.find(key);
+            if (it == cache.end()) {
+                Analyzer analyzer(makeConfig(pes, bw), energy_,
+                                  pipeline_);
+                it = cache.emplace(
+                             key, analyzer.analyzeLayer(layer, dataflow))
+                         .first;
+            }
+            return it->second;
+        };
+
+        if (options.num_threads > 1) {
+            // Pre-populate the pipeline caches in parallel with a
+            // conservative superset of the pairs the sweep can reach
+            // (every bandwidth for every PE count that survives the
+            // PE-level budget check). Extra pairs cost throwaway work
+            // and missed ones fall back to the serial path, so the
+            // sweep below stays byte-identical to a single-threaded
+            // run. Failures are ignored here: the serial walk
+            // re-raises them deterministically if it actually needs
+            // the pair.
+            std::vector<std::pair<Count, double>> pairs;
+            for (Count pes : space.pe_counts) {
+                if (peSkipped(pes))
+                    continue;
+                for (double bw : space.noc_bandwidths)
+                    pairs.emplace_back(pes, bw);
+            }
+            ThreadPool::run(
+                options.num_threads, pairs.size(), [&](std::size_t i) {
+                    try {
+                        Analyzer analyzer(makeConfig(pairs[i].first,
+                                                     pairs[i].second),
+                                          energy_, pipeline_);
+                        analyzer.analyzeLayer(layer, dataflow);
+                    } catch (const std::exception &) {
+                        // Re-raised by the serial sweep when reachable.
+                    }
+                });
         }
-        const double pe_area =
-            static_cast<double>(pes) *
-            (co.mac_area * static_cast<double>(base_.vector_width) +
-             co.sram_area_fixed);
-        const double pe_power =
-            static_cast<double>(pes) *
-            (co.mac_power * static_cast<double>(base_.vector_width) +
-             co.sram_power_fixed) *
-            base_.clock_ghz;
-        const double arbiter_area =
-            co.arbiter_area_coeff * static_cast<double>(pes) *
-            static_cast<double>(pes);
-        const double arbiter_power =
-            co.arbiter_power_coeff * static_cast<double>(pes) *
-            static_cast<double>(pes) * base_.clock_ghz;
 
-        for (Count l1 : space.l1_sizes) {
-            const double l1_kib = static_cast<double>(l1) / 1024.0;
-            const double area_l1 =
-                pe_area + arbiter_area +
-                static_cast<double>(pes) * co.sram_area_per_kib * l1_kib;
-            const double power_l1 =
-                pe_power + arbiter_power +
-                static_cast<double>(pes) * co.sram_power_per_kib *
-                    l1_kib * base_.clock_ghz;
-            if (area_l1 + min_rest_area > options.area_budget_mm2 ||
-                power_l1 + min_rest_power > options.power_budget_mw) {
-                result.explored_points += inner_per_l1;
+        std::size_t sample_counter = 0;
+
+        for (std::size_t pes_idx = 0; pes_idx < space.pe_counts.size();
+             ++pes_idx) {
+            const Count pes = space.pe_counts[pes_idx];
+            if (peSkipped(pes)) {
+                // Every inner choice only adds area/power: skip the
+                // whole subtree (counted as explored, per the paper's
+                // method).
+                result.explored_points += inner_per_pe;
                 continue;
             }
+            const PeBudgetTerms terms = peBudgetTerms(pes, co, base_);
 
-            for (Count l2 : space.l2_sizes) {
-                const double l2_kib = static_cast<double>(l2) / 1024.0;
-                const double area_l2 =
-                    area_l1 + co.sram_area_fixed +
-                    co.sram_area_per_kib * l2_kib;
-                const double power_l2 =
-                    power_l1 + (co.sram_power_fixed +
-                                co.sram_power_per_kib * l2_kib) *
-                                   base_.clock_ghz;
-                if (area_l2 + co.bus_area_per_lane * min_bw >
-                        options.area_budget_mm2 ||
-                    power_l2 + co.bus_power_per_lane * min_bw *
-                                   base_.clock_ghz >
+            for (std::size_t i1 = 0; i1 < n1; ++i1) {
+                const double l1_kib = kibOf(space.l1_sizes[i1]);
+                const double area_l1 = areaAtL1(terms, pes, l1_kib, co);
+                const double power_l1 =
+                    powerAtL1(terms, pes, l1_kib, co, base_.clock_ghz);
+                if (area_l1 + min_rest_area > options.area_budget_mm2 ||
+                    power_l1 + min_rest_power >
                         options.power_budget_mw) {
-                    result.explored_points += inner_per_l2;
+                    result.explored_points += inner_per_l1;
                     continue;
                 }
 
-                for (double bw : space.noc_bandwidths) {
-                    result.explored_points += 1.0;
-                    const double area =
-                        area_l2 + co.bus_area_per_lane * bw;
-                    const double power =
-                        power_l2 +
-                        co.bus_power_per_lane * bw * base_.clock_ghz;
-                    if (area > options.area_budget_mm2 ||
-                        power > options.power_budget_mw) {
+                for (std::size_t i2 = 0; i2 < n2; ++i2) {
+                    const double l2_kib = kibOf(space.l2_sizes[i2]);
+                    const double area_l2 =
+                        areaAtL2(area_l1, l2_kib, co);
+                    const double power_l2 = powerAtL2(
+                        power_l1, l2_kib, co, base_.clock_ghz);
+                    if (areaAtBw(area_l2, min_bw, co) >
+                            options.area_budget_mm2 ||
+                        powerAtBw(power_l2, min_bw, co,
+                                  base_.clock_ghz) >
+                            options.power_budget_mw) {
+                        result.explored_points += inner_per_l2;
                         continue;
                     }
 
-                    const LayerAnalysis &eval = evaluate(pes, bw);
-                    result.evaluated_points += 1.0;
-                    if (eval.cost.l1_bytes_required >
-                            static_cast<double>(l1) ||
-                        eval.cost.l2_bytes_required >
-                            static_cast<double>(l2)) {
-                        continue;
-                    }
+                    for (std::size_t ibw = 0; ibw < nbw; ++ibw) {
+                        const double bw = space.noc_bandwidths[ibw];
+                        result.explored_points += 1.0;
+                        if (areaAtBw(area_l2, bw, co) >
+                                options.area_budget_mm2 ||
+                            powerAtBw(power_l2, bw, co,
+                                      base_.clock_ghz) >
+                                options.power_budget_mw) {
+                            continue;
+                        }
 
-                    DesignPoint point;
-                    point.num_pes = pes;
-                    point.l1_bytes = l1;
-                    point.l2_bytes = l2;
-                    point.noc_bandwidth = bw;
-                    point.area = area;
-                    point.power = power;
-                    point.runtime = eval.runtime;
-                    point.throughput = eval.total_macs / eval.runtime;
-                    point.energy = energyFromCounts(
-                        eval.cost, l1, l2, base_.precision_bytes,
-                        base_.noc.avgLatency(), energy_);
-                    point.edp = point.energy * point.runtime;
-                    point.l1_required = eval.cost.l1_bytes_required;
-                    point.l2_required = eval.cost.l2_bytes_required;
-                    point.valid = true;
+                        const LayerAnalysis &eval = evaluate(pes, bw);
+                        result.evaluated_points += 1.0;
+                        const Count l1 = space.l1_sizes[i1];
+                        const Count l2 = space.l2_sizes[i2];
+                        if (eval.cost.l1_bytes_required >
+                                static_cast<double>(l1) ||
+                            eval.cost.l2_bytes_required >
+                                static_cast<double>(l2)) {
+                            continue;
+                        }
 
-                    result.valid_points += 1.0;
-                    if (better(point, result.best_throughput,
-                               OptTarget::Throughput)) {
-                        result.best_throughput = point;
-                    }
-                    if (better(point, result.best_energy,
-                               OptTarget::Energy)) {
-                        result.best_energy = point;
-                    }
-                    if (better(point, result.best_edp, OptTarget::Edp))
-                        result.best_edp = point;
+                        const DesignPoint point = buildPoint(
+                            space, pes_idx, i1, i2, ibw,
+                            pairScalars(eval), co, base_, energy_);
+                        const std::uint64_t order =
+                            orderIndex(pes_idx, i1, i2, ibw, space);
 
-                    if (options.sample_stride > 0 &&
-                        result.samples.size() < options.max_samples &&
-                        (sample_counter++ % options.sample_stride) == 0) {
-                        result.samples.push_back(point);
+                        result.valid_points += 1.0;
+                        bests.offer(point, order);
+                        frontier.insert(
+                            {point.throughput, point.energy, order});
+
+                        if (options.sample_stride > 0 &&
+                            result.samples.size() <
+                                options.max_samples &&
+                            (sample_counter++ %
+                             options.sample_stride) == 0) {
+                            result.samples.push_back(point);
+                        }
                     }
                 }
             }
         }
+
+        result.evaluated_pairs = static_cast<double>(cache.size());
+        finishFrontier([&](std::size_t pes_idx, std::size_t ibw) {
+            const auto key = std::make_pair(
+                space.pe_counts[pes_idx],
+                std::bit_cast<std::uint64_t>(
+                    space.noc_bandwidths[ibw]));
+            return pairScalars(cache.at(key));
+        });
+    } else {
+        // ------------------------------------------------------------
+        // Fast sweep: one analysis per reached (PEs, BW) pair, closed-
+        // form interior selection, sharded across the thread pool.
+        // ------------------------------------------------------------
+
+        /** One PE count that reaches analysis, with its budget
+         *  feasibility prefixes. */
+        struct PeBlock
+        {
+            std::size_t pes_idx = 0;
+            Count pes = 0;
+            PeBudgetTerms terms;
+            std::size_t a_hi = 0;       ///< L1 indices passing (a)
+            std::size_t bw_reached = 0; ///< BW prefix with any (c) pass
+        };
+
+        // Screening: pure budget arithmetic, no analysis. The checks
+        // are the exact walk's (a)/(c) checks verbatim; since area and
+        // power are monotone along each axis, the pass sets are
+        // prefixes of the ascending lists.
+        std::vector<PeBlock> blocks;
+        for (std::size_t pes_idx = 0; pes_idx < space.pe_counts.size();
+             ++pes_idx) {
+            const Count pes = space.pe_counts[pes_idx];
+            if (peSkipped(pes))
+                continue;
+            PeBlock blk;
+            blk.pes_idx = pes_idx;
+            blk.pes = pes;
+            blk.terms = peBudgetTerms(pes, co, base_);
+            while (blk.a_hi < n1) {
+                const double l1_kib = kibOf(space.l1_sizes[blk.a_hi]);
+                if (areaAtL1(blk.terms, pes, l1_kib, co) +
+                            min_rest_area >
+                        options.area_budget_mm2 ||
+                    powerAtL1(blk.terms, pes, l1_kib, co,
+                              base_.clock_ghz) +
+                            min_rest_power >
+                        options.power_budget_mw) {
+                    break;
+                }
+                ++blk.a_hi;
+            }
+            if (blk.a_hi == 0)
+                continue;
+            // A (PEs, BW) pair reaches analysis iff the cheapest
+            // corner (smallest L1, smallest L2) passes the final
+            // budget check at that bandwidth.
+            const double area_l1_min =
+                areaAtL1(blk.terms, pes, kibOf(space.l1_sizes.front()),
+                         co);
+            const double power_l1_min =
+                powerAtL1(blk.terms, pes, kibOf(space.l1_sizes.front()),
+                          co, base_.clock_ghz);
+            const double area_l2_min =
+                areaAtL2(area_l1_min, min_l2_kib, co);
+            const double power_l2_min =
+                powerAtL2(power_l1_min, min_l2_kib, co, base_.clock_ghz);
+            while (blk.bw_reached < nbw) {
+                const double bw = space.noc_bandwidths[blk.bw_reached];
+                if (areaAtBw(area_l2_min, bw, co) >
+                        options.area_budget_mm2 ||
+                    powerAtBw(power_l2_min, bw, co, base_.clock_ghz) >
+                        options.power_budget_mw) {
+                    break;
+                }
+                ++blk.bw_reached;
+            }
+            if (blk.bw_reached == 0)
+                continue;
+            blocks.push_back(blk);
+        }
+
+        // Pair enumeration in the exact walk's first-evaluation order
+        // (PEs ascending, bandwidth ascending within the reached
+        // prefix) — the merge below reports errors in this order, so
+        // failures surface identically to the serial walk.
+        struct PairRef
+        {
+            std::size_t block = 0;
+            std::size_t ibw = 0;
+        };
+        std::vector<PairRef> pair_refs;
+        std::map<std::pair<std::size_t, std::size_t>, std::size_t>
+            pair_index; // (pes_idx, ibw) -> slot, for frontier decode
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            for (std::size_t ibw = 0; ibw < blocks[b].bw_reached;
+                 ++ibw) {
+                pair_index.emplace(
+                    std::make_pair(blocks[b].pes_idx, ibw),
+                    pair_refs.size());
+                pair_refs.push_back({b, ibw});
+            }
+        }
+
+        // Layer-level stages run once; an error here surfaces at the
+        // first reached pair (after its config check), matching the
+        // serial walk's per-pair validate -> analyze sequence.
+        std::string layer_error;
+        bool layer_ok = true;
+        TensorInfo tensors;
+        const bool depthwise = layer.type() == OpType::DepthwiseConv;
+        const double compute_scale =
+            layer.inputDensityVal() * layer.weightDensityVal();
+        if (!pair_refs.empty()) {
+            try {
+                layer.validate();
+                tensors = analyzeTensors(layer);
+            } catch (const std::exception &e) {
+                layer_ok = false;
+                layer_error = e.what();
+            }
+        }
+
+        /** Dataflow binding + reuse + flat nest: depend only on the PE
+         *  count (and support flags), shared across the BW axis. */
+        struct PeArtifacts
+        {
+            BoundDataflow bound;
+            std::vector<LevelReuse> reuse;
+            FlatAnalysis flat;
+            bool ok = false;
+            std::string error;
+        };
+        std::vector<PeArtifacts> artifacts(blocks.size());
+        if (layer_ok && !pair_refs.empty()) {
+            ThreadPool::runChunked(
+                options.num_threads, blocks.size(),
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t b = begin; b < end; ++b) {
+                        PeArtifacts &art = artifacts[b];
+                        try {
+                            const AcceleratorConfig cfg =
+                                makeConfig(blocks[b].pes, min_bw);
+                            art.bound = bindDataflow(dataflow, layer,
+                                                     cfg.num_pes);
+                            art.reuse = analyzeReuse(art.bound, tensors,
+                                                     depthwise);
+                            art.flat =
+                                analyzeFlat(art.bound, art.reuse,
+                                            tensors, depthwise, cfg);
+                            art.ok = true;
+                        } catch (const std::exception &e) {
+                            art.error = e.what();
+                        }
+                    }
+                });
+        }
+
+        /** Everything one pair contributes to the merged result. */
+        struct PairOutcome
+        {
+            std::string error;
+            double evaluated = 0.0;
+            double valid = 0.0;
+            PairScalars scalars;
+            bool has_valid = false;
+            DesignPoint cand_energy; ///< pair's (energy, order) lex-min
+            DesignPoint cand_edp;    ///< pair's (edp, order) lex-min
+            std::uint64_t energy_order = 0;
+            std::uint64_t edp_order = 0;
+        };
+        std::vector<PairOutcome> outcomes(pair_refs.size());
+
+        ThreadPool::runChunked(
+            options.num_threads, pair_refs.size(),
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t pi = begin; pi < end; ++pi) {
+                    const PairRef &ref = pair_refs[pi];
+                    const PeBlock &blk = blocks[ref.block];
+                    const double bw = space.noc_bandwidths[ref.ibw];
+                    PairOutcome &out = outcomes[pi];
+
+                    // Per-pair error sequence mirrors the serial
+                    // walk: config validation, then the layer-level
+                    // stages, then binding, then perf/cost.
+                    try {
+                        makeConfig(blk.pes, bw).validate();
+                    } catch (const std::exception &e) {
+                        out.error = e.what();
+                        continue;
+                    }
+                    if (!layer_ok) {
+                        out.error = layer_error;
+                        continue;
+                    }
+                    const PeArtifacts &art = artifacts[ref.block];
+                    if (!art.ok) {
+                        out.error = art.error;
+                        continue;
+                    }
+                    try {
+                        const AcceleratorConfig cfg =
+                            makeConfig(blk.pes, bw);
+                        const PerformanceResult perf =
+                            analyzePerformance(art.bound, art.reuse,
+                                               art.flat, layer, cfg,
+                                               compute_scale);
+                        CostResult cost = analyzeCost(
+                            art.bound, art.reuse, art.flat, perf, layer,
+                            cfg, energy_);
+                        out.scalars = pairScalars(assembleLayerAnalysis(
+                            perf, std::move(cost), layer, cfg));
+                    } catch (const std::exception &e) {
+                        out.error = e.what();
+                        continue;
+                    }
+
+                    // Point accounting: (a)-feasible L1 indices are
+                    // [0, a_hi); at each, the (c)-feasible L2 indices
+                    // are a prefix whose length shrinks as L1 grows —
+                    // a two-pointer scan recovers the exact walk's
+                    // counts in O(|L1| + |L2|).
+                    const std::size_t lo1 = firstFeasible(
+                        space.l1_sizes, out.scalars.l1_required);
+                    const std::size_t lo2 = firstFeasible(
+                        space.l2_sizes, out.scalars.l2_required);
+                    std::size_t hi2 = n2;
+                    std::size_t hi2_at_lo1 = 0;
+                    for (std::size_t i1 = 0; i1 < blk.a_hi; ++i1) {
+                        const double l1_kib =
+                            kibOf(space.l1_sizes[i1]);
+                        const double area_l1 =
+                            areaAtL1(blk.terms, blk.pes, l1_kib, co);
+                        const double power_l1 =
+                            powerAtL1(blk.terms, blk.pes, l1_kib, co,
+                                      base_.clock_ghz);
+                        while (hi2 > 0) {
+                            const double l2_kib =
+                                kibOf(space.l2_sizes[hi2 - 1]);
+                            const double area = areaAtBw(
+                                areaAtL2(area_l1, l2_kib, co), bw, co);
+                            const double power = powerAtBw(
+                                powerAtL2(power_l1, l2_kib, co,
+                                          base_.clock_ghz),
+                                bw, co, base_.clock_ghz);
+                            if (area > options.area_budget_mm2 ||
+                                power > options.power_budget_mw) {
+                                --hi2;
+                            } else {
+                                break;
+                            }
+                        }
+                        out.evaluated += static_cast<double>(hi2);
+                        if (i1 == lo1)
+                            hi2_at_lo1 = hi2;
+                        if (i1 >= lo1 && hi2 > lo2)
+                            out.valid +=
+                                static_cast<double>(hi2 - lo2);
+                    }
+                    if (out.valid <= 0.0)
+                        continue;
+
+                    // Closed-form interior selection. Runtime (hence
+                    // throughput) is constant across the interior;
+                    // energy is monotone nondecreasing in L1 and,
+                    // within a DRAM-residency regime, in L2. So the
+                    // (energy, order)- and (edp, order)-lex-minima
+                    // over the valid window lie at the smallest
+                    // feasible L1 crossed with the smallest feasible
+                    // L2 or a residency-regime left edge — at most
+                    // three candidates instead of the O(|L1|*|L2|)
+                    // interior.
+                    std::size_t edges[3];
+                    std::size_t num_edges = 0;
+                    auto addEdge = [&](std::size_t edge) {
+                        for (std::size_t k = 0; k < num_edges; ++k) {
+                            if (edges[k] == edge)
+                                return;
+                        }
+                        edges[num_edges++] = edge;
+                    };
+                    addEdge(lo2);
+                    for (const double volume :
+                         {out.scalars.sums.weight_volume,
+                          out.scalars.sums.input_volume}) {
+                        const std::size_t edge = firstResident(
+                            space.l2_sizes, volume,
+                            base_.precision_bytes);
+                        if (edge > lo2 && edge < hi2_at_lo1)
+                            addEdge(edge);
+                    }
+                    for (std::size_t k = 0; k < num_edges; ++k) {
+                        const std::size_t i2 = edges[k];
+                        const DesignPoint point = buildPoint(
+                            space, blk.pes_idx, lo1, i2, ref.ibw,
+                            out.scalars, co, base_, energy_);
+                        const std::uint64_t order = orderIndex(
+                            blk.pes_idx, lo1, i2, ref.ibw, space);
+                        if (!out.has_valid) {
+                            out.has_valid = true;
+                            out.cand_energy = point;
+                            out.energy_order = order;
+                            out.cand_edp = point;
+                            out.edp_order = order;
+                            continue;
+                        }
+                        if (point.energy < out.cand_energy.energy ||
+                            (point.energy == out.cand_energy.energy &&
+                             order < out.energy_order)) {
+                            out.cand_energy = point;
+                            out.energy_order = order;
+                        }
+                        if (point.edp < out.cand_edp.edp ||
+                            (point.edp == out.cand_edp.edp &&
+                             order < out.edp_order)) {
+                            out.cand_edp = point;
+                            out.edp_order = order;
+                        }
+                    }
+                }
+            });
+
+        // Deterministic merge in pair order: errors, accounting,
+        // bests, frontier, and samples all consume the per-pair slots
+        // serially, so the result is byte-identical for any thread
+        // count.
+        std::size_t sample_counter = 0;
+        for (std::size_t pi = 0; pi < pair_refs.size(); ++pi) {
+            const PairOutcome &out = outcomes[pi];
+            if (!out.error.empty())
+                throw Error(out.error);
+            result.evaluated_points += out.evaluated;
+            result.valid_points += out.valid;
+            if (!out.has_valid)
+                continue;
+            bests.offer(out.cand_energy, out.energy_order);
+            bests.offer(out.cand_edp, out.edp_order);
+            // Every valid point of the pair shares its throughput and
+            // is weakly dominated by the (energy, order) lex-min, so
+            // one insert per pair accumulates the frontier over all
+            // valid points.
+            frontier.insert({out.cand_energy.throughput,
+                             out.cand_energy.energy, out.energy_order});
+            if (options.sample_stride > 0 &&
+                result.samples.size() < options.max_samples &&
+                (sample_counter++ % options.sample_stride) == 0) {
+                result.samples.push_back(out.cand_energy);
+            }
+        }
+
+        // Bulk accounting: the subtree skips partition the grid, and
+        // every count is an exact integer in double, so the explored
+        // total telescopes to the full grid size.
+        result.explored_points = space.totalPoints();
+        result.evaluated_pairs = static_cast<double>(pair_refs.size());
+
+        finishFrontier([&](std::size_t pes_idx, std::size_t ibw) {
+            return outcomes[pair_index.at({pes_idx, ibw})].scalars;
+        });
     }
 
-    // Pareto frontier over the retained points plus the three bests.
-    {
-        std::vector<DesignPoint> pool = result.samples;
-        if (result.best_throughput.valid)
-            pool.push_back(result.best_throughput);
-        if (result.best_energy.valid)
-            pool.push_back(result.best_energy);
-        if (result.best_edp.valid)
-            pool.push_back(result.best_edp);
-        std::vector<ObjectivePoint> objs;
-        objs.reserve(pool.size());
-        for (std::size_t i = 0; i < pool.size(); ++i)
-            objs.push_back({pool[i].throughput, pool[i].energy, i});
-        for (const auto &op : paretoFrontier(std::move(objs)))
-            result.pareto.push_back(pool[op.index]);
-    }
+    result.best_throughput = bests.throughput;
+    result.best_energy = bests.energy;
+    result.best_edp = bests.edp;
 
     const auto t1 = std::chrono::steady_clock::now();
-    result.seconds =
-        std::chrono::duration<double>(t1 - t0).count();
+    result.seconds = std::chrono::duration<double>(t1 - t0).count();
     result.rate = result.seconds > 0.0
                       ? result.explored_points / result.seconds
                       : 0.0;

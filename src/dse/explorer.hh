@@ -5,7 +5,7 @@
  * Sweeps (PE count, L1 size, L2 size, NoC bandwidth) under area and
  * power constraints, using MAESTRO as the per-design oracle, and
  * reports throughput-, energy-, and EDP-optimal points plus the
- * throughput/energy Pareto frontier.
+ * throughput/energy Pareto frontier over all valid points.
  *
  * Two of the paper's engineering points are reproduced:
  *  - invalid-design skipping: at each loop nest level the tool checks
@@ -15,20 +15,41 @@
  *  - designs are only valid when the swept buffers meet MAESTRO's
  *    reported buffer requirements (double-buffered working sets).
  *
- * Runtime depends only on (PEs, NoC bandwidth); energy rescales with
- * buffer sizes from the activity counts — the tool evaluates one
- * analyzer call per (PEs, bandwidth) pair through a shared staged
- * pipeline (src/core/pipeline.hh), so the bound dataflow, reuse, and
- * flat-nest artifacts are computed once per PE count and reused across
- * the bandwidth axis, mirroring the paper's fast DSE. With
- * DseOptions::num_threads > 1 the per-pair evaluations run on a
- * worker pool before the (deterministic, serial) sweep consumes them.
+ * Two sweep strategies produce byte-identical best points and point
+ * accounting (enforced by tests/test_dse_equivalence.cc):
+ *
+ *  - The **fast sweep** (default) exploits the cost structure: runtime
+ *    and all access counts depend only on (PEs, BW), so one analysis
+ *    per reached (PEs, BW) pair plus a ~10-scalar dot product
+ *    (energyFromSums) prices any (L1, L2) interior point. Area, power,
+ *    and energy are monotone in L1 and — within a DRAM-residency
+ *    regime — in L2, and capacity feasibility is a suffix of each
+ *    sorted size list, so the per-pair optimum is found among at most
+ *    three closed-form candidates (the smallest feasible L1 crossed
+ *    with the smallest feasible L2 and the L2 residency-regime edges)
+ *    instead of walking the O(|L1|*|L2|) interior. The budget-pruned
+ *    point accounting is recovered exactly by a two-pointer scan over
+ *    the feasibility prefixes. (PEs, BW) pairs are sharded across the
+ *    thread pool and merged in deterministic pair order, so results
+ *    are byte-identical for any num_threads.
+ *
+ *  - The **exact sweep** (DseOptions::exact) is the brute-force grid
+ *    walk kept as the oracle: it evaluates every budget-feasible
+ *    interior point individually.
+ *
+ * Ties are broken identically in both strategies by the serial
+ * traversal index of the point (PEs, then L1, L2, BW ascending):
+ * "first encountered wins" made explicit and traversal-independent.
+ *
+ * The design-space value lists must be sorted ascending (DesignSpace
+ * factories already are); explore() rejects unsorted lists.
  */
 
 #ifndef MAESTRO_DSE_EXPLORER_HH
 #define MAESTRO_DSE_EXPLORER_HH
 
 #include "src/core/analyzer.hh"
+#include "src/core/cost_analysis.hh"
 #include "src/dse/design_space.hh"
 #include "src/dse/pareto.hh"
 #include "src/hw/area_power.hh"
@@ -82,12 +103,29 @@ struct DseOptions
     std::size_t max_samples = 20000;
 
     /**
-     * Total concurrent threads evaluating analyzer calls (<= 1 =
-     * serial). Results are bit-identical for any value: the parallel
-     * phase only pre-populates the shared pipeline caches; the sweep
-     * itself stays serial and deterministic.
+     * Total concurrent threads for the sweep (<= 1 = serial). Results
+     * are bit-identical for any value. Fast sweep: (PEs, BW) pairs are
+     * sharded across the pool into per-pair slots and merged serially
+     * in pair order. Exact sweep: the parallel phase only pre-populates
+     * the shared pipeline caches; the grid walk stays serial.
      */
     std::size_t num_threads = 1;
+
+    /**
+     * Use the brute-force grid walk (the oracle) instead of the
+     * closed-form fast sweep. Best points and point accounting are
+     * byte-identical either way; only DseResult::samples follows a
+     * different (documented) subsampling rule.
+     */
+    bool exact = false;
+
+    /**
+     * Cap on the reported Pareto frontier. When the frontier exceeds
+     * this, it is decimated evenly (keeping both endpoints); 0 keeps
+     * every frontier point. DseResult::frontier_size reports the
+     * pre-decimation size.
+     */
+    std::size_t max_pareto_points = 512;
 };
 
 /**
@@ -98,6 +136,7 @@ struct DseResult
     double explored_points = 0.0;  ///< including skipped subtrees
     double evaluated_points = 0.0; ///< analyzer/energy evaluations
     double valid_points = 0.0;
+    double evaluated_pairs = 0.0;  ///< (PEs, BW) pairs analyzed
     double seconds = 0.0;
     double rate = 0.0; ///< explored points per second
 
@@ -105,11 +144,25 @@ struct DseResult
     DesignPoint best_energy;
     DesignPoint best_edp;
 
-    /** Subsampled valid points for scatter plots. */
+    /**
+     * Subsampled valid points for scatter plots. The exact sweep keeps
+     * every sample_stride'th valid grid point; the fast sweep keeps
+     * every sample_stride'th per-pair energy-optimal representative
+     * (it never materializes the interior). Equivalence between the
+     * strategies is defined over bests, accounting, and the frontier —
+     * not over samples.
+     */
     std::vector<DesignPoint> samples;
 
-    /** Throughput/energy Pareto frontier (subset of samples + bests). */
+    /**
+     * Throughput/energy Pareto frontier over *all* valid points,
+     * sorted by descending throughput, decimated to at most
+     * DseOptions::max_pareto_points entries.
+     */
     std::vector<DesignPoint> pareto;
+
+    /** Frontier size before decimation to max_pareto_points. */
+    std::size_t frontier_size = 0;
 };
 
 /**
@@ -166,6 +219,22 @@ class Explorer
 double energyFromCounts(const CostResult &cost, Count l1_bytes,
                         Count l2_bytes, Count precision_bytes,
                         double noc_avg_hops, const EnergyModel &energy);
+
+/**
+ * Prices precomputed access-count sums at the given buffer capacities:
+ * the affine dot product at the heart of the fast sweep. At fixed
+ * counts, total energy is linear in the per-access energies, which
+ * depend on (L1, L2) only through the sqrt capacity scaling and the
+ * two per-tensor L2 residency predicates — so re-pricing a design is
+ * ~10 multiply-adds instead of an analyzer call.
+ *
+ * energyFromCounts(cost, ...) == energyFromSums(cost.accessSums(), ...)
+ * bit-for-bit; both sweep strategies price energy through this
+ * function.
+ */
+double energyFromSums(const CostResult::AccessSums &sums, Count l1_bytes,
+                      Count l2_bytes, Count precision_bytes,
+                      double noc_avg_hops, const EnergyModel &energy);
 
 } // namespace dse
 } // namespace maestro

@@ -27,5 +27,71 @@ paretoFrontier(std::vector<ObjectivePoint> points)
     return frontier;
 }
 
+void
+ParetoAccumulator::insert(const FrontierPoint &point)
+{
+    // First entry at or above point.maximize. Entries further right
+    // have strictly larger minimize (map invariant), so this is the
+    // only candidate that can dominate the new point.
+    auto it = frontier_.lower_bound(point.maximize);
+    if (it != frontier_.end()) {
+        const double min_here = it->second.first;
+        if (min_here < point.minimize)
+            return; // dominated (>= maximize, strictly lower minimize)
+        if (min_here == point.minimize) {
+            if (it->first > point.maximize)
+                return; // dominated (strictly higher maximize)
+            // Identical objectives: smallest order wins.
+            if (it->second.second > point.order)
+                it->second.second = point.order;
+            return;
+        }
+        // min_here > point.minimize: an equal-maximize entry is
+        // dominated by the new point.
+        if (it->first == point.maximize)
+            it = frontier_.erase(it);
+    }
+    // Erase entries the new point dominates: everything to the left
+    // (strictly smaller maximize) whose minimize is not better.
+    while (it != frontier_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.first < point.minimize)
+            break;
+        it = frontier_.erase(prev);
+    }
+    frontier_.emplace_hint(it, point.maximize,
+                           std::make_pair(point.minimize, point.order));
+}
+
+void
+ParetoAccumulator::merge(const ParetoAccumulator &other)
+{
+    for (const auto &entry : other.frontier_)
+        insert({entry.first, entry.second.first, entry.second.second});
+}
+
+std::vector<FrontierPoint>
+ParetoAccumulator::finish(std::size_t max_points) const
+{
+    std::vector<FrontierPoint> out;
+    out.reserve(frontier_.size());
+    for (auto it = frontier_.rbegin(); it != frontier_.rend(); ++it)
+        out.push_back({it->first, it->second.first, it->second.second});
+    if (max_points == 0 || out.size() <= max_points)
+        return out;
+    std::vector<FrontierPoint> kept;
+    kept.reserve(max_points);
+    if (max_points == 1) {
+        kept.push_back(out.front());
+        return kept;
+    }
+    // Even decimation keeping both endpoints; indices are strictly
+    // increasing because out.size() > max_points.
+    const std::size_t n = out.size();
+    for (std::size_t i = 0; i < max_points; ++i)
+        kept.push_back(out[i * (n - 1) / (max_points - 1)]);
+    return kept;
+}
+
 } // namespace dse
 } // namespace maestro

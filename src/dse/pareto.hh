@@ -11,6 +11,9 @@
 #ifndef MAESTRO_DSE_PARETO_HH
 #define MAESTRO_DSE_PARETO_HH
 
+#include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 namespace maestro
@@ -38,6 +41,57 @@ struct ObjectivePoint
  */
 std::vector<ObjectivePoint> paretoFrontier(
     std::vector<ObjectivePoint> points);
+
+/**
+ * A frontier candidate: two objectives plus a total-order tiebreak.
+ *
+ * `order` is the point's serial traversal index in the DSE grid; among
+ * points with identical objectives the one with the smallest order is
+ * kept, making the surviving *set* independent of insertion order.
+ */
+struct FrontierPoint
+{
+    double maximize = 0.0;    ///< e.g. throughput (bigger is better)
+    double minimize = 0.0;    ///< e.g. energy (smaller is better)
+    std::uint64_t order = 0;  ///< traversal-index tiebreak
+};
+
+/**
+ * Streaming Pareto frontier over an online stream of points.
+ *
+ * Maintains exactly the non-dominated subset of everything inserted so
+ * far in O(log n) amortized per insert, using the invariant that the
+ * frontier sorted by ascending `maximize` has strictly ascending
+ * `minimize`. Dominance is weak with the order tiebreak: a dominates b
+ * iff a.maximize >= b.maximize, a.minimize <= b.minimize, and either
+ * one inequality is strict or a.order < b.order. Because the survivor
+ * set is the true non-dominated set (ties resolved by smallest order),
+ * it does not depend on insertion order — shard-local accumulators
+ * merged in any order give the same frontier (see tests).
+ */
+class ParetoAccumulator
+{
+  public:
+    /** Offers one point; keeps it only while non-dominated. */
+    void insert(const FrontierPoint &point);
+
+    /** Inserts every survivor of another accumulator. */
+    void merge(const ParetoAccumulator &other);
+
+    /** Current number of frontier points. */
+    std::size_t size() const { return frontier_.size(); }
+
+    /**
+     * Returns the frontier sorted by descending `maximize`. When
+     * max_points > 0 and the frontier is larger, it is decimated to
+     * max_points entries picked evenly by index (both endpoints kept).
+     */
+    std::vector<FrontierPoint> finish(std::size_t max_points) const;
+
+  private:
+    /** maximize -> (minimize, order); minimize ascends with the key. */
+    std::map<double, std::pair<double, std::uint64_t>> frontier_;
+};
 
 } // namespace dse
 } // namespace maestro

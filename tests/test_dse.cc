@@ -174,6 +174,39 @@ TEST(Explorer, BiggerL2CutsRecomputedDramEnergy)
     EXPECT_LT(big, small);
 }
 
+TEST(Explorer, ExactCacheDistinguishesCloseBandwidths)
+{
+    // Regression: the exact sweep's evaluation cache used to key on
+    // static_cast<Count>(bw * 1024.0), aliasing bandwidths closer than
+    // 2^-10 elements/cycle — the second one silently reused the first
+    // one's analysis. The key is now the double's bit pattern.
+    const Network net = zoo::vgg16();
+    const Layer &layer = net.layer("CONV2");
+    const dse::Explorer explorer(AcceleratorConfig::paperStudy());
+    dse::DesignSpace space;
+    space.pe_counts = {256};
+    space.l1_sizes = {4096};
+    space.l2_sizes = {1 << 20};
+    const double bw = 1.0;
+    const double bw_close = 1.0 + 0x1p-11; // same key under the old cast
+    space.noc_bandwidths = {bw, bw_close};
+    dse::DseOptions options;
+    options.exact = true;
+    options.sample_stride = 1;
+    options.area_budget_mm2 = 100.0;
+    options.power_budget_mw = 5000.0;
+    const dse::DseResult res =
+        explorer.explore(layer, dataflows::kcPartitioned(), space,
+                         options);
+    ASSERT_EQ(res.samples.size(), 2u);
+    EXPECT_EQ(res.evaluated_pairs, 2.0);
+    // At ~1 element/cycle the layer is NoC-bound, so the two
+    // bandwidths must yield genuinely different runtimes.
+    EXPECT_NE(res.samples[0].runtime, res.samples[1].runtime);
+    EXPECT_NE(res.samples[0].noc_bandwidth,
+              res.samples[1].noc_bandwidth);
+}
+
 TEST(Explorer, EmptySpaceRejected)
 {
     const Network net = zoo::vgg16();

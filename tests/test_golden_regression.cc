@@ -255,9 +255,11 @@ TEST(GoldenDse, SmallSpaceSweepMatchesPrePipelineNumbers)
 {
     const Network net = zoo::vgg16();
     const dse::Explorer explorer(AcceleratorConfig::paperStudy());
+    dse::DseOptions options;
+    options.exact = true;
     const dse::DseResult res =
         explorer.explore(net.layer("CONV2"), dataflows::byName("KC-P"),
-                         dse::DesignSpace::small());
+                         dse::DesignSpace::small(), options);
 
     EXPECT_EQ(res.explored_points, 4032);
     EXPECT_EQ(res.evaluated_points, 2795);
@@ -267,6 +269,38 @@ TEST(GoldenDse, SmallSpaceSweepMatchesPrePipelineNumbers)
 
     for (const dse::DesignPoint *p :
          {&res.best_throughput, &res.best_energy, &res.best_edp}) {
+        EXPECT_TRUE(p->valid);
+        EXPECT_EQ(p->num_pes, 192);
+        EXPECT_EQ(p->l1_bytes, 512);
+        EXPECT_EQ(p->l2_bytes, 32768);
+        EXPECT_EQ(p->noc_bandwidth, 64);
+        EXPECT_EQ(p->area, 12.566927999999999);
+        EXPECT_EQ(p->power, 330.01864000000006);
+        EXPECT_EQ(p->runtime, 9940404.1818181816);
+        EXPECT_EQ(p->throughput, 186.07775198751293);
+        EXPECT_EQ(p->energy, 50713798067.625099);
+        EXPECT_EQ(p->edp, 5.0411565038730336e+17);
+    }
+}
+
+/** The fast sweep (the default) reproduces the exact sweep's frozen
+ *  bests, accounting, and frontier on the same space. */
+TEST(GoldenDse, FastSweepMatchesFrozenNumbers)
+{
+    const Network net = zoo::vgg16();
+    const dse::Explorer explorer(AcceleratorConfig::paperStudy());
+    const dse::DseResult res =
+        explorer.explore(net.layer("CONV2"), dataflows::byName("KC-P"),
+                         dse::DesignSpace::small());
+
+    EXPECT_EQ(res.explored_points, 4032);
+    EXPECT_EQ(res.evaluated_points, 2795);
+    EXPECT_EQ(res.valid_points, 1076);
+    EXPECT_EQ(res.pareto.size(), 1u);
+
+    for (const dse::DesignPoint *p :
+         {&res.best_throughput, &res.best_energy, &res.best_edp,
+          &res.pareto.front()}) {
         EXPECT_TRUE(p->valid);
         EXPECT_EQ(p->num_pes, 192);
         EXPECT_EQ(p->l1_bytes, 512);

@@ -53,6 +53,25 @@ TEST(Tuner, CandidatesBindToEveryZooLayerClass)
     }
 }
 
+TEST(Tuner, DeduplicatesStructuralDuplicates)
+{
+    // The generator emits clamping-equivalent candidates (e.g. a
+    // transposed channel pair whose tile directive collapses away);
+    // tuneDataflow must drop them by fingerprint before evaluation
+    // and report how many were removed.
+    const Analyzer analyzer(AcceleratorConfig::paperStudy());
+    const Network net = zoo::vgg16();
+    const auto res = dataflows::tuneDataflow(
+        analyzer, net.layer("CONV11"), dataflows::Objective::Runtime);
+    EXPECT_EQ(res.candidates, 186u);
+    EXPECT_EQ(res.deduped, 64u);
+    EXPECT_EQ(res.rejected, 0u);
+    // candidates counts what the generator produced, before dedup.
+    const auto generated = dataflows::generateCandidates(
+        net.layer("CONV11"), dataflows::TunerOptions());
+    EXPECT_EQ(generated.size(), res.candidates);
+}
+
 TEST(Tuner, RankedResultsAreSorted)
 {
     const Analyzer analyzer(AcceleratorConfig::paperStudy());

@@ -90,6 +90,11 @@ parseArgs(int argc, char **argv)
         const std::string key = argv[i];
         fatalIf(key.rfind("--", 0) != 0,
                 msg("expected --option, found '", key, "'"));
+        // Valueless switches.
+        if (key == "--dse-exact") {
+            args.options[key.substr(2)] = "on";
+            continue;
+        }
         fatalIf(i + 1 >= argc, msg("missing value for ", key));
         args.options[key.substr(2)] = argv[++i];
     }
@@ -301,6 +306,7 @@ cmdDse(const Args &args, const Inputs &in)
     options.area_budget_mm2 = args.getDouble("area", 16.0);
     options.power_budget_mw = args.getDouble("power", 450.0);
     options.num_threads = opts.num_threads;
+    options.exact = args.has("dse-exact");
     auto pipeline = std::make_shared<AnalysisPipeline>();
     const dse::Explorer explorer(in.config, AreaPowerModel(),
                                  EnergyModel(), pipeline);
@@ -310,7 +316,8 @@ cmdDse(const Args &args, const Inputs &in)
     std::cout << "explored " << engFormat(res.explored_points) << " ("
               << engFormat(res.valid_points) << " valid) in "
               << fixedFormat(res.seconds, 2) << " s ("
-              << engFormat(res.rate) << " designs/s)\n";
+              << engFormat(res.rate) << " designs/s, "
+              << (options.exact ? "exact" : "fast") << " sweep)\n";
     Table table({"objective", "PEs", "L1(B)", "L2(KB)", "BW",
                  "area", "power", "MACs/cyc", "energy"});
     auto add = [&](const char *name, const dse::DesignPoint &p) {
@@ -326,8 +333,20 @@ cmdDse(const Args &args, const Inputs &in)
     add("energy", res.best_energy);
     add("EDP", res.best_edp);
     table.print(std::cout);
-    if (opts.print_stats)
-        printPipelineStats(pipeline->stats(), res.seconds);
+    if (opts.print_stats) {
+        std::cout << "\ndse: " << engFormat(res.evaluated_points)
+                  << " evaluated, " << engFormat(res.valid_points)
+                  << " valid, " << fixedFormat(res.evaluated_pairs, 0)
+                  << " (PEs,BW) pairs analyzed, frontier "
+                  << res.frontier_size << " -> " << res.pareto.size()
+                  << " kept, " << res.samples.size() << " samples\n";
+        if (options.exact) {
+            printPipelineStats(pipeline->stats(), res.seconds);
+        } else {
+            std::cout << "(fast sweep runs the stage engines "
+                         "directly; pipeline caches unused)\n";
+        }
+    }
     return 0;
 }
 
