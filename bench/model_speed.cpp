@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "src/common/json.hh"
 #include "src/core/analyzer.hh"
 #include "src/dataflows/catalog.hh"
 #include "src/dse/explorer.hh"
@@ -192,22 +193,28 @@ pipelineStudy()
     const double dse_2t = dseSeconds(2);
     const double dse_4t = dseSeconds(4);
 
-    std::printf(
-        "MAESTRO_BENCH_JSON {\"bench\":\"pipeline_study\","
-        "\"network\":\"resnet50\",\"dataflow\":\"KC-P\","
-        "\"layers\":%.0f,\"unique_layer_evals\":%llu,"
-        "\"nocache_layers_per_sec\":%.1f,"
-        "\"cold_layers_per_sec\":%.1f,"
-        "\"warm_layers_per_sec\":%.1f,"
-        "\"dedup_speedup\":%.2f,\"warm_speedup\":%.2f,"
-        "\"dse_seconds_1t\":%.4f,\"dse_seconds_2t\":%.4f,"
-        "\"dse_seconds_4t\":%.4f,\"dse_speedup_2t\":%.2f,"
-        "\"dse_speedup_4t\":%.2f,\"hw_threads\":%u}\n",
-        layer_count, static_cast<unsigned long long>(cold_evals),
-        layers / nocache_s, layers / cold_s, layers / warm_s,
-        nocache_s / cold_s, nocache_s / warm_s, dse_1t, dse_2t,
-        dse_4t, dse_1t / dse_2t, dse_1t / dse_4t,
-        std::thread::hardware_concurrency());
+    // One machine-readable line; the JSON body goes through the
+    // shared escaping-correct writer (same path as the server).
+    JsonWriter w;
+    w.beginObject();
+    w.key("bench").value("pipeline_study");
+    w.key("network").value("resnet50");
+    w.key("dataflow").value("KC-P");
+    w.key("layers").fixed(layer_count, 0);
+    w.key("unique_layer_evals").value(cold_evals);
+    w.key("nocache_layers_per_sec").fixed(layers / nocache_s, 1);
+    w.key("cold_layers_per_sec").fixed(layers / cold_s, 1);
+    w.key("warm_layers_per_sec").fixed(layers / warm_s, 1);
+    w.key("dedup_speedup").fixed(nocache_s / cold_s, 2);
+    w.key("warm_speedup").fixed(nocache_s / warm_s, 2);
+    w.key("dse_seconds_1t").fixed(dse_1t, 4);
+    w.key("dse_seconds_2t").fixed(dse_2t, 4);
+    w.key("dse_seconds_4t").fixed(dse_4t, 4);
+    w.key("dse_speedup_2t").fixed(dse_1t / dse_2t, 2);
+    w.key("dse_speedup_4t").fixed(dse_1t / dse_4t, 2);
+    w.key("hw_threads").value(std::thread::hardware_concurrency());
+    w.endObject();
+    std::printf("MAESTRO_BENCH_JSON %s\n", w.str().c_str());
 }
 
 /**
@@ -234,12 +241,15 @@ dseSweepStudy()
         {"loose", 100.0, 5000.0},
     };
 
-    std::printf("MAESTRO_BENCH_JSON {\"bench\":\"dse_sweep\","
-                "\"space\":\"figure13\",\"layer\":\"CONV2\","
-                "\"dataflow\":\"KC-P\",\"total_points\":%.0f,"
-                "\"hw_threads\":%u,\"budgets\":{",
-                total, std::thread::hardware_concurrency());
-    bool first_budget = true;
+    JsonWriter w;
+    w.beginObject();
+    w.key("bench").value("dse_sweep");
+    w.key("space").value("figure13");
+    w.key("layer").value("CONV2");
+    w.key("dataflow").value("KC-P");
+    w.key("total_points").fixed(total, 0);
+    w.key("hw_threads").value(std::thread::hardware_concurrency());
+    w.key("budgets").beginObject();
     for (const BudgetCase &budget : budgets) {
         auto sweepSeconds = [&](bool exact, std::size_t threads,
                                 dse::DseResult *out) {
@@ -267,19 +277,18 @@ dseSweepStudy()
             exact_res.best_energy.energy == fast_res.best_energy.energy &&
             exact_res.best_edp.edp == fast_res.best_edp.edp &&
             exact_res.valid_points == fast_res.valid_points;
-        std::printf(
-            "%s\"%s\":{\"exact_pts_per_sec\":%.3e,"
-            "\"fast_pts_per_sec_1t\":%.3e,"
-            "\"fast_pts_per_sec_2t\":%.3e,"
-            "\"fast_pts_per_sec_4t\":%.3e,"
-            "\"fast_vs_exact_speedup\":%.1f,"
-            "\"bests_match\":%s}",
-            first_budget ? "" : ",", budget.name, total / exact_s,
-            total / fast_1t, total / fast_2t, total / fast_4t,
-            exact_s / fast_1t, bests_match ? "true" : "false");
-        first_budget = false;
+        w.key(budget.name).beginObject();
+        w.key("exact_pts_per_sec").sci(total / exact_s, 3);
+        w.key("fast_pts_per_sec_1t").sci(total / fast_1t, 3);
+        w.key("fast_pts_per_sec_2t").sci(total / fast_2t, 3);
+        w.key("fast_pts_per_sec_4t").sci(total / fast_4t, 3);
+        w.key("fast_vs_exact_speedup").fixed(exact_s / fast_1t, 1);
+        w.key("bests_match").value(bests_match);
+        w.endObject();
     }
-    std::printf("}}\n");
+    w.endObject();
+    w.endObject();
+    std::printf("MAESTRO_BENCH_JSON %s\n", w.str().c_str());
 }
 
 } // namespace

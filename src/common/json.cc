@@ -1,0 +1,240 @@
+#include "src/common/json.hh"
+
+#include <charconv>
+#include <cmath>
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+
+namespace
+{
+
+/** to_chars into a stack buffer, appended to `out`. */
+template <typename... Args>
+void
+appendChars(std::string &out, Args... args)
+{
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), args...);
+    panicIf(res.ec != std::errc(), "json: to_chars overflow");
+    out.append(buf, res.ptr);
+}
+
+} // namespace
+
+void
+JsonWriter::appendEscaped(std::string &out, std::string_view s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (u < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out.push_back(hex[u >> 4]);
+                out.push_back(hex[u & 0xf]);
+            } else {
+                out.push_back(c); // UTF-8 bytes pass through
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    panicIf(done_, "json: document already complete");
+    if (!stack_.empty() && stack_.back() == Frame::Object)
+        panicIf(!key_pending_, "json: object value without key()");
+    if (!first_in_frame_ && !key_pending_)
+        out_.push_back(',');
+    first_in_frame_ = false;
+    key_pending_ = false;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    panicIf(stack_.empty() || stack_.back() != Frame::Object,
+            "json: key() outside an object");
+    panicIf(key_pending_, "json: key() after key()");
+    if (!first_in_frame_)
+        out_.push_back(',');
+    first_in_frame_ = false;
+    appendEscaped(out_, name);
+    out_.push_back(':');
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_.push_back('{');
+    stack_.push_back(Frame::Object);
+    first_in_frame_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    panicIf(stack_.empty() || stack_.back() != Frame::Object ||
+                key_pending_,
+            "json: unbalanced endObject()");
+    out_.push_back('}');
+    stack_.pop_back();
+    first_in_frame_ = false;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_.push_back('[');
+    stack_.push_back(Frame::Array);
+    first_in_frame_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    panicIf(stack_.empty() || stack_.back() != Frame::Array,
+            "json: unbalanced endArray()");
+    out_.push_back(']');
+    stack_.pop_back();
+    first_in_frame_ = false;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    beforeValue();
+    appendEscaped(out_, s);
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    out_ += b ? "true" : "false";
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    appendChars(out_, v);
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    appendChars(out_, v);
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v))
+        out_ += "null";
+    else
+        appendChars(out_, v);
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::fixed(double v, int digits)
+{
+    beforeValue();
+    if (!std::isfinite(v))
+        out_ += "null";
+    else
+        appendChars(out_, v, std::chars_format::fixed, digits);
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::sci(double v, int digits)
+{
+    beforeValue();
+    if (!std::isfinite(v))
+        out_ += "null";
+    else
+        appendChars(out_, v, std::chars_format::scientific, digits);
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out_ += "null";
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    panicIf(!done_ || !stack_.empty(),
+            "json: str() on an incomplete document");
+    return out_;
+}
+
+} // namespace maestro

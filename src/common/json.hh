@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Streaming JSON writer shared by the analysis server and the bench
+ * harnesses.
+ *
+ * A small append-only writer producing RFC 8259 output: objects,
+ * arrays, escaping-correct strings, and locale-independent numbers
+ * (std::to_chars, so the same value always renders to the same bytes
+ * — the server's byte-identical-response guarantee rests on this).
+ * Commas and colons are inserted automatically from a container
+ * stack; structural misuse (value without key inside an object,
+ * unbalanced end calls) is a programming error and panics.
+ *
+ * Non-finite doubles have no JSON representation and render as null.
+ */
+
+#ifndef MAESTRO_COMMON_JSON_HH
+#define MAESTRO_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maestro
+{
+
+/**
+ * Append-only JSON document builder.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    /** Opens an object value: `{`. */
+    JsonWriter &beginObject();
+
+    /** Closes the innermost object: `}`. */
+    JsonWriter &endObject();
+
+    /** Opens an array value: `[`. */
+    JsonWriter &beginArray();
+
+    /** Closes the innermost array: `]`. */
+    JsonWriter &endArray();
+
+    /** Writes an object member key (must precede its value). */
+    JsonWriter &key(std::string_view name);
+
+    /** Writes a string value (escaped). */
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+
+    /** Writes a boolean value. */
+    JsonWriter &value(bool b);
+
+    /** Writes integer values. */
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+
+    /**
+     * Writes a double with the shortest representation that
+     * round-trips (std::to_chars); NaN/Inf render as null.
+     */
+    JsonWriter &value(double v);
+
+    /**
+     * Writes a double in fixed notation with `digits` fractional
+     * digits (for human-scannable bench figures); NaN/Inf -> null.
+     */
+    JsonWriter &fixed(double v, int digits);
+
+    /**
+     * Writes a double in scientific notation with `digits` mantissa
+     * digits; NaN/Inf -> null.
+     */
+    JsonWriter &sci(double v, int digits);
+
+    /** Writes a null value. */
+    JsonWriter &null();
+
+    /**
+     * The finished document.
+     *
+     * Panics when containers are still open or no value was written —
+     * an incomplete document is a bug in the caller.
+     */
+    const std::string &str() const;
+
+    /** Appends `"..."` with JSON escaping to `out` (no structure). */
+    static void appendEscaped(std::string &out, std::string_view s);
+
+  private:
+    enum class Frame : std::uint8_t
+    {
+        Object, ///< inside {...}, expecting a key
+        Array,  ///< inside [...], expecting a value
+    };
+
+    /** Comma separation + key/value ordering checks before a value. */
+    void beforeValue();
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    bool key_pending_ = false;  ///< key() written, value expected
+    bool first_in_frame_ = true;
+    bool done_ = false; ///< a complete top-level value exists
+};
+
+} // namespace maestro
+
+#endif // MAESTRO_COMMON_JSON_HH

@@ -84,6 +84,10 @@ ThreadPool::workerLoop()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    if (threads_.empty()) {
+        task();
+        return;
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         tasks_.push_back(std::move(task));

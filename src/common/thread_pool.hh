@@ -46,6 +46,14 @@ class ThreadPool
     std::size_t workers() const { return threads_.size(); }
 
     /**
+     * Enqueues one task for the workers to run. Fire-and-forget: the
+     * caller synchronizes completion itself (the analysis server
+     * fulfils a promise per task). With zero workers the task runs
+     * inline on the calling thread.
+     */
+    void submit(std::function<void()> task);
+
+    /**
      * Runs body(0) .. body(count - 1), split across the workers and
      * the calling thread, and blocks until all indices completed.
      *
@@ -81,9 +89,6 @@ class ThreadPool
   private:
     /** Worker main loop: pop tasks until stopped. */
     void workerLoop();
-
-    /** Enqueues one task. */
-    void submit(std::function<void()> task);
 
     std::vector<std::thread> threads_;
     std::mutex mutex_;

@@ -88,12 +88,20 @@ tokenize(const std::string &source)
             continue;
         }
         if (std::isdigit(static_cast<unsigned char>(c))) {
+            // Checked accumulation: these bytes may come off the
+            // network, and a long digit string must raise a clean
+            // Error, not overflow into signed UB.
             Count value = 0;
+            bool overflow = false;
             while (i < n &&
                    std::isdigit(static_cast<unsigned char>(source[i]))) {
-                value = value * 10 + (source[i] - '0');
+                overflow |= __builtin_mul_overflow(value, 10, &value);
+                overflow |= __builtin_add_overflow(
+                    value, source[i] - '0', &value);
                 ++i;
             }
+            fatalIf(overflow, msg("line ", line,
+                                  ": integer literal too large"));
             Token t;
             t.kind = TokenKind::Integer;
             t.value = value;

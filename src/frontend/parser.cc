@@ -101,7 +101,14 @@ parseSizeExpr(Cursor &cur)
         const Token t = cur.peek();
         if (t.kind == TokenKind::Integer) {
             cur.next();
-            expr.constant += sign * t.value;
+            // Checked: "9e18 + 9e18" must be an Error, not UB.
+            Count term = 0;
+            bool overflow =
+                __builtin_mul_overflow(sign, t.value, &term);
+            overflow |= __builtin_add_overflow(expr.constant, term,
+                                               &expr.constant);
+            fatalIf(overflow, msg("line ", t.line,
+                                  ": size expression overflows"));
         } else if (t.kind == TokenKind::Identifier && t.text == "Sz") {
             cur.next();
             cur.expect(TokenKind::LParen, "'(' after Sz");

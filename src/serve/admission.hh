@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Admission control and observability counters for the analysis
+ * server.
+ *
+ * AdmissionController bounds the number of in-flight analysis
+ * requests (admitted and not yet finished — queued behind the worker
+ * pool or executing). When the bound is reached, new work is rejected
+ * up front so the connection can answer 503 + Retry-After instead of
+ * queueing unboundedly: the client sees backpressure, the server's
+ * memory stays flat.
+ *
+ * LatencyHistogram and RequestCounters are the raw material of the
+ * GET /stats surface: lock-free atomic counters safe to bump from
+ * connection threads and pool workers concurrently.
+ */
+
+#ifndef MAESTRO_SERVE_ADMISSION_HH
+#define MAESTRO_SERVE_ADMISSION_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace maestro
+{
+namespace serve
+{
+
+/**
+ * Bounded in-flight request accounting.
+ */
+class AdmissionController
+{
+  public:
+    /** @param capacity Maximum in-flight requests (>= 1). */
+    explicit AdmissionController(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    /**
+     * Tries to admit one request.
+     *
+     * @return True when admitted (caller must release()); false when
+     *         the queue is full (the 503 path) — also counted.
+     */
+    bool
+    tryAdmit()
+    {
+        std::size_t depth = depth_.load(std::memory_order_relaxed);
+        while (depth < capacity_) {
+            if (depth_.compare_exchange_weak(
+                    depth, depth + 1, std::memory_order_acq_rel)) {
+                // Track the high-water mark for /stats.
+                std::size_t peak =
+                    peak_depth_.load(std::memory_order_relaxed);
+                while (depth + 1 > peak &&
+                       !peak_depth_.compare_exchange_weak(
+                           peak, depth + 1,
+                           std::memory_order_relaxed)) {
+                }
+                return true;
+            }
+        }
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
+    /** Returns one admitted request's slot. */
+    void
+    release()
+    {
+        depth_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    /** In-flight requests right now. */
+    std::size_t
+    depth() const
+    {
+        return depth_.load(std::memory_order_relaxed);
+    }
+
+    /** Highest depth ever observed. */
+    std::size_t
+    peakDepth() const
+    {
+        return peak_depth_.load(std::memory_order_relaxed);
+    }
+
+    /** Requests turned away (503s). */
+    std::uint64_t
+    rejected() const
+    {
+        return rejected_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::size_t capacity_;
+    std::atomic<std::size_t> depth_{0};
+    std::atomic<std::size_t> peak_depth_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+};
+
+/**
+ * Power-of-two microsecond latency histogram.
+ *
+ * Bucket i counts requests with latency in [2^i, 2^(i+1)) µs
+ * (bucket 0 additionally holds sub-µs requests); the last bucket is
+ * a catch-all. 28 buckets span ~4.5 minutes.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 28;
+
+    /** Records one request latency. */
+    void
+    record(std::uint64_t micros)
+    {
+        std::size_t bucket = 0;
+        while ((std::uint64_t{1} << (bucket + 1)) <= micros &&
+               bucket + 1 < kBuckets)
+            ++bucket;
+        buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        total_us_.fetch_add(micros, std::memory_order_relaxed);
+        std::uint64_t max = max_us_.load(std::memory_order_relaxed);
+        while (micros > max && !max_us_.compare_exchange_weak(
+                                   max, micros,
+                                   std::memory_order_relaxed)) {
+        }
+    }
+
+    std::uint64_t
+    bucket(std::size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t totalMicros() const
+    {
+        return total_us_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t maxMicros() const
+    {
+        return max_us_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> total_us_{0};
+    std::atomic<std::uint64_t> max_us_{0};
+};
+
+/**
+ * Per-endpoint and per-outcome request counters.
+ */
+struct RequestCounters
+{
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<std::uint64_t> analyze{0};
+    std::atomic<std::uint64_t> dse{0};
+    std::atomic<std::uint64_t> tune{0};
+    std::atomic<std::uint64_t> healthz{0};
+    std::atomic<std::uint64_t> stats{0};
+
+    std::atomic<std::uint64_t> ok_2xx{0};
+    std::atomic<std::uint64_t> client_err_4xx{0};
+    std::atomic<std::uint64_t> server_err_5xx{0};
+    std::atomic<std::uint64_t> deadline_408{0};
+    std::atomic<std::uint64_t> rejected_503{0};
+
+    /** Bumps the status-class counter for one response. */
+    void
+    countStatus(int status)
+    {
+        if (status == 408)
+            deadline_408.fetch_add(1, std::memory_order_relaxed);
+        if (status == 503)
+            rejected_503.fetch_add(1, std::memory_order_relaxed);
+        if (status >= 200 && status < 300)
+            ok_2xx.fetch_add(1, std::memory_order_relaxed);
+        else if (status >= 400 && status < 500)
+            client_err_4xx.fetch_add(1, std::memory_order_relaxed);
+        else if (status >= 500)
+            server_err_5xx.fetch_add(1, std::memory_order_relaxed);
+    }
+};
+
+} // namespace serve
+} // namespace maestro
+
+#endif // MAESTRO_SERVE_ADMISSION_HH

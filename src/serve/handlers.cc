@@ -1,0 +1,377 @@
+#include "src/serve/handlers.hh"
+
+#include <charconv>
+
+#include "src/common/error.hh"
+#include "src/common/json.hh"
+#include "src/dataflows/catalog.hh"
+#include "src/dataflows/tuner.hh"
+#include "src/dse/explorer.hh"
+#include "src/frontend/parser.hh"
+
+namespace maestro
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Query-parameter double with a clean Error on garbage. */
+double
+paramDouble(const QueryParams &params, const std::string &key,
+            double fallback)
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        return fallback;
+    const std::string &v = it->second;
+    double out = 0.0;
+    const auto res =
+        std::from_chars(v.data(), v.data() + v.size(), out);
+    fatalIf(res.ec != std::errc() || res.ptr != v.data() + v.size(),
+            msg("query parameter '", key, "': '", v,
+                "' is not a number"));
+    return out;
+}
+
+/** The layers a request operates on (borrowed from the network). */
+std::vector<const Layer *>
+selectLayers(const RequestInputs &in)
+{
+    std::vector<const Layer *> out;
+    if (in.layer_name) {
+        out.push_back(&in.network.layer(*in.layer_name));
+    } else {
+        for (const Layer &l : in.network.layers())
+            out.push_back(&l);
+    }
+    return out;
+}
+
+/** The single layer dse/tune operate on. */
+const Layer &
+singleLayer(const RequestInputs &in, const char *endpoint)
+{
+    if (in.layer_name)
+        return in.network.layer(*in.layer_name);
+    fatalIf(in.network.layers().size() != 1,
+            msg(endpoint, " needs ?layer=NAME when the network has ",
+                in.network.layers().size(), " layers"));
+    return in.network.layers().front();
+}
+
+/** Writes one LayerAnalysis as an object member sequence. */
+void
+writeLayerAnalysis(JsonWriter &w, const LayerAnalysis &la)
+{
+    w.beginObject();
+    w.key("layer").value(la.layer_name);
+    w.key("runtime").value(la.runtime);
+    w.key("total_macs").value(la.total_macs);
+    w.key("throughput").value(la.throughput);
+    w.key("active_pes").value(la.active_pes);
+    w.key("utilization").value(la.utilization);
+    w.key("noc_bw_requirement").value(la.noc_bw_requirement);
+    w.key("bottleneck").value(la.bottleneck);
+    w.key("onchip_energy").value(la.onchipEnergy());
+    w.key("total_energy").value(la.energy());
+    w.key("edp").value(la.edp());
+    w.key("l1_bytes_required").value(la.cost.l1_bytes_required);
+    w.key("l2_bytes_required").value(la.cost.l2_bytes_required);
+    w.endObject();
+}
+
+/** Writes one DSE design point. */
+void
+writeDesignPoint(JsonWriter &w, const char *name,
+                 const dse::DesignPoint &p)
+{
+    w.key(name).beginObject();
+    w.key("num_pes").value(static_cast<std::int64_t>(p.num_pes));
+    w.key("l1_bytes").value(static_cast<std::int64_t>(p.l1_bytes));
+    w.key("l2_bytes").value(static_cast<std::int64_t>(p.l2_bytes));
+    w.key("noc_bandwidth").value(p.noc_bandwidth);
+    w.key("area").value(p.area);
+    w.key("power").value(p.power);
+    w.key("runtime").value(p.runtime);
+    w.key("throughput").value(p.throughput);
+    w.key("energy").value(p.energy);
+    w.key("edp").value(p.edp);
+    w.key("valid").value(p.valid);
+    w.endObject();
+}
+
+/** Writes one stage's CacheStats. */
+void
+writeCacheStats(JsonWriter &w, const char *name, const CacheStats &cs)
+{
+    w.key(name).beginObject();
+    w.key("hits").value(cs.hits);
+    w.key("misses").value(cs.misses);
+    w.key("evictions").value(cs.evictions);
+    w.key("entries").value(static_cast<std::uint64_t>(cs.entries));
+    w.key("hit_rate").value(cs.hitRate());
+    w.endObject();
+}
+
+} // namespace
+
+RequestInputs
+resolveRequest(const std::string &dsl, const QueryParams &params,
+               const AcceleratorConfig &default_config)
+{
+    fatalIf(dsl.empty(), "empty request body (expected MAESTRO DSL)");
+    const frontend::ParsedFile file = frontend::parseString(dsl);
+
+    RequestInputs in;
+    in.config = default_config;
+    fatalIf(file.networks.empty(),
+            "request body defines no Network block");
+    in.network = file.networks.front();
+
+    const auto layer_it = params.find("layer");
+    if (layer_it != params.end())
+        in.layer_name = layer_it->second;
+
+    const auto df_it = params.find("dataflow");
+    if (df_it != params.end()) {
+        const std::string &name = df_it->second;
+        if (file.dataflows.count(name))
+            in.dataflows.push_back(file.dataflows.at(name));
+        else
+            in.dataflows.push_back(dataflows::byName(name));
+    } else if (!file.dataflows.empty()) {
+        for (const auto &[name, df] : file.dataflows)
+            in.dataflows.push_back(df);
+    } else {
+        in.dataflows = dataflows::table3();
+    }
+
+    if (file.accelerator)
+        in.config = *file.accelerator;
+    in.config.validate();
+    return in;
+}
+
+std::string
+analyzeJson(const RequestInputs &inputs,
+            const std::shared_ptr<AnalysisPipeline> &pipeline,
+            const EnergyModel &energy)
+{
+    const Analyzer analyzer(inputs.config, energy, pipeline);
+    const std::vector<const Layer *> layers = selectLayers(inputs);
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("endpoint").value("analyze");
+    w.key("network").value(inputs.network.name());
+    w.key("dataflows").beginArray();
+    for (const Dataflow &df : inputs.dataflows) {
+        w.beginObject();
+        w.key("dataflow").value(df.name());
+        double total_runtime = 0.0;
+        double total_onchip_energy = 0.0;
+        double total_macs = 0.0;
+        w.key("layers").beginArray();
+        for (const Layer *layer : layers) {
+            const LayerAnalysis la = analyzer.analyzeLayer(*layer, df);
+            total_runtime += la.runtime;
+            total_onchip_energy += la.onchipEnergy();
+            total_macs += la.total_macs;
+            writeLayerAnalysis(w, la);
+        }
+        w.endArray();
+        w.key("totals").beginObject();
+        w.key("runtime").value(total_runtime);
+        w.key("onchip_energy").value(total_onchip_energy);
+        w.key("total_macs").value(total_macs);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+dseJson(const RequestInputs &inputs, const QueryParams &params,
+        const std::shared_ptr<AnalysisPipeline> &pipeline,
+        const EnergyModel &energy)
+{
+    fatalIf(inputs.dataflows.size() != 1,
+            msg("dse needs exactly one dataflow, got ",
+                inputs.dataflows.size(),
+                " (name one with ?dataflow=NAME)"));
+    const Layer &layer = singleLayer(inputs, "dse");
+
+    dse::DseOptions options;
+    options.area_budget_mm2 = paramDouble(params, "area", 16.0);
+    options.power_budget_mw = paramDouble(params, "power", 450.0);
+    options.exact = params.count("exact") > 0;
+    const dse::Explorer explorer(inputs.config, AreaPowerModel(),
+                                 energy, pipeline);
+    const dse::DseResult res =
+        explorer.explore(layer, inputs.dataflows.front(),
+                         dse::DesignSpace::figure13(), options);
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("endpoint").value("dse");
+    w.key("layer").value(layer.name());
+    w.key("dataflow").value(inputs.dataflows.front().name());
+    w.key("explored_points").value(res.explored_points);
+    w.key("evaluated_points").value(res.evaluated_points);
+    w.key("valid_points").value(res.valid_points);
+    w.key("frontier_size")
+        .value(static_cast<std::uint64_t>(res.frontier_size));
+    w.key("pareto_kept")
+        .value(static_cast<std::uint64_t>(res.pareto.size()));
+    writeDesignPoint(w, "best_throughput", res.best_throughput);
+    writeDesignPoint(w, "best_energy", res.best_energy);
+    writeDesignPoint(w, "best_edp", res.best_edp);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+tuneJson(const RequestInputs &inputs, const QueryParams &params,
+         const std::shared_ptr<AnalysisPipeline> &pipeline,
+         const EnergyModel &energy)
+{
+    const Layer &layer = singleLayer(inputs, "tune");
+    const auto obj_it = params.find("objective");
+    const std::string obj =
+        obj_it == params.end() ? "runtime" : obj_it->second;
+    dataflows::Objective objective = dataflows::Objective::Runtime;
+    if (obj == "energy")
+        objective = dataflows::Objective::Energy;
+    else if (obj == "edp")
+        objective = dataflows::Objective::Edp;
+    else
+        fatalIf(obj != "runtime",
+                msg("objective must be runtime, energy, or edp; got '",
+                    obj, "'"));
+
+    const Analyzer analyzer(inputs.config, energy, pipeline);
+    const dataflows::TunerResult res =
+        dataflows::tuneDataflow(analyzer, layer, objective);
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("endpoint").value("tune");
+    w.key("layer").value(layer.name());
+    w.key("objective").value(obj);
+    w.key("candidates")
+        .value(static_cast<std::uint64_t>(res.candidates));
+    w.key("rejected").value(static_cast<std::uint64_t>(res.rejected));
+    w.key("deduped").value(static_cast<std::uint64_t>(res.deduped));
+    w.key("ranked").beginArray();
+    for (const auto &td : res.ranked) {
+        w.beginObject();
+        w.key("dataflow").value(td.dataflow.name());
+        w.key("runtime").value(td.runtime);
+        w.key("energy").value(td.energy);
+        w.key("edp").value(td.edp);
+        w.key("utilization").value(td.utilization);
+        w.key("objective_value").value(td.objective_value);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("winner").value(res.best().dataflow.toString());
+    w.endObject();
+    return w.str();
+}
+
+std::string
+healthzJson()
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("status").value("ok");
+    w.endObject();
+    return w.str();
+}
+
+std::string
+statsJson(const PipelineStats &pipeline,
+          const AdmissionController &admission,
+          const RequestCounters &counters,
+          const LatencyHistogram &latency, std::uint64_t uptime_us)
+{
+    const auto load = [](const std::atomic<std::uint64_t> &a) {
+        return a.load(std::memory_order_relaxed);
+    };
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("uptime_us").value(uptime_us);
+
+    w.key("requests").beginObject();
+    w.key("total").value(load(counters.total));
+    w.key("analyze").value(load(counters.analyze));
+    w.key("dse").value(load(counters.dse));
+    w.key("tune").value(load(counters.tune));
+    w.key("healthz").value(load(counters.healthz));
+    w.key("stats").value(load(counters.stats));
+    w.endObject();
+
+    w.key("responses").beginObject();
+    w.key("2xx").value(load(counters.ok_2xx));
+    w.key("4xx").value(load(counters.client_err_4xx));
+    w.key("5xx").value(load(counters.server_err_5xx));
+    w.key("deadline_408").value(load(counters.deadline_408));
+    w.key("rejected_503").value(load(counters.rejected_503));
+    w.endObject();
+
+    w.key("queue").beginObject();
+    w.key("capacity")
+        .value(static_cast<std::uint64_t>(admission.capacity()));
+    w.key("depth").value(static_cast<std::uint64_t>(admission.depth()));
+    w.key("peak_depth")
+        .value(static_cast<std::uint64_t>(admission.peakDepth()));
+    w.key("rejected").value(admission.rejected());
+    w.endObject();
+
+    w.key("latency_us").beginObject();
+    w.key("count").value(latency.count());
+    w.key("total").value(latency.totalMicros());
+    w.key("max").value(latency.maxMicros());
+    w.key("buckets").beginArray();
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i)
+        w.value(latency.bucket(i));
+    w.endArray();
+    w.endObject();
+
+    w.key("pipeline").beginObject();
+    w.key("evaluations").value(pipeline.evaluations);
+    w.key("stages").beginObject();
+    writeCacheStats(w, "tensor", pipeline.tensor);
+    writeCacheStats(w, "binding", pipeline.binding);
+    writeCacheStats(w, "flat", pipeline.flat);
+    writeCacheStats(w, "layer", pipeline.layer);
+    w.endObject();
+    CacheStats aggregate;
+    aggregate += pipeline.tensor;
+    aggregate += pipeline.binding;
+    aggregate += pipeline.flat;
+    aggregate += pipeline.layer;
+    writeCacheStats(w, "aggregate", aggregate);
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+std::string
+errorJson(std::string_view message)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("error").value(message);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace serve
+} // namespace maestro

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Request handlers of the analysis server: MAESTRO DSL in, JSON out.
+ *
+ * Each handler is a pure function of its inputs plus the shared
+ * AnalysisPipeline, so the same DSL payload produces byte-identical
+ * JSON whether it arrives over a socket, through the CLI's
+ * `--format json`, or from a unit test — the server's concurrency
+ * and cache state never leak into response bodies (responses carry
+ * no wall-clock fields; latency lives in GET /stats).
+ *
+ * The untrusted-input boundary is frontend::parseString: request
+ * bodies are DSL text, and every parse/validation failure surfaces
+ * as maestro::Error, which the router maps to a 400 with an
+ * {"error": ...} body.
+ */
+
+#ifndef MAESTRO_SERVE_HANDLERS_HH
+#define MAESTRO_SERVE_HANDLERS_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/analyzer.hh"
+#include "src/serve/admission.hh"
+#include "src/serve/http.hh"
+
+namespace maestro
+{
+namespace serve
+{
+
+/**
+ * State shared by every request: the warm pipeline and the default
+ * hardware/energy models used when a request body has no
+ * Accelerator block.
+ */
+struct ServeContext
+{
+    std::shared_ptr<AnalysisPipeline> pipeline =
+        std::make_shared<AnalysisPipeline>();
+    AcceleratorConfig default_config = AcceleratorConfig::paperStudy();
+    EnergyModel energy;
+};
+
+/**
+ * Analysis inputs resolved from one request (DSL body + query
+ * parameters), mirroring the CLI's --file resolution rules.
+ */
+struct RequestInputs
+{
+    Network network{"none"};
+    std::vector<Dataflow> dataflows;
+    AcceleratorConfig config = AcceleratorConfig::paperStudy();
+
+    /** Restrict analysis to one layer (else all layers). */
+    std::optional<std::string> layer_name;
+};
+
+/**
+ * Parses a DSL request body and resolves analysis inputs.
+ *
+ * The body must define a Network; dataflows come from the body's
+ * Dataflow blocks, or from the catalog via ?dataflow=NAME, else the
+ * Table-3 catalog; an Accelerator block overrides `default_config`;
+ * ?layer=NAME selects one layer.
+ *
+ * @throws Error on parse failures or unresolvable references.
+ */
+RequestInputs resolveRequest(const std::string &dsl,
+                             const QueryParams &params,
+                             const AcceleratorConfig &default_config);
+
+/**
+ * POST /analyze: per-layer analysis of every resolved dataflow.
+ *
+ * @throws Error for invalid layer/dataflow/hardware combinations.
+ */
+std::string
+analyzeJson(const RequestInputs &inputs,
+            const std::shared_ptr<AnalysisPipeline> &pipeline,
+            const EnergyModel &energy);
+
+/**
+ * POST /dse: hardware design-space exploration (Fig. 13 space) for
+ * one layer under one dataflow. Query: ?layer= (required unless the
+ * network has one layer), ?area=, ?power=, ?exact=on.
+ *
+ * @throws Error on bad parameters or infeasible sweeps.
+ */
+std::string
+dseJson(const RequestInputs &inputs, const QueryParams &params,
+        const std::shared_ptr<AnalysisPipeline> &pipeline,
+        const EnergyModel &energy);
+
+/**
+ * POST /tune: dataflow auto-tuning for one layer. Query: ?layer=
+ * (required unless the network has one layer), ?objective=
+ * runtime|energy|edp.
+ *
+ * @throws Error on bad parameters or when no candidate survives.
+ */
+std::string
+tuneJson(const RequestInputs &inputs, const QueryParams &params,
+         const std::shared_ptr<AnalysisPipeline> &pipeline,
+         const EnergyModel &energy);
+
+/** GET /healthz body. */
+std::string healthzJson();
+
+/**
+ * GET /stats body: per-stage and aggregate cache counters, queue
+ * state, request counters, and the latency histogram.
+ */
+std::string statsJson(const PipelineStats &pipeline,
+                      const AdmissionController &admission,
+                      const RequestCounters &counters,
+                      const LatencyHistogram &latency,
+                      std::uint64_t uptime_us);
+
+/** {"error": message} body for failure responses. */
+std::string errorJson(std::string_view message);
+
+} // namespace serve
+} // namespace maestro
+
+#endif // MAESTRO_SERVE_HANDLERS_HH

@@ -1,0 +1,401 @@
+#include "src/serve/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Closes a file descriptor if open and forgets it. */
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+/** send() the whole buffer, ignoring SIGPIPE. */
+bool
+sendAll(int fd, std::string_view data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Outcome of one analysis job executed on the pool. */
+struct JobState
+{
+    std::atomic<bool> cancelled{false};
+    std::promise<std::pair<int, std::string>> promise;
+};
+
+} // namespace
+
+AnalysisServer::AnalysisServer(ServeContext context,
+                               ServeOptions options)
+    : context_(std::move(context)), options_(std::move(options)),
+      admission_(options_.queue_capacity)
+{
+    panicIf(!context_.pipeline, "server needs a pipeline");
+}
+
+AnalysisServer::~AnalysisServer()
+{
+    requestStop();
+    reapConnections(true);
+    closeFd(listen_fd_);
+    closeFd(wake_pipe_[0]);
+    closeFd(wake_pipe_[1]);
+}
+
+void
+AnalysisServer::start()
+{
+    if (listen_fd_ >= 0)
+        return;
+    fatalIf(::pipe(wake_pipe_) != 0,
+            msg("pipe: ", std::strerror(errno)));
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(fd < 0, msg("socket: ", std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) !=
+        1) {
+        ::close(fd);
+        throw Error(msg("bad bind address '", options_.host, "'"));
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw Error(msg("cannot bind ", options_.host, ":",
+                        options_.port, ": ", std::strerror(err)));
+    }
+    if (::listen(fd, 128) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw Error(msg("listen: ", std::strerror(err)));
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len);
+    bound_port_ = ntohs(bound.sin_port);
+
+    listen_fd_ = fd;
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+    start_time_ = std::chrono::steady_clock::now();
+}
+
+void
+AnalysisServer::requestStop()
+{
+    stopping_.store(true, std::memory_order_release);
+    if (wake_pipe_[1] >= 0) {
+        const char byte = 'x';
+        // Best-effort wake; the accept loop also polls the flag.
+        [[maybe_unused]] const ssize_t n =
+            ::write(wake_pipe_[1], &byte, 1);
+    }
+}
+
+void
+AnalysisServer::reapConnections(bool all)
+{
+    std::vector<std::unique_ptr<Connection>> finished;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        auto it = connections_.begin();
+        while (it != connections_.end()) {
+            if (all || (*it)->done.load(std::memory_order_acquire)) {
+                finished.push_back(std::move(*it));
+                it = connections_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (auto &conn : finished)
+        if (conn->thread.joinable())
+            conn->thread.join();
+}
+
+void
+AnalysisServer::run()
+{
+    start();
+    while (!stopping_.load(std::memory_order_acquire)) {
+        pollfd fds[2];
+        fds[0] = {listen_fd_, POLLIN, 0};
+        fds[1] = {wake_pipe_[0], POLLIN, 0};
+        const int rc = ::poll(fds, 2, 500);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        reapConnections(false);
+        if (rc == 0 || !(fds[0].revents & POLLIN))
+            continue;
+        const int client =
+            ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+
+        std::size_t active = 0;
+        {
+            std::lock_guard<std::mutex> lock(connections_mutex_);
+            active = connections_.size();
+        }
+        if (active >= options_.max_connections) {
+            sendAll(client,
+                    serializeResponse(
+                        503, errorJson("too many connections"),
+                        "application/json", false, {"Retry-After: 1"}));
+            ::close(client);
+            continue;
+        }
+
+        auto conn = std::make_unique<Connection>();
+        Connection *slot = conn.get();
+        {
+            std::lock_guard<std::mutex> lock(connections_mutex_);
+            connections_.push_back(std::move(conn));
+        }
+        slot->thread = std::thread(
+            [this, client, slot] { serveConnection(client, slot); });
+    }
+    // Graceful drain: stop accepting, let connection threads finish
+    // their in-flight request (bounded by the deadline), join them.
+    closeFd(listen_fd_);
+    reapConnections(true);
+}
+
+void
+AnalysisServer::serveConnection(int fd, Connection *slot)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    HttpParser parser(options_.max_header_bytes,
+                      options_.max_body_bytes);
+    std::string pending; // pipelined bytes beyond the parsed request
+    bool keep = true;
+    auto last_activity = std::chrono::steady_clock::now();
+
+    while (keep && !stopping_.load(std::memory_order_acquire)) {
+        // Assemble one request: replay pipelined bytes, then recv.
+        if (!pending.empty()) {
+            const std::size_t used = parser.feed(pending);
+            pending.erase(0, used);
+        }
+        bool closed = false;
+        while (parser.state() == HttpParser::State::Headers ||
+               parser.state() == HttpParser::State::Body) {
+            if (stopping_.load(std::memory_order_acquire)) {
+                closed = true;
+                break;
+            }
+            pollfd pfd{fd, POLLIN, 0};
+            const int rc = ::poll(&pfd, 1, 100);
+            if (rc < 0 && errno != EINTR) {
+                closed = true;
+                break;
+            }
+            if (rc <= 0) {
+                const auto idle =
+                    std::chrono::steady_clock::now() - last_activity;
+                if (idle > std::chrono::milliseconds(
+                               options_.idle_timeout_ms)) {
+                    closed = true;
+                    break;
+                }
+                continue;
+            }
+            char buf[16 * 1024];
+            const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n <= 0) {
+                closed = true;
+                break;
+            }
+            last_activity = std::chrono::steady_clock::now();
+            const std::string_view chunk(buf,
+                                         static_cast<std::size_t>(n));
+            const std::size_t used = parser.feed(chunk);
+            pending.append(chunk.substr(used));
+        }
+
+        if (parser.state() == HttpParser::State::Error) {
+            counters_.total.fetch_add(1, std::memory_order_relaxed);
+            counters_.countStatus(parser.errorStatus());
+            sendAll(fd, serializeResponse(
+                            parser.errorStatus(),
+                            errorJson(parser.errorDetail()),
+                            "application/json", false));
+            break;
+        }
+        if (closed || parser.state() != HttpParser::State::Complete)
+            break;
+
+        const HttpRequest &request = parser.request();
+        const auto t0 = std::chrono::steady_clock::now();
+        Reply reply = dispatch(request);
+        const auto elapsed =
+            std::chrono::steady_clock::now() - t0;
+        latency_.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                elapsed)
+                .count()));
+        counters_.countStatus(reply.status);
+
+        keep = request.keepAlive() &&
+               !stopping_.load(std::memory_order_acquire);
+        if (!sendAll(fd, serializeResponse(reply.status, reply.body,
+                                           "application/json", keep,
+                                           reply.extra_headers)))
+            break;
+        parser.reset();
+        last_activity = std::chrono::steady_clock::now();
+    }
+
+    ::close(fd);
+    slot->done.store(true, std::memory_order_release);
+}
+
+AnalysisServer::Reply
+AnalysisServer::dispatch(const HttpRequest &request)
+{
+    counters_.total.fetch_add(1, std::memory_order_relaxed);
+    const std::string path = request.path();
+
+    if (path == "/healthz") {
+        counters_.healthz.fetch_add(1, std::memory_order_relaxed);
+        if (request.method != "GET")
+            return {405, errorJson("use GET /healthz"), {}};
+        return {200, healthzJson(), {}};
+    }
+    if (path == "/stats") {
+        counters_.stats.fetch_add(1, std::memory_order_relaxed);
+        if (request.method != "GET")
+            return {405, errorJson("use GET /stats"), {}};
+        const auto uptime =
+            std::chrono::steady_clock::now() - start_time_;
+        return {200,
+                statsJson(
+                    context_.pipeline->stats(), admission_, counters_,
+                    latency_,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(uptime)
+                            .count())),
+                {}};
+    }
+    if (path == "/analyze" || path == "/dse" || path == "/tune") {
+        if (path == "/analyze")
+            counters_.analyze.fetch_add(1, std::memory_order_relaxed);
+        else if (path == "/dse")
+            counters_.dse.fetch_add(1, std::memory_order_relaxed);
+        else
+            counters_.tune.fetch_add(1, std::memory_order_relaxed);
+        if (request.method != "POST")
+            return {405, errorJson(msg("use POST ", path)), {}};
+        return dispatchAnalysis(request);
+    }
+    return {404, errorJson(msg("no such endpoint '", path, "'")), {}};
+}
+
+AnalysisServer::Reply
+AnalysisServer::dispatchAnalysis(const HttpRequest &request)
+{
+    if (!admission_.tryAdmit()) {
+        return {503, errorJson("request queue full, retry later"),
+                {"Retry-After: 1"}};
+    }
+
+    // The job owns everything the worker reads: the connection
+    // thread may abandon the future on deadline expiry while the
+    // worker is still evaluating.
+    auto job = std::make_shared<JobState>();
+    auto future = job->promise.get_future();
+    const std::string path = request.path();
+    const std::string body = request.body;
+    const QueryParams params = request.query();
+
+    pool_->submit([this, job, path, body, params] {
+        if (job->cancelled.load(std::memory_order_acquire)) {
+            // Expired while queued: skip the evaluation entirely.
+            admission_.release();
+            return;
+        }
+        std::pair<int, std::string> outcome;
+        try {
+            const RequestInputs inputs = resolveRequest(
+                body, params, context_.default_config);
+            std::string json;
+            if (path == "/analyze")
+                json = analyzeJson(inputs, context_.pipeline,
+                                   context_.energy);
+            else if (path == "/dse")
+                json = dseJson(inputs, params, context_.pipeline,
+                               context_.energy);
+            else
+                json = tuneJson(inputs, params, context_.pipeline,
+                                context_.energy);
+            outcome = {200, std::move(json)};
+        } catch (const Error &e) {
+            outcome = {400, errorJson(e.what())};
+        } catch (const std::exception &e) {
+            outcome = {500, errorJson(e.what())};
+        }
+        admission_.release();
+        job->promise.set_value(std::move(outcome));
+    });
+
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.deadline_ms);
+    if (future.wait_until(deadline) != std::future_status::ready) {
+        job->cancelled.store(true, std::memory_order_release);
+        return {408,
+                errorJson(msg("deadline of ", options_.deadline_ms,
+                              " ms expired")),
+                {}};
+    }
+    auto [status, json] = future.get();
+    return {status, std::move(json), {}};
+}
+
+} // namespace serve
+} // namespace maestro

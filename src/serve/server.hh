@@ -1,0 +1,171 @@
+/**
+ * @file
+ * `maestro serve` — a long-lived analysis daemon over POSIX sockets.
+ *
+ * One process serves many clients over keep-alive HTTP/1.1:
+ *
+ *   POST /analyze   MAESTRO DSL body -> per-layer analysis JSON
+ *   POST /dse       DSL body -> design-space exploration JSON
+ *   POST /tune      DSL body -> dataflow auto-tuning JSON
+ *   GET  /healthz   liveness probe
+ *   GET  /stats     cache/queue/latency observability surface
+ *
+ * Architecture: an accept loop hands each connection to a tracked
+ * connection thread (bounded count) that owns the socket's read ->
+ * parse -> respond state machine. GET endpoints answer inline; POST
+ * analysis work is dispatched through the shared ThreadPool behind
+ * an AdmissionController — when the in-flight bound is hit the
+ * connection answers 503 + Retry-After immediately (backpressure),
+ * and a per-request wall-clock deadline turns into 408 without
+ * blocking the connection on a stuck evaluation.
+ *
+ * Every request evaluates through ONE shared AnalysisPipeline, so
+ * stage caches stay warm across requests and clients: the second
+ * identical query is served from the layer cache. requestStop() is
+ * async-signal-safe; the CLI wires it to SIGINT/SIGTERM for a
+ * graceful drain (stop accepting, finish in-flight work, exit 0).
+ */
+
+#ifndef MAESTRO_SERVE_SERVER_HH
+#define MAESTRO_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.hh"
+#include "src/serve/handlers.hh"
+
+namespace maestro
+{
+namespace serve
+{
+
+/**
+ * Server configuration.
+ */
+struct ServeOptions
+{
+    /** Bind address (default loopback; "0.0.0.0" to expose). */
+    std::string host = "127.0.0.1";
+
+    /** TCP port; 0 picks an ephemeral port (see port()). */
+    std::uint16_t port = 8080;
+
+    /** Analysis worker threads draining the request queue. */
+    std::size_t worker_threads = 2;
+
+    /** In-flight request bound; beyond it, POSTs get 503. */
+    std::size_t queue_capacity = 64;
+
+    /** Per-request wall-clock deadline (408 on expiry). */
+    int deadline_ms = 10000;
+
+    /** Concurrent connection bound (excess connections get 503). */
+    std::size_t max_connections = 64;
+
+    /** Keep-alive idle timeout before the server closes. */
+    int idle_timeout_ms = 5000;
+
+    /** HTTP parser caps (hostile-input bounds). */
+    std::size_t max_header_bytes = 16 * 1024;
+    std::size_t max_body_bytes = 1024 * 1024;
+};
+
+/**
+ * The daemon. Construct, start(), then run() on the serving thread.
+ */
+class AnalysisServer
+{
+  public:
+    AnalysisServer(ServeContext context, ServeOptions options);
+
+    /** Stops (if running) and releases the sockets. */
+    ~AnalysisServer();
+
+    AnalysisServer(const AnalysisServer &) = delete;
+    AnalysisServer &operator=(const AnalysisServer &) = delete;
+
+    /**
+     * Binds and listens (does not serve yet).
+     *
+     * @throws Error when the address cannot be bound.
+     */
+    void start();
+
+    /** The bound port (after start(); resolves port 0). */
+    std::uint16_t port() const { return bound_port_; }
+
+    /**
+     * Serves until requestStop(): accepts connections, spawns
+     * connection threads, and on stop drains them (in-flight
+     * requests finish, bounded by the deadline) before returning.
+     * Calls start() when not yet started.
+     */
+    void run();
+
+    /**
+     * Initiates a graceful drain. Async-signal-safe (atomic flag +
+     * self-pipe write) — callable from SIGINT/SIGTERM handlers and
+     * from other threads.
+     */
+    void requestStop();
+
+    /** Shared handler state (pipeline, default hardware). */
+    const ServeContext &context() const { return context_; }
+
+    const ServeOptions &options() const { return options_; }
+
+  private:
+    /** One tracked connection thread. */
+    struct Connection
+    {
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    /** Connection thread body: read -> parse -> respond loop. */
+    void serveConnection(int fd, Connection *slot);
+
+    /** Routes one parsed request to a handler (+ admission). */
+    struct Reply
+    {
+        int status = 200;
+        std::string body;
+        std::vector<std::string> extra_headers;
+    };
+    Reply dispatch(const HttpRequest &request);
+
+    /** Runs a POST endpoint through the pool with deadline/503. */
+    Reply dispatchAnalysis(const HttpRequest &request);
+
+    /** Joins finished connection threads; joins all when `all`. */
+    void reapConnections(bool all);
+
+    ServeContext context_;
+    ServeOptions options_;
+
+    int listen_fd_ = -1;
+    int wake_pipe_[2] = {-1, -1};
+    std::uint16_t bound_port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::chrono::steady_clock::time_point start_time_{};
+
+    std::unique_ptr<ThreadPool> pool_;
+    AdmissionController admission_;
+    RequestCounters counters_;
+    LatencyHistogram latency_;
+
+    std::mutex connections_mutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+} // namespace serve
+} // namespace maestro
+
+#endif // MAESTRO_SERVE_SERVER_HH

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the shared JSON writer: structural comma/colon handling,
+ * string escaping, number rendering (to_chars round-trip, fixed,
+ * scientific), non-finite handling, and misuse panics. The server's
+ * byte-identical-response guarantee rests on this writer producing
+ * the same bytes for the same values, so determinism is asserted
+ * explicitly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "src/common/json.hh"
+
+namespace maestro
+{
+namespace
+{
+
+TEST(JsonWriter, EmptyObjectAndArray)
+{
+    {
+        JsonWriter w;
+        w.beginObject().endObject();
+        EXPECT_EQ(w.str(), "{}");
+    }
+    {
+        JsonWriter w;
+        w.beginArray().endArray();
+        EXPECT_EQ(w.str(), "[]");
+    }
+}
+
+TEST(JsonWriter, ObjectCommasAndColons)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("a").value(1);
+    w.key("b").value("two");
+    w.key("c").value(true);
+    w.key("d").null();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"two\",\"c\":true,\"d\":null}");
+}
+
+TEST(JsonWriter, ArrayCommas)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(1).value(2).value(3);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, NestedStructures)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("rows").beginArray();
+    w.beginObject().key("x").value(1).endObject();
+    w.beginObject().key("x").value(2).endObject();
+    w.endArray();
+    w.key("meta").beginObject().key("n").value(2).endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"rows\":[{\"x\":1},{\"x\":2}],"
+              "\"meta\":{\"n\":2}}");
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    JsonWriter w;
+    w.value("quote\" backslash\\ tab\t newline\n cr\r "
+            "bell\b feed\f");
+    EXPECT_EQ(w.str(),
+              "\"quote\\\" backslash\\\\ tab\\t newline\\n cr\\r "
+              "bell\\b feed\\f\"");
+}
+
+TEST(JsonWriter, ControlCharactersEscapeAsUnicode)
+{
+    std::string s;
+    s.push_back('\x01');
+    s.push_back('\x1f');
+    JsonWriter w;
+    w.value(s);
+    EXPECT_EQ(w.str(), "\"\\u0001\\u001f\"");
+}
+
+TEST(JsonWriter, Utf8PassesThrough)
+{
+    JsonWriter w;
+    w.value("caf\xc3\xa9");
+    EXPECT_EQ(w.str(), "\"caf\xc3\xa9\"");
+}
+
+TEST(JsonWriter, IntegerExtremes)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::numeric_limits<std::int64_t>::min());
+    w.value(std::numeric_limits<std::int64_t>::max());
+    w.value(std::numeric_limits<std::uint64_t>::max());
+    w.value(-1);
+    w.value(0u);
+    w.endArray();
+    EXPECT_EQ(w.str(),
+              "[-9223372036854775808,9223372036854775807,"
+              "18446744073709551615,-1,0]");
+}
+
+TEST(JsonWriter, DoubleShortestRoundTrip)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(0.1);
+    w.value(1.0);
+    w.value(-2.5e300);
+    w.endArray();
+    const std::string out = w.str();
+    // to_chars shortest form must parse back to the exact value.
+    EXPECT_NE(out.find("0.1"), std::string::npos);
+    EXPECT_EQ(std::stod(out.substr(1)), 0.1);
+}
+
+TEST(JsonWriter, DoubleDeterminism)
+{
+    // Same value -> same bytes, every time (byte-identity contract).
+    const double v = 1234.56789 / 3.0;
+    std::string first;
+    for (int i = 0; i < 4; ++i) {
+        JsonWriter w;
+        w.value(v);
+        if (i == 0)
+            first = w.str();
+        else
+            EXPECT_EQ(w.str(), first);
+    }
+    EXPECT_EQ(std::stod(first), v);
+}
+
+TEST(JsonWriter, NonFiniteRendersNull)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(-std::numeric_limits<double>::infinity());
+    w.fixed(std::numeric_limits<double>::quiet_NaN(), 2);
+    w.sci(std::numeric_limits<double>::infinity(), 3);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[null,null,null,null,null]");
+}
+
+TEST(JsonWriter, FixedAndScientificNotation)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.fixed(3.14159, 2);
+    w.fixed(2.0, 0);
+    w.sci(12345.678, 3);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[3.14,2,1.235e+04]");
+}
+
+TEST(JsonWriter, TopLevelScalar)
+{
+    JsonWriter w;
+    w.value("alone");
+    EXPECT_EQ(w.str(), "\"alone\"");
+}
+
+TEST(JsonWriter, AppendEscapedStatic)
+{
+    std::string out = "x=";
+    JsonWriter::appendEscaped(out, "a\"b");
+    EXPECT_EQ(out, "x=\"a\\\"b\"");
+}
+
+TEST(JsonWriterDeathTest, MisusePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.beginObject();
+            w.value(1); // value without key()
+        },
+        "json:");
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.beginObject();
+            w.endArray(); // mismatched close
+        },
+        "json:");
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.beginObject();
+            w.str(); // incomplete document
+        },
+        "json:");
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.key("k"); // key outside object
+        },
+        "json:");
+    EXPECT_DEATH(
+        {
+            JsonWriter w;
+            w.value(1);
+            w.value(2); // second top-level value
+        },
+        "json:");
+}
+
+} // namespace
+} // namespace maestro

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Robustness tests for the DSL frontend treated as an untrusted-input
+ * boundary (the analysis server feeds request bodies straight into
+ * frontend::parseString). Hostile input — truncations, absurd numeric
+ * literals, pathological repetition, random token soup — must always
+ * surface as a clean maestro::Error, never a crash, hang, or signed
+ * overflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "src/common/error.hh"
+#include "src/frontend/parser.hh"
+#include "src/frontend/serializer.hh"
+#include "src/model/zoo.hh"
+
+namespace maestro
+{
+namespace frontend
+{
+namespace
+{
+
+/** parseString must either succeed or throw maestro::Error. */
+void
+expectCleanOutcome(const std::string &source)
+{
+    try {
+        (void)parseString(source);
+    } catch (const Error &) {
+        // A clean, typed rejection is the expected failure mode.
+    }
+    // Any other exception type (or a crash) fails the test.
+}
+
+const char kValidSource[] =
+    "Network tiny {\n"
+    "  Layer conv1 {\n"
+    "    Type: CONV;\n"
+    "    Stride: 1;\n"
+    "    Dimensions { K: 4; C: 3; R: 3; S: 3; Y: 8; X: 8; }\n"
+    "  }\n"
+    "}\n"
+    "Dataflow kcp {\n"
+    "  TemporalMap(1, 1) K;\n"
+    "  SpatialMap(1, 1) C;\n"
+    "  TemporalMap(Sz(R), Sz(R)) R;\n"
+    "  TemporalMap(Sz(S), Sz(S)) S;\n"
+    "}\n"
+    "Accelerator {\n"
+    "  NumPEs: 64;\n"
+    "  L1: 512;\n"
+    "  L2: 65536;\n"
+    "}\n";
+
+TEST(ParserRobustness, EveryTruncationIsCleanlyRejected)
+{
+    const std::string full(kValidSource);
+    // Every proper prefix must parse cleanly or throw Error — a
+    // truncated upload must never read past the token stream.
+    for (std::size_t len = 0; len < full.size(); ++len)
+        expectCleanOutcome(full.substr(0, len));
+    EXPECT_NO_THROW((void)parseString(full));
+}
+
+TEST(ParserRobustness, UnterminatedConstructs)
+{
+    expectCleanOutcome("Network n { Layer l { Type: CONV;");
+    expectCleanOutcome("Dataflow d { TemporalMap(1, 1) K");
+    expectCleanOutcome("/* comment that never ends");
+    expectCleanOutcome("Network n { Layer l { Dimensions { K: 1;");
+    EXPECT_THROW((void)parseString("/* open"), Error);
+}
+
+TEST(ParserRobustness, AbsurdNumericLiterals)
+{
+    // Literal larger than int64: checked accumulation -> Error.
+    EXPECT_THROW(
+        (void)parseString("Network n { Layer l { Stride: "
+                          "99999999999999999999999999; } }"),
+        Error);
+    // Sum of in-range terms overflowing int64 -> Error, not UB.
+    EXPECT_THROW((void)parseString(
+                     "Dataflow d { Cluster(9223372036854775807 + "
+                     "9223372036854775807); }"),
+                 Error);
+    EXPECT_THROW((void)parseString(
+                     "Dataflow d { TemporalMap(9223372036854775807 "
+                     "+ 1, 1) K; }"),
+                 Error);
+    // Max literal alone still lexes.
+    expectCleanOutcome(
+        "Dataflow d { Cluster(9223372036854775807); }");
+}
+
+TEST(ParserRobustness, DeeplyRepeatedClusterDirectives)
+{
+    // 50k nested Cluster levels: the parser must stay iterative and
+    // reject (or accept) without exhausting the stack.
+    std::string source = "Dataflow deep {\n";
+    for (int i = 0; i < 50000; ++i)
+        source += "Cluster(2);\n";
+    source += "TemporalMap(1, 1) K;\n}\n";
+    expectCleanOutcome(source);
+}
+
+TEST(ParserRobustness, GarbageBytes)
+{
+    expectCleanOutcome("\x01\x02\x03\xff\xfe");
+    expectCleanOutcome("Network \x7f {}");
+    expectCleanOutcome(std::string(100000, '{'));
+    expectCleanOutcome(std::string(100000, '9'));
+    expectCleanOutcome("Network n { Layer l { Type: CONV; } } trailing"
+                       " ) ; } garbage");
+}
+
+TEST(ParserRobustness, SeededTokenSoupFuzz)
+{
+    // Deterministic fuzz: random concatenations of real DSL tokens.
+    // Only Error may escape parseString.
+    static const char *const kTokens[] = {
+        "Network",  "Dataflow", "Accelerator", "Layer",
+        "Type:",    "CONV;",    "Dimensions",  "K:",
+        "Sz(",      "R",        ")",           "(",
+        "{",        "}",        ";",           ",",
+        "+",        "-",        "SpatialMap",  "TemporalMap",
+        "Cluster",  "17",       "0",           "9223372036854775807",
+        "NumPEs:",  "name_x",   "//cmt\n",     "/*c*/",
+    };
+    std::mt19937 rng(20190212); // fixed seed: reproducible corpus
+    std::uniform_int_distribution<std::size_t> pick(
+        0, sizeof(kTokens) / sizeof(kTokens[0]) - 1);
+    std::uniform_int_distribution<int> len(1, 60);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string source;
+        const int n = len(rng);
+        for (int i = 0; i < n; ++i) {
+            source += kTokens[pick(rng)];
+            source += ' ';
+        }
+        expectCleanOutcome(source);
+    }
+}
+
+TEST(ParserRobustness, SerializedZooModelsRoundTripThroughParser)
+{
+    // The serializer's output is exactly what the server's heavier
+    // test payloads are built from; it must stay parseable.
+    for (const char *name : {"resnet50", "mobilenetv2", "vgg16"}) {
+        const Network net = zoo::byName(name);
+        const ParsedFile parsed = parseString(serialize(net));
+        ASSERT_EQ(parsed.networks.size(), 1u) << name;
+        EXPECT_EQ(parsed.networks[0].layers().size(),
+                  net.layers().size())
+            << name;
+    }
+}
+
+} // namespace
+} // namespace frontend
+} // namespace maestro

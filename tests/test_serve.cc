@@ -1,0 +1,772 @@
+/**
+ * @file
+ * Loopback tests for the analysis server: routing and status codes,
+ * byte-identity between server responses and the direct handler
+ * call (the CLI's `--format json` path), cross-request stage-cache
+ * reuse observable through GET /stats, exact stage-counter
+ * accounting, concurrent mixed-shape storms, 503 backpressure under
+ * a saturated queue, 408 deadline expiry, keep-alive, graceful
+ * drain, and the admission/histogram primitives.
+ *
+ * Suites are prefixed "Serve" so the CI thread-sanitizer job picks
+ * them up alongside the ThreadPool/Pipeline concurrency tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/frontend/serializer.hh"
+#include "src/model/zoo.hh"
+#include "src/serve/admission.hh"
+#include "src/serve/handlers.hh"
+#include "src/serve/http.hh"
+#include "src/serve/server.hh"
+
+namespace maestro
+{
+namespace serve
+{
+namespace
+{
+
+// ---------------------------------------------------------------- //
+//                       Loopback test client                       //
+// ---------------------------------------------------------------- //
+
+/** Server under test: run() on a background thread, ephemeral port. */
+class TestServer
+{
+  public:
+    explicit TestServer(ServeOptions options = ServeOptions())
+    {
+        options.port = 0; // ephemeral; resolved via port()
+        server_ = std::make_unique<AnalysisServer>(ServeContext(),
+                                                   options);
+        server_->start();
+        thread_ = std::thread([this] { server_->run(); });
+    }
+
+    ~TestServer() { stop(); }
+
+    void
+    stop()
+    {
+        if (thread_.joinable()) {
+            server_->requestStop();
+            thread_.join();
+        }
+    }
+
+    std::uint16_t port() const { return server_->port(); }
+
+  private:
+    std::unique_ptr<AnalysisServer> server_;
+    std::thread thread_;
+};
+
+/** One parsed client-side response. */
+struct ClientResponse
+{
+    int status = -1; ///< -1: connection closed before a response
+    std::map<std::string, std::string> headers; ///< lowercased names
+    std::string body;
+};
+
+int
+connectLoopback(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    // A stuck server should fail the test, not hang ctest.
+    struct timeval tv;
+    tv.tv_sec = 30;
+    tv.tv_usec = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+void
+sendAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+        ASSERT_GT(n, 0);
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+lowerTrim(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    });
+    const auto b = s.find_first_not_of(" \t");
+    const auto e = s.find_last_not_of(" \t");
+    return b == std::string::npos ? "" : s.substr(b, e - b + 1);
+}
+
+/** Reads exactly one response (Content-Length framing). */
+ClientResponse
+readResponse(int fd)
+{
+    ClientResponse r;
+    std::string buf;
+    std::size_t header_end;
+    while ((header_end = buf.find("\r\n\r\n")) == std::string::npos) {
+        char tmp[4096];
+        const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+        if (n <= 0)
+            return r;
+        buf.append(tmp, static_cast<std::size_t>(n));
+    }
+    r.status = std::atoi(buf.c_str() + 9); // skip "HTTP/1.1 "
+    std::size_t pos = buf.find("\r\n") + 2;
+    while (pos < header_end) {
+        const std::size_t eol = buf.find("\r\n", pos);
+        const std::string line = buf.substr(pos, eol - pos);
+        const std::size_t colon = line.find(':');
+        if (colon != std::string::npos)
+            r.headers[lowerTrim(line.substr(0, colon))] =
+                lowerTrim(line.substr(colon + 1));
+        pos = eol + 2;
+    }
+    std::size_t content_length = 0;
+    const auto cl = r.headers.find("content-length");
+    if (cl != r.headers.end())
+        content_length = std::stoul(cl->second);
+    r.body = buf.substr(header_end + 4);
+    while (r.body.size() < content_length) {
+        char tmp[4096];
+        const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+        if (n <= 0)
+            break;
+        r.body.append(tmp, static_cast<std::size_t>(n));
+    }
+    r.body.resize(std::min(r.body.size(), content_length));
+    return r;
+}
+
+std::string
+getRequest(const std::string &target, bool keep_alive = true)
+{
+    std::string out = "GET " + target + " HTTP/1.1\r\nHost: t\r\n";
+    if (!keep_alive)
+        out += "Connection: close\r\n";
+    return out + "\r\n";
+}
+
+std::string
+postRequest(const std::string &target, const std::string &body)
+{
+    return "POST " + target + " HTTP/1.1\r\nHost: t\r\n" +
+           "Content-Length: " + std::to_string(body.size()) +
+           "\r\n\r\n" + body;
+}
+
+/** Connect, send one request, read one response, close. */
+ClientResponse
+oneShot(std::uint16_t port, const std::string &raw)
+{
+    ClientResponse r;
+    const int fd = connectLoopback(port);
+    EXPECT_GE(fd, 0);
+    if (fd < 0)
+        return r;
+    sendAll(fd, raw);
+    r = readResponse(fd);
+    ::close(fd);
+    return r;
+}
+
+// ---------------------------------------------------------------- //
+//                        Payloads + helpers                        //
+// ---------------------------------------------------------------- //
+
+/** Single-conv network; shape varies with `k` (mixed-shape storms). */
+std::string
+tinyNetwork(int k)
+{
+    return "Network tiny" + std::to_string(k) +
+           " {\n"
+           "  Layer conv {\n"
+           "    Type: CONV;\n"
+           "    Dimensions { K: " +
+           std::to_string(k) +
+           "; C: 4; R: 3; S: 3; Y: 16; X: 16; }\n"
+           "  }\n"
+           "}\n";
+}
+
+/** Same shape, `layers` copies — the shape-dedup stats script. */
+std::string
+repeatedShapeNetwork(int layers)
+{
+    std::string out = "Network rep {\n";
+    for (int i = 0; i < layers; ++i)
+        out += "  Layer conv" + std::to_string(i) +
+               " { Type: CONV; Dimensions "
+               "{ K: 8; C: 4; R: 3; S: 3; Y: 16; X: 16; } }\n";
+    return out + "}\n";
+}
+
+/** Many distinct shapes: expensive enough to hold a worker busy. */
+std::string
+heavyPayload()
+{
+    Network net("heavy");
+    for (int i = 0; i < 120; ++i) {
+        DimMap<Count> d(1);
+        d[Dim::K] = 16 + i % 17;
+        d[Dim::C] = 8 + i % 5;
+        d[Dim::R] = 3;
+        d[Dim::S] = 3;
+        d[Dim::Y] = 32 + i % 9;
+        d[Dim::X] = 32 + i % 7;
+        std::string name = "l";
+        name += std::to_string(i);
+        net.addLayer(Layer(name, OpType::Conv2D, d));
+    }
+    return frontend::serialize(net);
+}
+
+/**
+ * Extracts the integer member `field` of JSON object `object` from a
+ * body produced by JsonWriter (known key order, no whitespace).
+ */
+std::uint64_t
+jsonField(const std::string &body, const std::string &object,
+          const std::string &field)
+{
+    const std::string obj_marker = "\"" + object + "\":{";
+    const std::size_t obj = body.find(obj_marker);
+    EXPECT_NE(obj, std::string::npos) << object << " in " << body;
+    if (obj == std::string::npos)
+        return 0;
+    const std::string field_marker = "\"" + field + "\":";
+    const std::size_t at =
+        body.find(field_marker, obj + obj_marker.size());
+    EXPECT_NE(at, std::string::npos) << field << " in " << body;
+    if (at == std::string::npos)
+        return 0;
+    return std::strtoull(
+        body.c_str() + at + field_marker.size(), nullptr, 10);
+}
+
+/** The reference bytes the server must reproduce for /analyze. */
+std::string
+referenceAnalyze(const std::string &dsl, const QueryParams &params)
+{
+    const RequestInputs inputs = resolveRequest(
+        dsl, params, AcceleratorConfig::paperStudy());
+    return analyzeJson(inputs, std::make_shared<AnalysisPipeline>(),
+                       EnergyModel());
+}
+
+// ---------------------------------------------------------------- //
+//                     Routing and status codes                     //
+// ---------------------------------------------------------------- //
+
+TEST(Serve, HealthzStatsAndRouting)
+{
+    TestServer server;
+    const std::uint16_t port = server.port();
+    ASSERT_GT(port, 0);
+
+    const ClientResponse health =
+        oneShot(port, getRequest("/healthz"));
+    EXPECT_EQ(health.status, 200);
+    EXPECT_EQ(health.body, healthzJson());
+    EXPECT_EQ(health.headers.at("content-type"), "application/json");
+
+    const ClientResponse stats = oneShot(port, getRequest("/stats"));
+    EXPECT_EQ(stats.status, 200);
+    EXPECT_NE(stats.body.find("\"pipeline\""), std::string::npos);
+    EXPECT_NE(stats.body.find("\"queue\""), std::string::npos);
+
+    EXPECT_EQ(oneShot(port, getRequest("/nope")).status, 404);
+    EXPECT_EQ(oneShot(port, getRequest("/analyze")).status, 405);
+    EXPECT_EQ(oneShot(port, postRequest("/healthz", "x")).status,
+              405);
+
+    const ClientResponse bad =
+        oneShot(port, postRequest("/analyze", "Nonsense ("));
+    EXPECT_EQ(bad.status, 400);
+    EXPECT_NE(bad.body.find("\"error\""), std::string::npos);
+
+    const ClientResponse empty =
+        oneShot(port, postRequest("/analyze", ""));
+    EXPECT_EQ(empty.status, 400);
+
+    // Parser-level error: malformed request line closes with 400.
+    const ClientResponse mangled = oneShot(port, "BROKEN\r\n\r\n");
+    EXPECT_EQ(mangled.status, 400);
+}
+
+// ---------------------------------------------------------------- //
+//                   Byte-identity with handlers                    //
+// ---------------------------------------------------------------- //
+
+TEST(Serve, AnalyzeMatchesDirectHandlerByteForByte)
+{
+    TestServer server;
+    const std::string dsl = tinyNetwork(8);
+
+    const ClientResponse got = oneShot(
+        server.port(), postRequest("/analyze?dataflow=C-P", dsl));
+    ASSERT_EQ(got.status, 200);
+    EXPECT_EQ(got.body,
+              referenceAnalyze(dsl, QueryParams{{"dataflow", "C-P"}}));
+}
+
+TEST(Serve, DseAndTuneEndpoints)
+{
+    TestServer server;
+    const std::uint16_t port = server.port();
+    const std::string dsl = tinyNetwork(8);
+
+    const ClientResponse dse =
+        oneShot(port, postRequest("/dse?dataflow=C-P", dsl));
+    ASSERT_EQ(dse.status, 200) << dse.body;
+    EXPECT_NE(dse.body.find("\"endpoint\":\"dse\""),
+              std::string::npos);
+    EXPECT_NE(dse.body.find("\"best_edp\""), std::string::npos);
+    EXPECT_GT(jsonField(dse.body, "best_throughput", "num_pes"), 0u);
+
+    const ClientResponse tune =
+        oneShot(port, postRequest("/tune?objective=edp", dsl));
+    ASSERT_EQ(tune.status, 200) << tune.body;
+    EXPECT_NE(tune.body.find("\"endpoint\":\"tune\""),
+              std::string::npos);
+    EXPECT_NE(tune.body.find("\"ranked\""), std::string::npos);
+    EXPECT_NE(tune.body.find("\"winner\""), std::string::npos);
+
+    // dse with several dataflows resolved (no ?dataflow) is a 400.
+    EXPECT_EQ(oneShot(port, postRequest("/dse", dsl)).status, 400);
+}
+
+// ---------------------------------------------------------------- //
+//            Cross-request cache reuse (acceptance test)           //
+// ---------------------------------------------------------------- //
+
+TEST(Serve, CrossRequestCacheReuseVisibleInStats)
+{
+    TestServer server;
+    const std::uint16_t port = server.port();
+    const std::string raw =
+        postRequest("/analyze?dataflow=C-P", tinyNetwork(8));
+
+    const ClientResponse first = oneShot(port, raw);
+    ASSERT_EQ(first.status, 200);
+    const std::uint64_t hits_after_first = jsonField(
+        oneShot(port, getRequest("/stats")).body, "aggregate",
+        "hits");
+
+    const ClientResponse second = oneShot(port, raw);
+    ASSERT_EQ(second.status, 200);
+    // Warm caches must never change response bytes.
+    EXPECT_EQ(second.body, first.body);
+
+    const std::string stats =
+        oneShot(port, getRequest("/stats")).body;
+    const std::uint64_t hits_after_second =
+        jsonField(stats, "aggregate", "hits");
+    // The whole point of the shared pipeline: the identical repeat
+    // is served from the stage caches.
+    EXPECT_GT(hits_after_second, hits_after_first);
+    EXPECT_GE(jsonField(stats, "layer", "hits"), 1u);
+}
+
+// ---------------------------------------------------------------- //
+//              Exact stage-counter accounting (/stats)             //
+// ---------------------------------------------------------------- //
+
+TEST(Serve, StatsPinStageCountersAfterShapeDedupSequence)
+{
+    TestServer server;
+    const std::uint16_t port = server.port();
+    const std::string dsl = repeatedShapeNetwork(3);
+
+    // 3 identical-shape layers under one dataflow: one layer-cache
+    // miss computes the stages once; the two clones hit the layer
+    // cache without touching the inner stages.
+    ASSERT_EQ(
+        oneShot(port, postRequest("/analyze?dataflow=C-P", dsl))
+            .status,
+        200);
+    std::string stats = oneShot(port, getRequest("/stats")).body;
+    EXPECT_EQ(jsonField(stats, "pipeline", "evaluations"), 3u);
+    EXPECT_EQ(jsonField(stats, "layer", "misses"), 1u);
+    EXPECT_EQ(jsonField(stats, "layer", "hits"), 2u);
+    EXPECT_EQ(jsonField(stats, "tensor", "misses"), 1u);
+    EXPECT_EQ(jsonField(stats, "tensor", "hits"), 0u);
+    EXPECT_EQ(jsonField(stats, "binding", "misses"), 1u);
+    EXPECT_EQ(jsonField(stats, "flat", "misses"), 1u);
+    EXPECT_EQ(jsonField(stats, "aggregate", "hits"), 2u);
+    EXPECT_EQ(jsonField(stats, "aggregate", "misses"), 4u);
+
+    // Same shapes under a different dataflow: new layer/binding/flat
+    // entries, but the shape-keyed tensor stage hits.
+    ASSERT_EQ(
+        oneShot(port, postRequest("/analyze?dataflow=X-P", dsl))
+            .status,
+        200);
+    stats = oneShot(port, getRequest("/stats")).body;
+    EXPECT_EQ(jsonField(stats, "pipeline", "evaluations"), 6u);
+    EXPECT_EQ(jsonField(stats, "layer", "misses"), 2u);
+    EXPECT_EQ(jsonField(stats, "layer", "hits"), 4u);
+    EXPECT_EQ(jsonField(stats, "tensor", "misses"), 1u);
+    EXPECT_EQ(jsonField(stats, "tensor", "hits"), 1u);
+    EXPECT_EQ(jsonField(stats, "binding", "misses"), 2u);
+    EXPECT_EQ(jsonField(stats, "flat", "misses"), 2u);
+
+    // Request accounting rides along.
+    EXPECT_EQ(jsonField(stats, "requests", "analyze"), 2u);
+    EXPECT_EQ(jsonField(stats, "queue", "depth"), 0u);
+    EXPECT_GE(jsonField(stats, "latency_us", "count"), 2u);
+}
+
+// ---------------------------------------------------------------- //
+//                Concurrent mixed-shape storm (accept)             //
+// ---------------------------------------------------------------- //
+
+TEST(Serve, ConcurrentStormBytesMatchSingleThreadedReference)
+{
+    constexpr int kClients = 8;
+    constexpr int kRounds = 3;
+
+    // Reference bodies from the direct, single-threaded handler path.
+    std::vector<std::string> dsl;
+    std::vector<std::string> expected;
+    const QueryParams params{{"dataflow", "C-P"}};
+    for (int i = 0; i < kClients; ++i) {
+        dsl.push_back(tinyNetwork(4 + 4 * i));
+        expected.push_back(referenceAnalyze(dsl.back(), params));
+    }
+
+    ServeOptions options;
+    options.worker_threads = 4;
+    TestServer server(options);
+    const std::uint16_t port = server.port();
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    int ready = 0;
+    bool go = false;
+    std::vector<std::string> failures;
+
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            {
+                // Start barrier: all clients fire at once so at
+                // least kClients requests are in flight together.
+                std::unique_lock<std::mutex> lock(mutex);
+                if (++ready == kClients) {
+                    go = true;
+                    cv.notify_all();
+                } else {
+                    cv.wait(lock, [&] { return go; });
+                }
+            }
+            const int fd = connectLoopback(port);
+            std::string error;
+            if (fd < 0) {
+                error = "connect failed";
+            } else {
+                const std::string raw =
+                    postRequest("/analyze?dataflow=C-P", dsl[i]);
+                for (int round = 0; round < kRounds; ++round) {
+                    sendAll(fd, raw);
+                    const ClientResponse r = readResponse(fd);
+                    if (r.status != 200) {
+                        error = "status " +
+                                std::to_string(r.status);
+                        break;
+                    }
+                    if (r.body != expected[i]) {
+                        error = "body mismatch on client " +
+                                std::to_string(i);
+                        break;
+                    }
+                }
+                ::close(fd);
+            }
+            if (!error.empty()) {
+                std::lock_guard<std::mutex> lock(mutex);
+                failures.push_back(error);
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    EXPECT_TRUE(failures.empty())
+        << failures.size() << " client(s) failed: " << failures[0];
+
+    // Every byte served concurrently equalled the single-threaded
+    // reference; the warm caches must show up in /stats.
+    const std::string stats =
+        oneShot(port, getRequest("/stats")).body;
+    EXPECT_GE(jsonField(stats, "layer", "hits"),
+              static_cast<std::uint64_t>(kClients * (kRounds - 1)));
+}
+
+// ---------------------------------------------------------------- //
+//                      Backpressure: 503 path                      //
+// ---------------------------------------------------------------- //
+
+TEST(Serve, SaturatedQueueAnswers503WithRetryAfter)
+{
+    ServeOptions options;
+    options.worker_threads = 1;
+    options.queue_capacity = 1; // one in-flight request, no queue
+    options.deadline_ms = 60000; // the deadline is not under test
+    TestServer server(options);
+    const std::uint16_t port = server.port();
+
+    const std::string raw = postRequest("/analyze", heavyPayload());
+    constexpr int kClients = 6;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    int ready = 0;
+    bool go = false;
+    std::vector<ClientResponse> responses(kClients);
+
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                if (++ready == kClients) {
+                    go = true;
+                    cv.notify_all();
+                } else {
+                    cv.wait(lock, [&] { return go; });
+                }
+            }
+            responses[i] = oneShot(port, raw);
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    int ok = 0;
+    int rejected = 0;
+    for (const ClientResponse &r : responses) {
+        if (r.status == 200) {
+            ++ok;
+        } else if (r.status == 503) {
+            ++rejected;
+            // Backpressure tells the client when to come back.
+            EXPECT_EQ(r.headers.count("retry-after"), 1u);
+            EXPECT_NE(r.body.find("\"error\""), std::string::npos);
+        } else {
+            ADD_FAILURE() << "unexpected status " << r.status;
+        }
+    }
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(rejected, 1);
+
+    const std::string stats =
+        oneShot(port, getRequest("/stats")).body;
+    EXPECT_GE(jsonField(stats, "responses", "rejected_503"),
+              static_cast<std::uint64_t>(rejected));
+    EXPECT_GE(jsonField(stats, "queue", "rejected"),
+              static_cast<std::uint64_t>(rejected));
+    EXPECT_EQ(jsonField(stats, "queue", "capacity"), 1u);
+}
+
+// ---------------------------------------------------------------- //
+//                      Deadline: 408 path                          //
+// ---------------------------------------------------------------- //
+
+TEST(Serve, DeadlineExpiryAnswers408ThenRecovers)
+{
+    ServeOptions options;
+    options.worker_threads = 2;
+    options.deadline_ms = 1; // far below the heavy payload's cost
+    TestServer server(options);
+    const std::uint16_t port = server.port();
+
+    const ClientResponse slow =
+        oneShot(port, postRequest("/analyze", heavyPayload()));
+    EXPECT_EQ(slow.status, 408);
+    EXPECT_NE(slow.body.find("\"error\""), std::string::npos);
+
+    // The server keeps serving: a cheap request completes within
+    // the same deadline once a worker frees up.
+    const std::string quick =
+        postRequest("/analyze?dataflow=C-P", tinyNetwork(8));
+    bool recovered = false;
+    for (int attempt = 0; attempt < 100 && !recovered; ++attempt) {
+        const ClientResponse r = oneShot(port, quick);
+        if (r.status == 200)
+            recovered = true;
+        else
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+    }
+    EXPECT_TRUE(recovered);
+
+    const std::string stats =
+        oneShot(port, getRequest("/stats")).body;
+    EXPECT_GE(jsonField(stats, "responses", "deadline_408"), 1u);
+}
+
+// ---------------------------------------------------------------- //
+//                    Keep-alive and graceful drain                 //
+// ---------------------------------------------------------------- //
+
+TEST(Serve, KeepAliveServesSequentialRequestsOnOneConnection)
+{
+    TestServer server;
+    const int fd = connectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+
+    sendAll(fd, getRequest("/healthz"));
+    EXPECT_EQ(readResponse(fd).status, 200);
+
+    sendAll(fd, postRequest("/analyze?dataflow=C-P", tinyNetwork(8)));
+    EXPECT_EQ(readResponse(fd).status, 200);
+
+    // "Connection: close" is honoured: response, then EOF.
+    sendAll(fd, getRequest("/healthz", /*keep_alive=*/false));
+    EXPECT_EQ(readResponse(fd).status, 200);
+    char tmp[1];
+    EXPECT_EQ(::recv(fd, tmp, sizeof(tmp), 0), 0);
+    ::close(fd);
+}
+
+TEST(Serve, GracefulDrainStopsAcceptingAndRunReturns)
+{
+    auto server = std::make_unique<TestServer>();
+    const std::uint16_t port = server->port();
+    EXPECT_EQ(oneShot(port, getRequest("/healthz")).status, 200);
+
+    server->stop(); // requestStop() + join: run() must return
+    EXPECT_LT(connectLoopback(port), 0);
+}
+
+// ---------------------------------------------------------------- //
+//                  Admission/histogram primitives                  //
+// ---------------------------------------------------------------- //
+
+TEST(ServeAdmission, BoundsInFlightAndCountsRejections)
+{
+    AdmissionController admission(2);
+    EXPECT_EQ(admission.capacity(), 2u);
+    EXPECT_TRUE(admission.tryAdmit());
+    EXPECT_TRUE(admission.tryAdmit());
+    EXPECT_FALSE(admission.tryAdmit()); // full
+    EXPECT_EQ(admission.depth(), 2u);
+    EXPECT_EQ(admission.rejected(), 1u);
+    admission.release();
+    EXPECT_TRUE(admission.tryAdmit());
+    EXPECT_EQ(admission.peakDepth(), 2u);
+    admission.release();
+    admission.release();
+    EXPECT_EQ(admission.depth(), 0u);
+
+    AdmissionController degenerate(0); // clamped to 1
+    EXPECT_EQ(degenerate.capacity(), 1u);
+}
+
+TEST(ServeAdmission, ConcurrentAdmitNeverExceedsCapacity)
+{
+    constexpr std::size_t kCapacity = 4;
+    AdmissionController admission(kCapacity);
+    std::atomic<std::size_t> peak{0};
+    std::atomic<std::size_t> inside{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 2000; ++i) {
+                if (!admission.tryAdmit())
+                    continue;
+                const std::size_t now =
+                    inside.fetch_add(1) + 1;
+                std::size_t p = peak.load();
+                while (now > p &&
+                       !peak.compare_exchange_weak(p, now)) {
+                }
+                inside.fetch_sub(1);
+                admission.release();
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_LE(peak.load(), kCapacity);
+    EXPECT_LE(admission.peakDepth(), kCapacity);
+    EXPECT_EQ(admission.depth(), 0u);
+}
+
+TEST(ServeLatencyHistogram, BucketsAndSummary)
+{
+    LatencyHistogram h;
+    h.record(0);    // bucket 0
+    h.record(1);    // bucket 0: [1, 2)
+    h.record(2);    // bucket 1: [2, 4)
+    h.record(1023); // bucket 9: [512, 1024)
+    h.record(std::uint64_t{1} << 40); // clamped to the last bucket
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.bucket(LatencyHistogram::kBuckets - 1), 1u);
+    EXPECT_EQ(h.maxMicros(), std::uint64_t{1} << 40);
+    EXPECT_EQ(h.totalMicros(),
+              0u + 1 + 2 + 1023 + (std::uint64_t{1} << 40));
+}
+
+TEST(ServeCounters, StatusClassification)
+{
+    RequestCounters c;
+    c.countStatus(200);
+    c.countStatus(400);
+    c.countStatus(404);
+    c.countStatus(408);
+    c.countStatus(500);
+    c.countStatus(503);
+    EXPECT_EQ(c.ok_2xx.load(), 1u);
+    EXPECT_EQ(c.client_err_4xx.load(), 3u);
+    EXPECT_EQ(c.server_err_5xx.load(), 2u);
+    EXPECT_EQ(c.deadline_408.load(), 1u);
+    EXPECT_EQ(c.rejected_503.load(), 1u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace maestro

@@ -7,32 +7,41 @@
  *   simulate  reference cycle-level simulation of one layer
  *   dse       hardware design space exploration for one layer
  *   tune      dataflow auto-tuning for one layer
+ *   serve     long-lived HTTP analysis server (see src/serve)
  *
  * Inputs come from the zoo (--model vgg16 [--layer CONV2]) or a DSL
- * file (--file my.m). Dataflows come from the catalog (--dataflow
- * KC-P) or the file's Dataflow blocks. Hardware defaults to the
- * paper's 256-PE study config, overridable with --pes/--noc-bw/... or
- * a file's Accelerator block.
+ * file (--file my.m; "-" reads the DSL from stdin, so scripts can
+ * pipe the same payloads they would POST to the server). Dataflows
+ * come from the catalog (--dataflow KC-P) or the file's Dataflow
+ * blocks. Hardware defaults to the paper's 256-PE study config,
+ * overridable with --pes/--noc-bw/... or a file's Accelerator block.
  *
  * Examples:
  *   maestro analyze --model vgg16 --layer CONV11 --dataflow KC-P
  *   maestro analyze --model mobilenetv2 --dataflow YR-P
+ *   maestro analyze --file - --format json < payload.m
  *   maestro simulate --model alexnet --layer CONV2 --dataflow YR-P
  *   maestro dse --model vgg16 --layer CONV2 --dataflow KC-P --area 16
  *   maestro tune --model vgg16 --layer CONV11 --objective energy
- *   maestro analyze --file examples/sample.m --dataflow row-stationary
+ *   maestro serve --port 8080 --threads 4 --queue 64
  *
  * Shared options: --threads N runs analyzer evaluations on N worker
  * threads (results are bit-identical to --threads 1); --stats on
  * prints pipeline cache hit/miss counters and evaluation throughput
- * after the command's normal output.
+ * after the command's normal output. `analyze --format json` emits
+ * the server's /analyze JSON (byte-identical for equal inputs).
+ *
+ * Exit codes: 0 success, 1 runtime error, 2 usage error (missing or
+ * unknown subcommand; usage goes to stderr).
  */
 
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 
 #include "src/common/error.hh"
 #include "src/common/table.hh"
@@ -42,12 +51,30 @@
 #include "src/dse/explorer.hh"
 #include "src/frontend/parser.hh"
 #include "src/model/zoo.hh"
+#include "src/serve/server.hh"
 #include "src/sim/reference_sim.hh"
 
 namespace
 {
 
 using namespace maestro;
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+
+const char *const kUsage =
+    "usage: maestro <analyze|simulate|dse|tune|serve> "
+    "[--key value ...]\n"
+    "  analyze   --model NAME | --file PATH ('-' = stdin) "
+    "[--layer L] [--dataflow D] [--format json]\n"
+    "  simulate  --model NAME --layer L [--dataflow D]\n"
+    "  dse       --model NAME --layer L --dataflow D "
+    "[--area MM2] [--power MW] [--dse-exact]\n"
+    "  tune      --model NAME --layer L [--objective "
+    "runtime|energy|edp]\n"
+    "  serve     [--port P] [--host ADDR] [--threads N] "
+    "[--queue N] [--deadline-ms N]\n";
 
 /** Parsed command line: subcommand plus --key value options. */
 struct Args
@@ -82,8 +109,6 @@ struct Args
 Args
 parseArgs(int argc, char **argv)
 {
-    fatalIf(argc < 2, "usage: maestro <analyze|simulate|dse|tune> "
-                      "[--key value ...]");
     Args args;
     args.command = argv[1];
     for (int i = 2; i < argc; ++i) {
@@ -110,13 +135,25 @@ struct Inputs
     AcceleratorConfig config = AcceleratorConfig::paperStudy();
 };
 
+/** Reads a DSL file; "-" means stdin (the same bytes a script would
+ *  POST to the server). */
+frontend::ParsedFile
+parseDslArg(const std::string &path)
+{
+    if (path != "-")
+        return frontend::parseFile(path);
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return frontend::parseString(buffer.str());
+}
+
 Inputs
 resolveInputs(const Args &args)
 {
     Inputs in;
     std::optional<frontend::ParsedFile> file;
     if (args.has("file"))
-        file = frontend::parseFile(args.get("file"));
+        file = parseDslArg(args.get("file"));
 
     if (args.has("model")) {
         in.network = zoo::byName(args.get("model"));
@@ -220,9 +257,33 @@ printPipelineStats(const PipelineStats &stats, double seconds)
     table.print(std::cout);
 }
 
+/**
+ * analyze --format json: the server's /analyze JSON from the same
+ * code path (serve::analyzeJson), so CLI and server bodies are
+ * byte-identical for equal inputs.
+ */
+int
+cmdAnalyzeJson(const Inputs &in)
+{
+    serve::RequestInputs req;
+    req.network = in.network;
+    req.dataflows = in.dataflows;
+    req.config = in.config;
+    req.layer_name = in.layer_name;
+    std::cout << serve::analyzeJson(
+                     req, std::make_shared<AnalysisPipeline>(),
+                     EnergyModel())
+              << "\n";
+    return kExitOk;
+}
+
 int
 cmdAnalyze(const Args &args, const Inputs &in)
 {
+    if (args.get("format", "table") == "json")
+        return cmdAnalyzeJson(in);
+    fatalIf(args.get("format", "table") != "table",
+            "--format must be table or json");
     const RunOptions opts = runOptions(args);
     const Analyzer analyzer(in.config);
     const auto t0 = std::chrono::steady_clock::now();
@@ -395,14 +456,70 @@ cmdTune(const Args &args, const Inputs &in)
     return 0;
 }
 
+/** The running server, for the signal handlers' graceful drain. */
+serve::AnalysisServer *g_server = nullptr;
+
+extern "C" void
+handleStopSignal(int)
+{
+    if (g_server)
+        g_server->requestStop(); // async-signal-safe
+}
+
+int
+cmdServe(const Args &args)
+{
+    serve::ServeOptions opts;
+    opts.host = args.get("host", opts.host);
+    opts.port = static_cast<std::uint16_t>(
+        args.getInt("port", opts.port));
+    opts.worker_threads = static_cast<std::size_t>(
+        args.getInt("threads", static_cast<Count>(opts.worker_threads)));
+    opts.queue_capacity = static_cast<std::size_t>(args.getInt(
+        "queue", static_cast<Count>(opts.queue_capacity)));
+    opts.deadline_ms = static_cast<int>(args.getInt(
+        "deadline-ms", static_cast<Count>(opts.deadline_ms)));
+    opts.max_connections = static_cast<std::size_t>(args.getInt(
+        "max-connections", static_cast<Count>(opts.max_connections)));
+
+    serve::AnalysisServer server(serve::ServeContext{}, opts);
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+    std::cerr << "maestro serve: listening on http://" << opts.host
+              << ":" << server.port() << " (" << opts.worker_threads
+              << " workers, queue " << opts.queue_capacity
+              << ", deadline " << opts.deadline_ms << " ms)\n";
+    server.run();
+    g_server = nullptr;
+    std::cerr << "maestro serve: drained, exiting\n";
+    return kExitOk;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace maestro;
+    if (argc < 2) {
+        std::cerr << kUsage;
+        return kExitUsage;
+    }
+    const std::string command = argv[1];
+    const bool known = command == "analyze" || command == "simulate" ||
+                       command == "dse" || command == "tune" ||
+                       command == "serve";
+    if (!known) {
+        std::cerr << "error: unknown command '" << command << "'\n"
+                  << kUsage;
+        return kExitUsage;
+    }
     try {
         const Args args = parseArgs(argc, argv);
+        if (args.command == "serve")
+            return cmdServe(args);
         const Inputs in = resolveInputs(args);
         if (args.command == "analyze")
             return cmdAnalyze(args, in);
@@ -410,14 +527,12 @@ main(int argc, char **argv)
             return cmdSimulate(in);
         if (args.command == "dse")
             return cmdDse(args, in);
-        if (args.command == "tune")
-            return cmdTune(args, in);
-        throw Error(msg("unknown command '", args.command, "'"));
+        return cmdTune(args, in);
     } catch (const Error &e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return kExitError;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return kExitError;
     }
 }
