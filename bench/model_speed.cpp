@@ -8,8 +8,10 @@
  * reproduction's speedup figure.
  *
  * After the google-benchmark tables it runs a pipeline-cache study —
- * no-cache vs cold vs warm layer throughput on ResNet-50 and a 1/2/4
- * thread DSE sweep — and emits the numbers as one machine-readable
+ * no-cache vs cold vs warm layer throughput on ResNet-50 (plus the
+ * no-cache workload re-run with the obs tracer live, to record the
+ * instrumentation overhead) and a 1/2/4 thread DSE sweep — and emits
+ * the numbers as one machine-readable
  * JSON line prefixed "MAESTRO_BENCH_JSON ". Thread-scaling figures are
  * only meaningful when hw_threads in that line exceeds 1.
  */
@@ -22,6 +24,7 @@
 
 #include "src/common/json.hh"
 #include "src/core/analyzer.hh"
+#include "src/obs/obs.hh"
 #include "src/dataflows/catalog.hh"
 #include "src/dse/explorer.hh"
 #include "src/model/zoo.hh"
@@ -165,6 +168,24 @@ pipelineStudy()
         }
     });
 
+    // The no-cache workload again with the tracer live: every stage
+    // miss records a span plus a histogram sample, so the ratio to
+    // nocache_s bounds the per-evaluation instrumentation cost. Runs
+    // after the disabled-path measurements so those stay comparable
+    // across builds; tracing is torn down before the DSE timings.
+    obs::Tracer::instance().start();
+    const double traced_s = bestSeconds(reps, [&] {
+        for (std::size_t p = 0; p < passes; ++p) {
+            for (const Layer &layer : net.layers()) {
+                const Analyzer analyzer(cfg);
+                benchmark::DoNotOptimize(
+                    analyzer.analyzeLayer(layer, df));
+            }
+        }
+    });
+    obs::Tracer::instance().stop();
+    obs::disableMode(obs::kTiming | obs::kSpans);
+
     // Evaluation-dominated DSE space: unique (PEs, bandwidth) pair per
     // inner point, single L1/L2 choice.
     dse::DesignSpace space;
@@ -205,6 +226,9 @@ pipelineStudy()
     w.key("nocache_layers_per_sec").fixed(layers / nocache_s, 1);
     w.key("cold_layers_per_sec").fixed(layers / cold_s, 1);
     w.key("warm_layers_per_sec").fixed(layers / warm_s, 1);
+    w.key("traced_layers_per_sec").fixed(layers / traced_s, 1);
+    w.key("tracing_overhead_pct")
+        .fixed((traced_s - nocache_s) / nocache_s * 100.0, 2);
     w.key("dedup_speedup").fixed(nocache_s / cold_s, 2);
     w.key("warm_speedup").fixed(nocache_s / warm_s, 2);
     w.key("dse_seconds_1t").fixed(dse_1t, 4);

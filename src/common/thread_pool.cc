@@ -2,14 +2,77 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
+
+#include "src/obs/metrics.hh"
+#include "src/obs/obs.hh"
 
 namespace maestro
 {
 
 namespace
 {
+
+/** Span site of one submitted task's execution. */
+const obs::Site &
+taskSite()
+{
+    static const obs::Site site{
+        "pool.task", "pool",
+        &obs::Registry::global().histogram(
+            "maestro_pool_task_run_us",
+            "Run time of tasks executed by the thread pool in "
+            "microseconds")};
+    return site;
+}
+
+/** Span site of one parallelFor batch (the calling thread's view). */
+const obs::Site &
+parallelForSite()
+{
+    static const obs::Site site{
+        "pool.parallel_for", "pool",
+        &obs::Registry::global().histogram(
+            "maestro_pool_parallel_for_us",
+            "Wall time of parallelFor batches in microseconds")};
+    return site;
+}
+
+/** Queue-wait histogram (enqueue -> first execution). */
+LatencyHistogram &
+queueWaitHistogram()
+{
+    static LatencyHistogram &h = obs::Registry::global().histogram(
+        "maestro_pool_queue_wait_us",
+        "Time tasks spent queued behind the worker pool in "
+        "microseconds");
+    return h;
+}
+
+/**
+ * Wraps a task so its execution records queue-wait and run-time
+ * observability. Only called when instrumentation is enabled at
+ * submit time (the disabled path costs one relaxed load).
+ */
+std::function<void()>
+instrumentTask(std::function<void()> task)
+{
+    const auto enqueued = std::chrono::steady_clock::now();
+    return [task = std::move(task), enqueued] {
+        const auto started = std::chrono::steady_clock::now();
+        const std::uint64_t wait_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                started - enqueued)
+                .count());
+        if ((obs::mode() & obs::kTiming) != 0)
+            queueWaitHistogram().record(wait_us);
+        obs::ScopedSpan span(taskSite());
+        span.arg("queue_wait_us", wait_us);
+        task();
+    };
+}
 
 /** Shared state of one parallelFor batch. */
 struct ForState
@@ -88,6 +151,8 @@ ThreadPool::submit(std::function<void()> task)
         task();
         return;
     }
+    if (obs::mode() != 0)
+        task = instrumentTask(std::move(task));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         tasks_.push_back(std::move(task));
@@ -106,6 +171,9 @@ ThreadPool::parallelFor(std::size_t count,
             body(i);
         return;
     }
+
+    obs::ScopedSpan span(parallelForSite());
+    span.arg("count", count);
 
     const auto state = std::make_shared<ForState>();
     state->count = count;

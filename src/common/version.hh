@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Compile-time build identity: a semantic version string for the
+ * library, CLI (`maestro --version`), daemon (GET /healthz,
+ * GET /metrics `maestro_build_info`), and trace files.
+ *
+ * Deliberately a plain constant — no build timestamps or git hashes,
+ * so two builds of the same source are byte-identical and response
+ * bodies stay deterministic.
+ */
+
+#ifndef MAESTRO_COMMON_VERSION_HH
+#define MAESTRO_COMMON_VERSION_HH
+
+namespace maestro
+{
+
+/** Library/CLI/daemon version (bumped per release-worthy change). */
+inline constexpr const char *kVersion = "0.5.0";
+
+} // namespace maestro
+
+#endif // MAESTRO_COMMON_VERSION_HH

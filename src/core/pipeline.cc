@@ -1,16 +1,59 @@
 #include "src/core/pipeline.hh"
 
+#include <array>
 #include <cstdio>
 
 #include "src/core/cluster_analysis.hh"
 #include "src/core/reuse_analysis.hh"
 #include "src/core/tensor_analysis.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/obs.hh"
 
 namespace maestro
 {
 
 namespace
 {
+
+/** Stage indices of the instrumentation sites below. */
+enum StageIndex : std::size_t
+{
+    kStageTensor = 0,
+    kStageBinding = 1,
+    kStageFlat = 2,
+    kStageLayer = 3,
+};
+
+/**
+ * Instrumentation site of one pipeline stage's miss path: a span for
+ * the tracer plus a per-stage miss-latency histogram in the global
+ * registry. Sites are created once (magic static); with tracing and
+ * timing disabled each span costs one relaxed atomic load.
+ */
+const obs::Site &
+stageSite(StageIndex stage)
+{
+    static const std::array<obs::Site, 4> sites = [] {
+        constexpr const char *kStageNames[4] = {"tensor", "binding",
+                                                "flat", "layer"};
+        constexpr const char *kSpanNames[4] = {
+            "pipeline.tensor", "pipeline.binding", "pipeline.flat",
+            "pipeline.layer"};
+        std::array<obs::Site, 4> out{};
+        for (std::size_t i = 0; i < 4; ++i) {
+            out[i] = obs::Site{
+                kSpanNames[i], "pipeline",
+                &obs::Registry::global().histogram(
+                    "maestro_pipeline_stage_miss_us",
+                    "Latency of pipeline stage-cache misses in "
+                    "microseconds (the layer stage spans the full "
+                    "miss chain)",
+                    {{"stage", kStageNames[i]}})};
+        }
+        return out;
+    }();
+    return sites[stage];
+}
 
 /** Appends a double to a fingerprint exactly (hexfloat round-trips). */
 void
@@ -193,12 +236,16 @@ AnalysisPipeline::analyzeLayer(const Layer &layer,
 
     const std::shared_ptr<const LayerAnalysis> cached =
         layer_cache_.getOrCompute(layer_key, [&] {
+            // Full-chain miss span/latency; inner stage spans nest
+            // inside it in the trace.
+            obs::ScopedSpan layer_span(stageSite(kStageLayer));
             const bool depthwise =
                 layer.type() == OpType::DepthwiseConv;
 
             // Stage 1: tensor coupling, keyed by shape only.
             const std::shared_ptr<const TensorInfo> tensors =
                 tensor_cache_.getOrCompute(shape_key, [&] {
+                    obs::ScopedSpan span(stageSite(kStageTensor));
                     return std::make_shared<const TensorInfo>(
                         analyzeTensors(layer));
                 });
@@ -212,6 +259,7 @@ AnalysisPipeline::analyzeLayer(const Layer &layer,
             bind_key += std::to_string(config.num_pes);
             const std::shared_ptr<const BindingArtifact> binding =
                 binding_cache_.getOrCompute(bind_key, [&] {
+                    obs::ScopedSpan span(stageSite(kStageBinding));
                     auto artifact = std::make_shared<BindingArtifact>();
                     artifact->bound =
                         bindDataflow(dataflow, layer, config.num_pes);
@@ -231,6 +279,7 @@ AnalysisPipeline::analyzeLayer(const Layer &layer,
             flat_key += config.temporal_reduction ? '1' : '0';
             const std::shared_ptr<const FlatAnalysis> flat =
                 flat_cache_.getOrCompute(flat_key, [&] {
+                    obs::ScopedSpan span(stageSite(kStageFlat));
                     return std::make_shared<const FlatAnalysis>(
                         analyzeFlat(binding->bound, binding->reuse,
                                     *tensors, depthwise, config));

@@ -54,6 +54,22 @@ struct PipelineStats
 
     /** analyzeLayer calls served by the pipeline. */
     std::uint64_t evaluations = 0;
+
+    /**
+     * Element-wise sum of the four stage counters — the one
+     * definition of "aggregate" shared by GET /stats, GET /metrics,
+     * and the CLI's --profile table.
+     */
+    CacheStats
+    aggregate() const
+    {
+        CacheStats sum;
+        sum += tensor;
+        sum += binding;
+        sum += flat;
+        sum += layer;
+        return sum;
+    }
 };
 
 /**

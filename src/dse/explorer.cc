@@ -15,6 +15,8 @@
 #include "src/core/pipeline.hh"
 #include "src/core/reuse_analysis.hh"
 #include "src/core/tensor_analysis.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/obs.hh"
 
 namespace maestro
 {
@@ -23,6 +25,64 @@ namespace dse
 
 namespace
 {
+
+/** Span site of one whole explore() call. */
+const obs::Site &
+exploreSite()
+{
+    static const obs::Site site{
+        "dse.explore", "dse",
+        &obs::Registry::global().histogram(
+            "maestro_dse_explore_us",
+            "Wall time of whole DSE sweeps in microseconds")};
+    return site;
+}
+
+/** Span site of one PE-block artifact shard (bind/reuse/flat). */
+const obs::Site &
+shardSite()
+{
+    static const obs::Site site{
+        "dse.shard", "dse",
+        &obs::Registry::global().histogram(
+            "maestro_dse_shard_us",
+            "Wall time of per-PE-block artifact shards in "
+            "microseconds")};
+    return site;
+}
+
+/** Span site of one (PEs, BW) pair-outcome shard. */
+const obs::Site &
+pairsSite()
+{
+    static const obs::Site site{
+        "dse.pairs", "dse",
+        &obs::Registry::global().histogram(
+            "maestro_dse_pairs_us",
+            "Wall time of per-pair outcome shards in microseconds")};
+    return site;
+}
+
+/** Bumps the per-sweep registry counters (cheap: once per explore). */
+void
+countSweep(const DseResult &result)
+{
+    if ((obs::mode() & obs::kTiming) == 0)
+        return;
+    obs::Registry &reg = obs::Registry::global();
+    static obs::Counter &sweeps = reg.counter(
+        "maestro_dse_sweeps_total", "DSE sweeps completed");
+    static obs::Counter &explored = reg.counter(
+        "maestro_dse_explored_points_total",
+        "Design points covered by completed sweeps (including "
+        "budget-pruned subtrees)");
+    static obs::Counter &valid = reg.counter(
+        "maestro_dse_valid_points_total",
+        "Design points passing all budget and buffer checks");
+    sweeps.add(1);
+    explored.add(static_cast<std::uint64_t>(result.explored_points));
+    valid.add(static_cast<std::uint64_t>(result.valid_points));
+}
 
 /** KiB of a byte count (the area/power models are per-KiB). */
 double
@@ -362,6 +422,7 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
             "ascending");
 
     const auto t0 = std::chrono::steady_clock::now();
+    obs::ScopedSpan explore_span(exploreSite());
     DseResult result;
 
     const AreaPowerCoefficients &co = area_power_.coefficients();
@@ -708,6 +769,9 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
             ThreadPool::runChunked(
                 options.num_threads, blocks.size(),
                 [&](std::size_t begin, std::size_t end) {
+                    obs::ScopedSpan span(shardSite());
+                    span.arg("begin", begin);
+                    span.arg("end", end);
                     for (std::size_t b = begin; b < end; ++b) {
                         PeArtifacts &art = artifacts[b];
                         try {
@@ -746,6 +810,9 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
         ThreadPool::runChunked(
             options.num_threads, pair_refs.size(),
             [&](std::size_t begin, std::size_t end) {
+                obs::ScopedSpan span(pairsSite());
+                span.arg("begin", begin);
+                span.arg("end", end);
                 for (std::size_t pi = begin; pi < end; ++pi) {
                     const PairRef &ref = pair_refs[pi];
                     const PeBlock &blk = blocks[ref.block];
@@ -940,6 +1007,11 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
     result.rate = result.seconds > 0.0
                       ? result.explored_points / result.seconds
                       : 0.0;
+    explore_span.arg(
+        "explored", static_cast<std::uint64_t>(result.explored_points));
+    explore_span.arg(
+        "valid", static_cast<std::uint64_t>(result.valid_points));
+    countSweep(result);
     return result;
 }
 

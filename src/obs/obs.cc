@@ -1,0 +1,263 @@
+#include "src/obs/obs.hh"
+
+#include <algorithm>
+
+#include "src/common/json.hh"
+
+namespace maestro
+{
+namespace obs
+{
+
+std::atomic<std::uint32_t> &
+modeWord()
+{
+    static std::atomic<std::uint32_t> word{0};
+    return word;
+}
+
+void
+enableMode(std::uint32_t bits)
+{
+    modeWord().fetch_or(bits, std::memory_order_relaxed);
+}
+
+void
+disableMode(std::uint32_t bits)
+{
+    modeWord().fetch_and(~bits, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------ //
+//                              Tracer                                //
+// ------------------------------------------------------------------ //
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::start(std::size_t ring_capacity)
+{
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        rings_.clear();
+        ring_capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+    }
+    start_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+    // Bump the generation so every thread re-registers its ring; the
+    // release pairs with the acquire in threadRing().
+    generation_.fetch_add(1, std::memory_order_release);
+    active_.store(true, std::memory_order_release);
+    enableMode(kSpans | kTiming);
+}
+
+void
+Tracer::stop()
+{
+    disableMode(kSpans);
+    active_.store(false, std::memory_order_release);
+}
+
+bool
+Tracer::active() const
+{
+    return active_.load(std::memory_order_acquire);
+}
+
+std::uint64_t
+Tracer::nowMicros() const
+{
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    const std::int64_t start =
+        start_ns_.load(std::memory_order_relaxed);
+    return now > start
+               ? static_cast<std::uint64_t>((now - start) / 1000)
+               : 0;
+}
+
+Tracer::Ring *
+Tracer::threadRing()
+{
+    // Each thread caches its ring per tracer generation; the
+    // shared_ptr keeps the ring alive for export even after the
+    // thread exits or a new generation clears the registry.
+    thread_local std::shared_ptr<Ring> tl_ring;
+    thread_local std::uint64_t tl_generation =
+        ~static_cast<std::uint64_t>(0);
+
+    const std::uint64_t generation =
+        generation_.load(std::memory_order_acquire);
+    if (tl_generation != generation) {
+        auto ring = std::make_shared<Ring>();
+        {
+            std::lock_guard<std::mutex> lock(registry_mutex_);
+            ring->slots.resize(ring_capacity_);
+            ring->tid = static_cast<std::uint32_t>(rings_.size());
+            rings_.push_back(ring);
+        }
+        tl_ring = std::move(ring);
+        tl_generation = generation;
+    }
+    return tl_ring.get();
+}
+
+void
+Tracer::record(const TraceEvent &event)
+{
+    if (!active())
+        return;
+    Ring *ring = threadRing();
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    TraceEvent stamped = event;
+    stamped.tid = ring->tid;
+    stamped.seq = ring->seq++;
+    ring->slots[ring->head] = stamped;
+    ring->head = (ring->head + 1) % ring->slots.size();
+    if (ring->size < ring->slots.size())
+        ++ring->size;
+}
+
+void
+Tracer::writeJson(JsonWriter &w) const
+{
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        rings = rings_;
+    }
+
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped = 0;
+    for (const auto &ring : rings) {
+        std::lock_guard<std::mutex> lock(ring->mutex);
+        // Oldest-first unwrap of the circular buffer.
+        const std::size_t capacity = ring->slots.size();
+        const std::size_t oldest =
+            ring->size == capacity ? ring->head : 0;
+        for (std::size_t i = 0; i < ring->size; ++i)
+            events.push_back(
+                ring->slots[(oldest + i) % capacity]);
+        dropped += ring->seq - ring->size;
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.ts_us != b.ts_us)
+                      return a.ts_us < b.ts_us;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.seq < b.seq;
+              });
+
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    for (const TraceEvent &e : events) {
+        w.beginObject();
+        w.key("name").value(e.name ? e.name : "?");
+        w.key("cat").value(e.category ? e.category : "maestro");
+        w.key("ph").value("X");
+        w.key("ts").value(e.ts_us);
+        w.key("dur").value(e.dur_us);
+        w.key("pid").value(std::uint64_t{0});
+        w.key("tid").value(static_cast<std::uint64_t>(e.tid));
+        if (e.arg_name[0]) {
+            w.key("args").beginObject();
+            for (int i = 0; i < 2; ++i)
+                if (e.arg_name[i])
+                    w.key(e.arg_name[i]).value(e.arg_value[i]);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.key("maestro").beginObject();
+    w.key("dropped_events").value(dropped);
+    w.key("threads").value(static_cast<std::uint64_t>(rings.size()));
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+Tracer::json() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        rings = rings_;
+    }
+    std::size_t count = 0;
+    for (const auto &ring : rings) {
+        std::lock_guard<std::mutex> lock(ring->mutex);
+        count += ring->size;
+    }
+    return count;
+}
+
+std::uint64_t
+Tracer::droppedCount() const
+{
+    std::vector<std::shared_ptr<Ring>> rings;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        rings = rings_;
+    }
+    std::uint64_t dropped = 0;
+    for (const auto &ring : rings) {
+        std::lock_guard<std::mutex> lock(ring->mutex);
+        dropped += ring->seq - ring->size;
+    }
+    return dropped;
+}
+
+// ------------------------------------------------------------------ //
+//                            ScopedSpan                              //
+// ------------------------------------------------------------------ //
+
+void
+ScopedSpan::finish()
+{
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::uint64_t dur_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 -
+                                                              t0_)
+            .count());
+    if ((mode_ & kTiming) != 0 && site_.histogram != nullptr)
+        site_.histogram->record(dur_us);
+    if ((mode_ & kSpans) != 0) {
+        Tracer &tracer = Tracer::instance();
+        if (tracer.active()) {
+            TraceEvent event;
+            event.name = site_.name;
+            event.category = site_.category;
+            const std::uint64_t now_us = tracer.nowMicros();
+            event.ts_us = now_us > dur_us ? now_us - dur_us : 0;
+            event.dur_us = dur_us;
+            for (int i = 0; i < 2; ++i) {
+                event.arg_name[i] = arg_name_[i];
+                event.arg_value[i] = arg_value_[i];
+            }
+            tracer.record(event);
+        }
+    }
+}
+
+} // namespace obs
+} // namespace maestro

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Low-overhead instrumentation core: a process-wide mode word, scoped
+ * spans, and an opt-in tracer writing Chrome trace-event JSON.
+ *
+ * Design goals, in order:
+ *
+ *  1. Disabled cost is ONE relaxed atomic load per instrumented site.
+ *     A ScopedSpan constructor loads the mode word; when no bit is
+ *     set it reads no clock, takes no lock, and its destructor is a
+ *     branch on a bool. Hot loops (per-grid-point DSE work) are NOT
+ *     instrumented — sites sit at stage/shard/request granularity.
+ *
+ *  2. Determinism of program *outputs*. Spans and timing never feed
+ *     back into analysis results, response bodies, or exit codes;
+ *     wall-clock data leaves the process only through the trace file
+ *     and the metrics surfaces.
+ *
+ *  3. Thread safety under TSan. Span records go to per-thread ring
+ *     buffers guarded by a per-buffer mutex (uncontended in steady
+ *     state — only the exporting thread ever takes someone else's);
+ *     buffer registration and export take the tracer registry mutex.
+ *
+ * Two independent mode bits:
+ *  - kTiming: sites record durations into registry histograms
+ *    (the CLI's --profile, the server's /metrics latency families);
+ *  - kSpans: sites additionally append events to the tracer's ring
+ *    buffers for Chrome trace export (--trace).
+ *
+ * Span names and categories must be string literals (or otherwise
+ * outlive the tracer): events store the pointers, not copies.
+ */
+
+#ifndef MAESTRO_OBS_OBS_HH
+#define MAESTRO_OBS_OBS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.hh"
+
+namespace maestro
+{
+
+class JsonWriter;
+
+namespace obs
+{
+
+/** Mode bits of the process-wide instrumentation word. */
+enum Mode : std::uint32_t
+{
+    kTiming = 1u << 0, ///< record durations into site histograms
+    kSpans = 1u << 1,  ///< record events into the tracer ring buffers
+};
+
+/** The process-wide mode word (see enabled()/setMode()). */
+std::atomic<std::uint32_t> &modeWord();
+
+/** Current mode bits (one relaxed load — the per-site cost). */
+inline std::uint32_t
+mode()
+{
+    return modeWord().load(std::memory_order_relaxed);
+}
+
+/** True when any instrumentation bit is set. */
+inline bool
+enabled()
+{
+    return mode() != 0;
+}
+
+/** Sets mode bits (OR into the word). */
+void enableMode(std::uint32_t bits);
+
+/** Clears mode bits. */
+void disableMode(std::uint32_t bits);
+
+/**
+ * One instrumented code location: a span name/category for the
+ * tracer plus an optional latency histogram for the metrics
+ * registry. Sites are created once (function-local static) and
+ * referenced from the hot path; all members are immutable.
+ */
+struct Site
+{
+    const char *name;              ///< span name, e.g. "pipeline.tensor"
+    const char *category;          ///< trace category, e.g. "pipeline"
+    LatencyHistogram *histogram;   ///< nullable duration sink (µs)
+};
+
+/** One recorded trace event (Chrome "complete" event, ph = "X"). */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    const char *category = nullptr;
+    std::uint64_t ts_us = 0;  ///< start, µs since trace start
+    std::uint64_t dur_us = 0; ///< duration, µs
+    std::uint32_t tid = 0;    ///< tracer-assigned thread id
+    std::uint64_t seq = 0;    ///< per-thread record sequence
+    /** Up to two numeric args (nullptr name = unused slot). */
+    const char *arg_name[2] = {nullptr, nullptr};
+    std::uint64_t arg_value[2] = {0, 0};
+};
+
+/**
+ * The process-wide tracer: per-thread ring buffers of TraceEvents.
+ *
+ * start() begins a new trace generation (previous events are
+ * discarded), stop() freezes it; writeJson() renders whatever the
+ * current generation captured as a Chrome trace-event document
+ * ({"traceEvents": [...]}), Perfetto/chrome://tracing loadable.
+ */
+class Tracer
+{
+  public:
+    /** Default per-thread ring capacity (events). */
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    static Tracer &instance();
+
+    /**
+     * Starts (or restarts) tracing with the given per-thread ring
+     * capacity and sets kSpans | kTiming. Events from a previous
+     * generation are dropped.
+     */
+    void start(std::size_t ring_capacity = kDefaultCapacity);
+
+    /** Clears kSpans (captured events stay exportable). */
+    void stop();
+
+    /** True between start() and stop(). */
+    bool active() const;
+
+    /**
+     * Appends one event to the calling thread's ring buffer
+     * (registering the thread on first use). No-op when inactive.
+     */
+    void record(const TraceEvent &event);
+
+    /**
+     * Renders the captured trace: {"traceEvents": [...],
+     * "maestro": {"dropped_events": N, "threads": M}}. Events are
+     * sorted by (ts, tid, seq) so equal-input traces differ only in
+     * their clock values.
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /** writeJson() into a string (the --trace file body). */
+    std::string json() const;
+
+    /** Events currently captured (across all thread buffers). */
+    std::size_t eventCount() const;
+
+    /** Events overwritten by ring wrap-around this generation. */
+    std::uint64_t droppedCount() const;
+
+    /** µs elapsed since the current generation's start(). */
+    std::uint64_t nowMicros() const;
+
+  private:
+    Tracer() = default;
+
+    /** One thread's ring (mutex guards slots/head/seq). */
+    struct Ring
+    {
+        mutable std::mutex mutex;
+        std::vector<TraceEvent> slots;
+        std::size_t head = 0;    ///< next write position
+        std::size_t size = 0;    ///< valid slots
+        std::uint64_t seq = 0;   ///< records ever written
+        std::uint32_t tid = 0;   ///< tracer-assigned thread id
+    };
+
+    /** The calling thread's ring for the current generation. */
+    Ring *threadRing();
+
+    mutable std::mutex registry_mutex_;
+    std::vector<std::shared_ptr<Ring>> rings_;
+    std::size_t ring_capacity_ = kDefaultCapacity;
+    std::atomic<std::uint64_t> generation_{0};
+    std::atomic<bool> active_{false};
+    /** start() instant, ns since the steady-clock epoch (atomic so
+     *  recording threads can compute relative timestamps without a
+     *  lock). */
+    std::atomic<std::int64_t> start_ns_{0};
+};
+
+/**
+ * RAII span: times its scope and, per the mode word, records the
+ * duration into the site histogram (kTiming) and/or a trace event
+ * (kSpans). The mode word is sampled ONCE at construction.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const Site &site)
+        : site_(site), mode_(mode())
+    {
+        if (mode_ != 0)
+            t0_ = std::chrono::steady_clock::now();
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Attaches a numeric arg to the trace event (2 slots). */
+    void
+    arg(const char *name, std::uint64_t value)
+    {
+        if (mode_ == 0)
+            return;
+        for (auto i = 0; i < 2; ++i) {
+            if (arg_name_[i] == nullptr || arg_name_[i] == name) {
+                arg_name_[i] = name;
+                arg_value_[i] = value;
+                return;
+            }
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (mode_ != 0)
+            finish();
+    }
+
+  private:
+    void finish();
+
+    const Site &site_;
+    std::uint32_t mode_;
+    std::chrono::steady_clock::time_point t0_{};
+    const char *arg_name_[2] = {nullptr, nullptr};
+    std::uint64_t arg_value_[2] = {0, 0};
+};
+
+} // namespace obs
+} // namespace maestro
+
+#endif // MAESTRO_OBS_OBS_HH

@@ -11,16 +11,19 @@
  * memory stays flat.
  *
  * LatencyHistogram and RequestCounters are the raw material of the
- * GET /stats surface: lock-free atomic counters safe to bump from
- * connection threads and pool workers concurrently.
+ * GET /stats and GET /metrics surfaces: lock-free atomic counters
+ * safe to bump from connection threads and pool workers concurrently.
+ * The histogram itself lives in src/common/histogram.hh, shared with
+ * the observability layer (src/obs).
  */
 
 #ifndef MAESTRO_SERVE_ADMISSION_HH
 #define MAESTRO_SERVE_ADMISSION_HH
 
-#include <array>
 #include <atomic>
 #include <cstdint>
+
+#include "src/common/histogram.hh"
 
 namespace maestro
 {
@@ -105,62 +108,10 @@ class AdmissionController
 };
 
 /**
- * Power-of-two microsecond latency histogram.
- *
- * Bucket i counts requests with latency in [2^i, 2^(i+1)) µs
- * (bucket 0 additionally holds sub-µs requests); the last bucket is
- * a catch-all. 28 buckets span ~4.5 minutes.
+ * The power-of-two microsecond latency histogram (lifted to
+ * src/common/histogram.hh; re-exported here for the serve API).
  */
-class LatencyHistogram
-{
-  public:
-    static constexpr std::size_t kBuckets = 28;
-
-    /** Records one request latency. */
-    void
-    record(std::uint64_t micros)
-    {
-        std::size_t bucket = 0;
-        while ((std::uint64_t{1} << (bucket + 1)) <= micros &&
-               bucket + 1 < kBuckets)
-            ++bucket;
-        buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-        count_.fetch_add(1, std::memory_order_relaxed);
-        total_us_.fetch_add(micros, std::memory_order_relaxed);
-        std::uint64_t max = max_us_.load(std::memory_order_relaxed);
-        while (micros > max && !max_us_.compare_exchange_weak(
-                                   max, micros,
-                                   std::memory_order_relaxed)) {
-        }
-    }
-
-    std::uint64_t
-    bucket(std::size_t i) const
-    {
-        return buckets_[i].load(std::memory_order_relaxed);
-    }
-
-    std::uint64_t count() const
-    {
-        return count_.load(std::memory_order_relaxed);
-    }
-
-    std::uint64_t totalMicros() const
-    {
-        return total_us_.load(std::memory_order_relaxed);
-    }
-
-    std::uint64_t maxMicros() const
-    {
-        return max_us_.load(std::memory_order_relaxed);
-    }
-
-  private:
-    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-    std::atomic<std::uint64_t> count_{0};
-    std::atomic<std::uint64_t> total_us_{0};
-    std::atomic<std::uint64_t> max_us_{0};
-};
+using LatencyHistogram = ::maestro::LatencyHistogram;
 
 /**
  * Per-endpoint and per-outcome request counters.
@@ -173,6 +124,7 @@ struct RequestCounters
     std::atomic<std::uint64_t> tune{0};
     std::atomic<std::uint64_t> healthz{0};
     std::atomic<std::uint64_t> stats{0};
+    std::atomic<std::uint64_t> metrics{0};
 
     std::atomic<std::uint64_t> ok_2xx{0};
     std::atomic<std::uint64_t> client_err_4xx{0};

@@ -1,13 +1,16 @@
 #include "src/serve/handlers.hh"
 
 #include <charconv>
+#include <utility>
 
 #include "src/common/error.hh"
 #include "src/common/json.hh"
+#include "src/common/version.hh"
 #include "src/dataflows/catalog.hh"
 #include "src/dataflows/tuner.hh"
 #include "src/dse/explorer.hh"
 #include "src/frontend/parser.hh"
+#include "src/obs/metrics.hh"
 
 namespace maestro
 {
@@ -289,6 +292,7 @@ healthzJson()
     JsonWriter w;
     w.beginObject();
     w.key("status").value("ok");
+    w.key("version").value(kVersion);
     w.endObject();
     return w.str();
 }
@@ -314,6 +318,7 @@ statsJson(const PipelineStats &pipeline,
     w.key("tune").value(load(counters.tune));
     w.key("healthz").value(load(counters.healthz));
     w.key("stats").value(load(counters.stats));
+    w.key("metrics").value(load(counters.metrics));
     w.endObject();
 
     w.key("responses").beginObject();
@@ -341,6 +346,17 @@ statsJson(const PipelineStats &pipeline,
     for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i)
         w.value(latency.bucket(i));
     w.endArray();
+    // Explicit bucket upper bounds: bucket i counts samples below
+    // le_us[i] microseconds; the catch-all bucket has no finite
+    // bound and renders null.
+    w.key("le_us").beginArray();
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        if (LatencyHistogram::isOverflowBucket(i))
+            w.null();
+        else
+            w.value(LatencyHistogram::upperBoundMicros(i));
+    }
+    w.endArray();
     w.endObject();
 
     w.key("pipeline").beginObject();
@@ -351,16 +367,152 @@ statsJson(const PipelineStats &pipeline,
     writeCacheStats(w, "flat", pipeline.flat);
     writeCacheStats(w, "layer", pipeline.layer);
     w.endObject();
-    CacheStats aggregate;
-    aggregate += pipeline.tensor;
-    aggregate += pipeline.binding;
-    aggregate += pipeline.flat;
-    aggregate += pipeline.layer;
-    writeCacheStats(w, "aggregate", aggregate);
+    writeCacheStats(w, "aggregate", pipeline.aggregate());
     w.endObject();
 
     w.endObject();
     return w.str();
+}
+
+std::string
+metricsText(const PipelineStats &pipeline,
+            const AdmissionController &admission,
+            const RequestCounters &counters,
+            const LatencyHistogram &latency, std::uint64_t uptime_us)
+{
+    const auto load = [](const std::atomic<std::uint64_t> &a) {
+        return a.load(std::memory_order_relaxed);
+    };
+
+    std::string out;
+    out.reserve(16 * 1024);
+
+    obs::appendFamilyHeader(
+        out, "maestro_build_info",
+        "Build identity (constant 1; the version rides on the label)",
+        "gauge");
+    obs::appendSample(out, "maestro_build_info",
+                      obs::labelString({{"version", kVersion}}),
+                      std::uint64_t{1});
+
+    obs::appendFamilyHeader(out, "maestro_uptime_us",
+                            "Server uptime in microseconds", "gauge");
+    obs::appendSample(out, "maestro_uptime_us", "", uptime_us);
+
+    obs::appendFamilyHeader(out, "maestro_requests_total",
+                            "Requests routed, by endpoint", "counter");
+    const std::pair<const char *, std::uint64_t> endpoints[] = {
+        {"analyze", load(counters.analyze)},
+        {"dse", load(counters.dse)},
+        {"healthz", load(counters.healthz)},
+        {"metrics", load(counters.metrics)},
+        {"stats", load(counters.stats)},
+        {"tune", load(counters.tune)},
+    };
+    for (const auto &[name, value] : endpoints)
+        obs::appendSample(out, "maestro_requests_total",
+                          obs::labelString({{"endpoint", name}}),
+                          value);
+
+    obs::appendFamilyHeader(out, "maestro_responses_total",
+                            "Responses sent, by status class",
+                            "counter");
+    const std::pair<const char *, std::uint64_t> classes[] = {
+        {"2xx", load(counters.ok_2xx)},
+        {"4xx", load(counters.client_err_4xx)},
+        {"5xx", load(counters.server_err_5xx)},
+    };
+    for (const auto &[name, value] : classes)
+        obs::appendSample(out, "maestro_responses_total",
+                          obs::labelString({{"class", name}}), value);
+
+    obs::appendFamilyHeader(out, "maestro_deadline_expirations_total",
+                            "Requests answered 408 (deadline expired)",
+                            "counter");
+    obs::appendSample(out, "maestro_deadline_expirations_total", "",
+                      load(counters.deadline_408));
+
+    obs::appendFamilyHeader(
+        out, "maestro_queue_rejected_total",
+        "Requests rejected 503 by admission control", "counter");
+    obs::appendSample(out, "maestro_queue_rejected_total", "",
+                      admission.rejected());
+
+    obs::appendFamilyHeader(out, "maestro_queue_capacity",
+                            "In-flight request bound", "gauge");
+    obs::appendSample(
+        out, "maestro_queue_capacity", "",
+        static_cast<std::uint64_t>(admission.capacity()));
+    obs::appendFamilyHeader(out, "maestro_queue_depth",
+                            "In-flight requests right now", "gauge");
+    obs::appendSample(out, "maestro_queue_depth", "",
+                      static_cast<std::uint64_t>(admission.depth()));
+    obs::appendFamilyHeader(out, "maestro_queue_peak_depth",
+                            "Highest in-flight depth observed",
+                            "gauge");
+    obs::appendSample(
+        out, "maestro_queue_peak_depth", "",
+        static_cast<std::uint64_t>(admission.peakDepth()));
+
+    obs::appendFamilyHeader(
+        out, "maestro_request_latency_us",
+        "Dispatch latency of served requests in microseconds",
+        "histogram");
+    obs::appendHistogram(out, "maestro_request_latency_us", {},
+                         latency.snapshot());
+
+    obs::appendFamilyHeader(out, "maestro_pipeline_evaluations_total",
+                            "analyzeLayer calls served by the shared "
+                            "pipeline",
+                            "counter");
+    obs::appendSample(out, "maestro_pipeline_evaluations_total", "",
+                      pipeline.evaluations);
+
+    const std::pair<const char *, const CacheStats *> stages[] = {
+        {"aggregate", nullptr}, // rendered from pipeline.aggregate()
+        {"binding", &pipeline.binding},
+        {"flat", &pipeline.flat},
+        {"layer", &pipeline.layer},
+        {"tensor", &pipeline.tensor},
+    };
+    const CacheStats aggregate = pipeline.aggregate();
+    const auto stageStats = [&](const CacheStats *cs) -> const
+        CacheStats & { return cs ? *cs : aggregate; };
+    obs::appendFamilyHeader(out, "maestro_pipeline_cache_hits_total",
+                            "Stage-cache hits, by pipeline stage",
+                            "counter");
+    for (const auto &[name, cs] : stages)
+        obs::appendSample(out, "maestro_pipeline_cache_hits_total",
+                          obs::labelString({{"stage", name}}),
+                          stageStats(cs).hits);
+    obs::appendFamilyHeader(out, "maestro_pipeline_cache_misses_total",
+                            "Stage-cache misses, by pipeline stage",
+                            "counter");
+    for (const auto &[name, cs] : stages)
+        obs::appendSample(out, "maestro_pipeline_cache_misses_total",
+                          obs::labelString({{"stage", name}}),
+                          stageStats(cs).misses);
+    obs::appendFamilyHeader(
+        out, "maestro_pipeline_cache_evictions_total",
+        "Stage-cache LRU evictions, by pipeline stage", "counter");
+    for (const auto &[name, cs] : stages)
+        obs::appendSample(out, "maestro_pipeline_cache_evictions_total",
+                          obs::labelString({{"stage", name}}),
+                          stageStats(cs).evictions);
+    obs::appendFamilyHeader(out, "maestro_pipeline_cache_entries",
+                            "Stage-cache resident entries, by "
+                            "pipeline stage",
+                            "gauge");
+    for (const auto &[name, cs] : stages)
+        obs::appendSample(
+            out, "maestro_pipeline_cache_entries",
+            obs::labelString({{"stage", name}}),
+            static_cast<std::uint64_t>(stageStats(cs).entries));
+
+    // Process-wide instruments (pipeline stage-miss latencies, pool
+    // queue-wait, DSE sweep counters, ...) share the document.
+    obs::Registry::global().render(out);
+    return out;
 }
 
 std::string

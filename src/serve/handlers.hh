@@ -106,18 +106,33 @@ tuneJson(const RequestInputs &inputs, const QueryParams &params,
          const std::shared_ptr<AnalysisPipeline> &pipeline,
          const EnergyModel &energy);
 
-/** GET /healthz body. */
+/** GET /healthz body ({"status","version"}). */
 std::string healthzJson();
 
 /**
  * GET /stats body: per-stage and aggregate cache counters, queue
- * state, request counters, and the latency histogram.
+ * state, request counters, and the latency histogram (bucket counts
+ * plus explicit `le_us` upper bounds, null for the catch-all).
  */
 std::string statsJson(const PipelineStats &pipeline,
                       const AdmissionController &admission,
                       const RequestCounters &counters,
                       const LatencyHistogram &latency,
                       std::uint64_t uptime_us);
+
+/**
+ * GET /metrics body: Prometheus text exposition (v0.0.4) of the
+ * per-server state (request/response counters, admission queue,
+ * request-latency histogram, pipeline cache stats, build info)
+ * followed by every instrument in the process-wide obs registry.
+ * Wall-clock data is allowed here — /metrics is an observability
+ * surface, not an analysis result.
+ */
+std::string metricsText(const PipelineStats &pipeline,
+                        const AdmissionController &admission,
+                        const RequestCounters &counters,
+                        const LatencyHistogram &latency,
+                        std::uint64_t uptime_us);
 
 /** {"error": message} body for failure responses. */
 std::string errorJson(std::string_view message);

@@ -12,6 +12,8 @@
 #include <unistd.h>
 
 #include "src/common/error.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/obs.hh"
 
 namespace maestro
 {
@@ -55,6 +57,41 @@ struct JobState
     std::atomic<bool> cancelled{false};
     std::promise<std::pair<int, std::string>> promise;
 };
+
+/** Per-endpoint request-dispatch instrumentation site. */
+const obs::Site &
+requestSite(const std::string &path)
+{
+    const auto make = [](const char *span, const char *endpoint) {
+        return obs::Site{
+            span, "serve",
+            &obs::Registry::global().histogram(
+                "maestro_http_request_us",
+                "Wall time spent dispatching HTTP requests in "
+                "microseconds",
+                {{"endpoint", endpoint}})};
+    };
+    static const obs::Site analyze = make("http.analyze", "analyze");
+    static const obs::Site dse = make("http.dse", "dse");
+    static const obs::Site tune = make("http.tune", "tune");
+    static const obs::Site healthz = make("http.healthz", "healthz");
+    static const obs::Site stats = make("http.stats", "stats");
+    static const obs::Site metrics = make("http.metrics", "metrics");
+    static const obs::Site other = make("http.other", "other");
+    if (path == "/analyze")
+        return analyze;
+    if (path == "/dse")
+        return dse;
+    if (path == "/tune")
+        return tune;
+    if (path == "/healthz")
+        return healthz;
+    if (path == "/stats")
+        return stats;
+    if (path == "/metrics")
+        return metrics;
+    return other;
+}
 
 } // namespace
 
@@ -117,6 +154,8 @@ AnalysisServer::start()
     listen_fd_ = fd;
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
     start_time_ = std::chrono::steady_clock::now();
+    if (options_.enable_timing)
+        obs::enableMode(obs::kTiming);
 }
 
 void
@@ -270,8 +309,29 @@ AnalysisServer::serveConnection(int fd, Connection *slot)
             break;
 
         const HttpRequest &request = parser.request();
+
+        // The trace id is the client-sent x-trace-id echoed back,
+        // else a per-server sequence number — never wall clock, so
+        // the header is deterministic and present whether or not
+        // tracing is enabled (response bytes must not depend on the
+        // tracer state).
+        const std::uint64_t trace_seq =
+            trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::string trace_id;
+        const auto trace_it = request.headers.find("x-trace-id");
+        if (trace_it != request.headers.end() &&
+            !trace_it->second.empty())
+            trace_id = trace_it->second;
+        else
+            trace_id = "maestro-" + std::to_string(trace_seq);
+
         const auto t0 = std::chrono::steady_clock::now();
-        Reply reply = dispatch(request);
+        Reply reply;
+        {
+            obs::ScopedSpan span(requestSite(request.path()));
+            span.arg("trace_seq", trace_seq);
+            reply = dispatch(request);
+        }
         const auto elapsed =
             std::chrono::steady_clock::now() - t0;
         latency_.record(static_cast<std::uint64_t>(
@@ -279,11 +339,12 @@ AnalysisServer::serveConnection(int fd, Connection *slot)
                 elapsed)
                 .count()));
         counters_.countStatus(reply.status);
+        reply.extra_headers.push_back("X-Trace-Id: " + trace_id);
 
         keep = request.keepAlive() &&
                !stopping_.load(std::memory_order_acquire);
         if (!sendAll(fd, serializeResponse(reply.status, reply.body,
-                                           "application/json", keep,
+                                           reply.content_type, keep,
                                            reply.extra_headers)))
             break;
         parser.reset();
@@ -321,6 +382,23 @@ AnalysisServer::dispatch(const HttpRequest &request)
                             std::chrono::microseconds>(uptime)
                             .count())),
                 {}};
+    }
+    if (path == "/metrics") {
+        counters_.metrics.fetch_add(1, std::memory_order_relaxed);
+        if (request.method != "GET")
+            return {405, errorJson("use GET /metrics"), {}};
+        const auto uptime =
+            std::chrono::steady_clock::now() - start_time_;
+        Reply reply;
+        reply.body = metricsText(
+            context_.pipeline->stats(), admission_, counters_,
+            latency_,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    uptime)
+                    .count()));
+        reply.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        return reply;
     }
     if (path == "/analyze" || path == "/dse" || path == "/tune") {
         if (path == "/analyze")

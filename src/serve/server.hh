@@ -7,8 +7,16 @@
  *   POST /analyze   MAESTRO DSL body -> per-layer analysis JSON
  *   POST /dse       DSL body -> design-space exploration JSON
  *   POST /tune      DSL body -> dataflow auto-tuning JSON
- *   GET  /healthz   liveness probe
+ *   GET  /healthz   liveness probe (carries the build version)
  *   GET  /stats     cache/queue/latency observability surface
+ *   GET  /metrics   Prometheus text exposition (server + process)
+ *
+ * Every response carries an X-Trace-Id header — the client-sent
+ * x-trace-id echoed back, else a deterministic per-server sequence
+ * number — so a request can be correlated with its span in a
+ * `--trace` capture. Response BODIES stay byte-identical whether
+ * tracing is on or off; wall-clock data lives only in /stats,
+ * /metrics, and trace files.
  *
  * Architecture: an accept loop hands each connection to a tracked
  * connection thread (bounded count) that owns the socket's read ->
@@ -75,6 +83,15 @@ struct ServeOptions
     /** HTTP parser caps (hostile-input bounds). */
     std::size_t max_header_bytes = 16 * 1024;
     std::size_t max_body_bytes = 1024 * 1024;
+
+    /**
+     * Enables the process-wide obs timing mode on start() (latency
+     * histograms feeding GET /metrics). On by default — a long-lived
+     * daemon wants its metrics populated; histogram recording is a
+     * few relaxed atomics per sample and never touches response
+     * bodies.
+     */
+    bool enable_timing = true;
 };
 
 /**
@@ -138,6 +155,8 @@ class AnalysisServer
         int status = 200;
         std::string body;
         std::vector<std::string> extra_headers;
+        /** Last so brace-inits of the fields above stay valid. */
+        std::string content_type = "application/json";
     };
     Reply dispatch(const HttpRequest &request);
 
@@ -160,6 +179,9 @@ class AnalysisServer
     AdmissionController admission_;
     RequestCounters counters_;
     LatencyHistogram latency_;
+
+    /** Per-server trace-id sequence (deterministic, no wall clock). */
+    std::atomic<std::uint64_t> trace_seq_{0};
 
     std::mutex connections_mutex_;
     std::vector<std::unique_ptr<Connection>> connections_;

@@ -6,7 +6,10 @@
  * reuse observable through GET /stats, exact stage-counter
  * accounting, concurrent mixed-shape storms, 503 backpressure under
  * a saturated queue, 408 deadline expiry, keep-alive, graceful
- * drain, and the admission/histogram primitives.
+ * drain, and the admission/histogram primitives. Also the
+ * observability surfaces: GET /metrics Prometheus exposition,
+ * X-Trace-Id headers, and the guarantee that enabling the tracer
+ * never changes response bytes.
  *
  * Suites are prefixed "Serve" so the CI thread-sanitizer job picks
  * them up alongside the ThreadPool/Pipeline concurrency tests.
@@ -33,8 +36,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/version.hh"
 #include "src/frontend/serializer.hh"
 #include "src/model/zoo.hh"
+#include "src/obs/obs.hh"
 #include "src/serve/admission.hh"
 #include "src/serve/handlers.hh"
 #include "src/serve/http.hh"
@@ -309,6 +314,10 @@ TEST(Serve, HealthzStatsAndRouting)
     EXPECT_EQ(health.status, 200);
     EXPECT_EQ(health.body, healthzJson());
     EXPECT_EQ(health.headers.at("content-type"), "application/json");
+    // The liveness probe carries the build version.
+    EXPECT_NE(health.body.find(std::string("\"version\":\"") +
+                               kVersion + "\""),
+              std::string::npos);
 
     const ClientResponse stats = oneShot(port, getRequest("/stats"));
     EXPECT_EQ(stats.status, 200);
@@ -455,6 +464,137 @@ TEST(Serve, StatsPinStageCountersAfterShapeDedupSequence)
     EXPECT_EQ(jsonField(stats, "requests", "analyze"), 2u);
     EXPECT_EQ(jsonField(stats, "queue", "depth"), 0u);
     EXPECT_GE(jsonField(stats, "latency_us", "count"), 2u);
+
+    // The latency histogram names its bucket upper bounds: powers of
+    // two from 2 µs, with null for the catch-all bucket.
+    EXPECT_NE(stats.find("\"le_us\":[2,4,8,16,"), std::string::npos);
+    EXPECT_NE(stats.find(",null]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- //
+//              Observability surfaces (/metrics, tracing)           //
+// ---------------------------------------------------------------- //
+
+TEST(Serve, MetricsEndpointSpeaksPrometheusText)
+{
+    TestServer server;
+    const std::uint16_t port = server.port();
+
+    // Generate some traffic so counters are nonzero.
+    ASSERT_EQ(oneShot(port, postRequest("/analyze?dataflow=C-P",
+                                        tinyNetwork(8)))
+                  .status,
+              200);
+
+    const ClientResponse metrics =
+        oneShot(port, getRequest("/metrics"));
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_EQ(metrics.headers.at("content-type"),
+              "text/plain; version=0.0.4; charset=utf-8");
+
+    const std::string &body = metrics.body;
+    EXPECT_NE(body.find(std::string("maestro_build_info{version=\"") +
+                        kVersion + "\"} 1"),
+              std::string::npos);
+    EXPECT_NE(body.find("# TYPE maestro_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(body.find("maestro_requests_total{endpoint=\"analyze\"}"
+                        " 1"),
+              std::string::npos);
+    EXPECT_NE(body.find("maestro_responses_total{class=\"2xx\"}"),
+              std::string::npos);
+    EXPECT_NE(
+        body.find("# TYPE maestro_request_latency_us histogram"),
+        std::string::npos);
+    EXPECT_NE(body.find("maestro_request_latency_us_bucket{le=\"2\"}"),
+              std::string::npos);
+    EXPECT_NE(body.find("maestro_request_latency_us_bucket{le="
+                        "\"+Inf\"}"),
+              std::string::npos);
+    EXPECT_NE(body.find("maestro_request_latency_us_count"),
+              std::string::npos);
+    EXPECT_NE(body.find(
+                  "maestro_pipeline_cache_misses_total{stage="
+                  "\"aggregate\"}"),
+              std::string::npos);
+    EXPECT_NE(body.find("maestro_pipeline_evaluations_total 1"),
+              std::string::npos);
+    EXPECT_NE(body.find("maestro_queue_capacity"), std::string::npos);
+
+    // The process-wide registry rides along: the daemon enables
+    // timing by default, so stage-miss histograms have samples.
+    EXPECT_NE(body.find("maestro_pipeline_stage_miss_us_bucket"),
+              std::string::npos);
+    EXPECT_NE(body.find("maestro_http_request_us_bucket{endpoint="
+                        "\"analyze\""),
+              std::string::npos);
+
+    // /metrics requests count themselves (incremented before the
+    // render, so the first scrape already shows 1).
+    EXPECT_NE(body.find(
+                  "maestro_requests_total{endpoint=\"metrics\"} 1"),
+              std::string::npos);
+    const ClientResponse again =
+        oneShot(port, getRequest("/metrics"));
+    EXPECT_NE(again.body.find(
+                  "maestro_requests_total{endpoint=\"metrics\"} 2"),
+              std::string::npos);
+}
+
+TEST(Serve, EveryResponseCarriesATraceId)
+{
+    TestServer server;
+    const std::uint16_t port = server.port();
+
+    const ClientResponse first =
+        oneShot(port, getRequest("/healthz"));
+    ASSERT_EQ(first.status, 200);
+    ASSERT_EQ(first.headers.count("x-trace-id"), 1u);
+    EXPECT_EQ(first.headers.at("x-trace-id"), "maestro-1");
+
+    const ClientResponse second =
+        oneShot(port, getRequest("/healthz"));
+    EXPECT_EQ(second.headers.at("x-trace-id"), "maestro-2");
+
+    // A client-sent id is echoed back verbatim.
+    const std::string tagged =
+        "GET /healthz HTTP/1.1\r\nHost: t\r\n"
+        "X-Trace-Id: client-tag-7\r\n\r\n";
+    const ClientResponse echoed = oneShot(port, tagged);
+    EXPECT_EQ(echoed.headers.at("x-trace-id"), "client-tag-7");
+}
+
+TEST(Serve, ResponseBytesIdenticalWithTracingEnabled)
+{
+    TestServer server;
+    const std::uint16_t port = server.port();
+    const std::string analyze_raw =
+        postRequest("/analyze?dataflow=C-P", tinyNetwork(8));
+    const std::string tune_raw =
+        postRequest("/tune?objective=edp", tinyNetwork(8));
+
+    const ClientResponse analyze_off = oneShot(port, analyze_raw);
+    const ClientResponse tune_off = oneShot(port, tune_raw);
+    const ClientResponse health_off =
+        oneShot(port, getRequest("/healthz"));
+    ASSERT_EQ(analyze_off.status, 200);
+    ASSERT_EQ(tune_off.status, 200);
+
+    obs::Tracer::instance().start();
+    const ClientResponse analyze_on = oneShot(port, analyze_raw);
+    const ClientResponse tune_on = oneShot(port, tune_raw);
+    const ClientResponse health_on =
+        oneShot(port, getRequest("/healthz"));
+    obs::Tracer::instance().stop();
+    obs::disableMode(obs::kTiming | obs::kSpans);
+
+    // The span capture must be observable (the server's dispatch
+    // path records http.* spans) yet leave every body byte intact.
+    EXPECT_GT(obs::Tracer::instance().eventCount(), 0u);
+    EXPECT_EQ(analyze_on.status, 200);
+    EXPECT_EQ(analyze_on.body, analyze_off.body);
+    EXPECT_EQ(tune_on.body, tune_off.body);
+    EXPECT_EQ(health_on.body, health_off.body);
 }
 
 // ---------------------------------------------------------------- //

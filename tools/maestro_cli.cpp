@@ -31,6 +31,12 @@
  * after the command's normal output. `analyze --format json` emits
  * the server's /analyze JSON (byte-identical for equal inputs).
  *
+ * Observability: --trace OUT.json captures spans (pipeline stages,
+ * pool tasks, DSE shards) into a Chrome trace-event file loadable in
+ * Perfetto; --profile prints a per-stage time/hit-rate table to
+ * stderr. Neither changes the command's stdout bytes. `maestro
+ * --version` prints the build version.
+ *
  * Exit codes: 0 success, 1 runtime error, 2 usage error (missing or
  * unknown subcommand; usage goes to stderr).
  */
@@ -38,6 +44,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -45,12 +52,15 @@
 
 #include "src/common/error.hh"
 #include "src/common/table.hh"
+#include "src/common/version.hh"
 #include "src/core/analyzer.hh"
 #include "src/dataflows/catalog.hh"
 #include "src/dataflows/tuner.hh"
 #include "src/dse/explorer.hh"
 #include "src/frontend/parser.hh"
 #include "src/model/zoo.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/obs.hh"
 #include "src/serve/server.hh"
 #include "src/sim/reference_sim.hh"
 
@@ -74,7 +84,10 @@ const char *const kUsage =
     "  tune      --model NAME --layer L [--objective "
     "runtime|energy|edp]\n"
     "  serve     [--port P] [--host ADDR] [--threads N] "
-    "[--queue N] [--deadline-ms N]\n";
+    "[--queue N] [--deadline-ms N]\n"
+    "shared: [--threads N] [--stats on] [--trace OUT.json] "
+    "[--profile]\n"
+    "  maestro --version prints the build version\n";
 
 /** Parsed command line: subcommand plus --key value options. */
 struct Args
@@ -116,7 +129,7 @@ parseArgs(int argc, char **argv)
         fatalIf(key.rfind("--", 0) != 0,
                 msg("expected --option, found '", key, "'"));
         // Valueless switches.
-        if (key == "--dse-exact") {
+        if (key == "--dse-exact" || key == "--profile") {
             args.options[key.substr(2)] = "on";
             continue;
         }
@@ -258,22 +271,60 @@ printPipelineStats(const PipelineStats &stats, double seconds)
 }
 
 /**
+ * --profile: per-stage hit/miss counters joined with the global
+ * registry's stage-miss latency histograms, printed to stderr so
+ * stdout (tables, --format json) stays clean for pipes.
+ */
+void
+printProfile(const PipelineStats &stats)
+{
+    constexpr const char *kStages[4] = {"tensor", "binding", "flat",
+                                        "layer"};
+    const CacheStats *cs[4] = {&stats.tensor, &stats.binding,
+                               &stats.flat, &stats.layer};
+    Table table({"stage", "hits", "misses", "hit-rate", "miss-time(ms)",
+                 "avg-miss(us)"});
+    for (std::size_t i = 0; i < 4; ++i) {
+        const LatencyHistogram::Snapshot snap =
+            obs::Registry::global()
+                .histogram("maestro_pipeline_stage_miss_us", "",
+                           {{"stage", kStages[i]}})
+                .snapshot();
+        const double avg_us =
+            snap.count > 0 ? static_cast<double>(snap.total_us) /
+                                 static_cast<double>(snap.count)
+                           : 0.0;
+        table.addRow({kStages[i], std::to_string(cs[i]->hits),
+                      std::to_string(cs[i]->misses),
+                      fixedFormat(100.0 * cs[i]->hitRate(), 1) + "%",
+                      fixedFormat(static_cast<double>(snap.total_us) /
+                                      1000.0,
+                                  2),
+                      fixedFormat(avg_us, 1)});
+    }
+    std::cerr << "\nprofile (stage-miss wall time; hits are "
+                 "cache-served):\n";
+    table.print(std::cerr);
+}
+
+/**
  * analyze --format json: the server's /analyze JSON from the same
  * code path (serve::analyzeJson), so CLI and server bodies are
  * byte-identical for equal inputs.
  */
 int
-cmdAnalyzeJson(const Inputs &in)
+cmdAnalyzeJson(const Args &args, const Inputs &in)
 {
     serve::RequestInputs req;
     req.network = in.network;
     req.dataflows = in.dataflows;
     req.config = in.config;
     req.layer_name = in.layer_name;
-    std::cout << serve::analyzeJson(
-                     req, std::make_shared<AnalysisPipeline>(),
-                     EnergyModel())
+    auto pipeline = std::make_shared<AnalysisPipeline>();
+    std::cout << serve::analyzeJson(req, pipeline, EnergyModel())
               << "\n";
+    if (args.has("profile"))
+        printProfile(pipeline->stats());
     return kExitOk;
 }
 
@@ -281,7 +332,7 @@ int
 cmdAnalyze(const Args &args, const Inputs &in)
 {
     if (args.get("format", "table") == "json")
-        return cmdAnalyzeJson(in);
+        return cmdAnalyzeJson(args, in);
     fatalIf(args.get("format", "table") != "table",
             "--format must be table or json");
     const RunOptions opts = runOptions(args);
@@ -329,6 +380,8 @@ cmdAnalyze(const Args &args, const Inputs &in)
             analyzer.pipelineStats(),
             std::chrono::duration<double>(t1 - t0).count());
     }
+    if (args.has("profile"))
+        printProfile(analyzer.pipelineStats());
     return 0;
 }
 
@@ -408,6 +461,8 @@ cmdDse(const Args &args, const Inputs &in)
                          "directly; pipeline caches unused)\n";
         }
     }
+    if (args.has("profile"))
+        printProfile(pipeline->stats());
     return 0;
 }
 
@@ -453,6 +508,8 @@ cmdTune(const Args &args, const Inputs &in)
             analyzer.pipelineStats(),
             std::chrono::duration<double>(t1 - t0).count());
     }
+    if (args.has("profile"))
+        printProfile(analyzer.pipelineStats());
     return 0;
 }
 
@@ -508,6 +565,10 @@ main(int argc, char **argv)
         return kExitUsage;
     }
     const std::string command = argv[1];
+    if (command == "--version" || command == "version") {
+        std::cout << "maestro " << kVersion << "\n";
+        return kExitOk;
+    }
     const bool known = command == "analyze" || command == "simulate" ||
                        command == "dse" || command == "tune" ||
                        command == "serve";
@@ -518,16 +579,42 @@ main(int argc, char **argv)
     }
     try {
         const Args args = parseArgs(argc, argv);
-        if (args.command == "serve")
-            return cmdServe(args);
-        const Inputs in = resolveInputs(args);
-        if (args.command == "analyze")
-            return cmdAnalyze(args, in);
-        if (args.command == "simulate")
-            return cmdSimulate(in);
-        if (args.command == "dse")
-            return cmdDse(args, in);
-        return cmdTune(args, in);
+
+        // Observability opt-ins, enabled before any analysis work:
+        // --profile records site latencies, --trace additionally
+        // captures spans for Chrome trace export. Neither changes
+        // the command's stdout bytes.
+        const std::string trace_path = args.get("trace");
+        if (args.has("profile"))
+            obs::enableMode(obs::kTiming);
+        if (!trace_path.empty())
+            obs::Tracer::instance().start();
+
+        const int rc = [&] {
+            if (args.command == "serve")
+                return cmdServe(args);
+            const Inputs in = resolveInputs(args);
+            if (args.command == "analyze")
+                return cmdAnalyze(args, in);
+            if (args.command == "simulate")
+                return cmdSimulate(in);
+            if (args.command == "dse")
+                return cmdDse(args, in);
+            return cmdTune(args, in);
+        }();
+
+        if (!trace_path.empty()) {
+            obs::Tracer &tracer = obs::Tracer::instance();
+            tracer.stop();
+            std::ofstream out(trace_path, std::ios::binary);
+            fatalIf(!out, msg("cannot write trace file '", trace_path,
+                              "'"));
+            out << tracer.json() << "\n";
+            std::cerr << "trace: wrote " << tracer.eventCount()
+                      << " events (" << tracer.droppedCount()
+                      << " dropped) to " << trace_path << "\n";
+        }
+        return rc;
     } catch (const Error &e) {
         std::cerr << "error: " << e.what() << "\n";
         return kExitError;
