@@ -5,6 +5,7 @@
 
 #include "src/common/error.hh"
 #include "src/core/pipeline.hh"
+#include "src/mapper/mapper.hh"
 
 namespace maestro
 {
@@ -186,55 +187,26 @@ tuneDataflow(const Analyzer &analyzer, const Layer &layer,
         }
     }
 
-    // Evaluate every candidate through the analyzer's batch API (the
-    // pipeline dedups shared artifacts); rejection counting and
-    // ranking below stay in candidate order, so any thread count
-    // produces identical results.
-    std::vector<Analyzer::BatchJob> jobs;
-    jobs.reserve(candidates.size());
-    for (const Dataflow &df : candidates)
-        jobs.push_back({layer, df});
-    const std::vector<Analyzer::BatchEval> evals =
-        analyzer.evaluateBatch(jobs, options.num_threads);
-
-    std::vector<TunedDataflow> evaluated;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (!evals[i].ok) {
-            ++result.rejected;
-            continue;
-        }
-        const LayerAnalysis &la = evals[i].analysis;
-        if (options.enforce_l1_capacity && !la.cost.fits_l1) {
-            ++result.rejected;
-            continue;
-        }
+    // Evaluation and ranking are delegated to the mapper engine's
+    // batch ranker (same analyzer batch API as before, with the
+    // engine's explicit (objective value, candidate index) tiebreak);
+    // any thread count produces identical results.
+    const std::vector<mapper::MappedDataflow> ranked =
+        mapper::rankDataflows(analyzer, layer, objective, candidates,
+                              options.top_k,
+                              options.enforce_l1_capacity,
+                              options.num_threads, &result.rejected);
+    result.ranked.reserve(ranked.size());
+    for (const mapper::MappedDataflow &md : ranked) {
         TunedDataflow td;
-        td.dataflow = candidates[i];
-        td.runtime = la.runtime;
-        td.energy = la.onchipEnergy();
-        td.edp = la.edp();
-        td.utilization = la.utilization;
-        switch (objective) {
-          case Objective::Runtime:
-            td.objective_value = td.runtime;
-            break;
-          case Objective::Energy:
-            td.objective_value = td.energy;
-            break;
-          case Objective::Edp:
-            td.objective_value = td.edp;
-            break;
-        }
-        evaluated.push_back(std::move(td));
+        td.dataflow = md.dataflow;
+        td.runtime = md.runtime;
+        td.energy = md.energy;
+        td.edp = md.edp;
+        td.utilization = md.utilization;
+        td.objective_value = md.objective_value;
+        result.ranked.push_back(std::move(td));
     }
-
-    std::sort(evaluated.begin(), evaluated.end(),
-              [](const TunedDataflow &a, const TunedDataflow &b) {
-                  return a.objective_value < b.objective_value;
-              });
-    if (evaluated.size() > options.top_k)
-        evaluated.resize(options.top_k);
-    result.ranked = std::move(evaluated);
     return result;
 }
 

@@ -14,6 +14,13 @@
  * (K outer / C inner), YR-P-like (Y outer / Y+R inner), YX-P-like
  * (Y outer / X inner), and the single-level C-P/X-P shapes, plus tile
  * sizes none of the fixed catalog entries use.
+ *
+ * DEPRECATED: this module is a thin compatibility shim over the
+ * mapper v2 engine in src/mapper/ (which searches a far larger
+ * decoupled space with oracle-validated pruning). generateCandidates
+ * and the result shapes are kept byte-compatible for existing
+ * callers and golden tests; new code should use mapper::mapLayer /
+ * mapNetwork / mapJoint instead.
  */
 
 #ifndef MAESTRO_DATAFLOWS_TUNER_HH

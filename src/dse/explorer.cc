@@ -8,13 +8,13 @@
 #include <utility>
 
 #include "src/common/error.hh"
-#include "src/common/thread_pool.hh"
 #include "src/core/cluster_analysis.hh"
 #include "src/core/flat_analysis.hh"
 #include "src/core/performance_analysis.hh"
 #include "src/core/pipeline.hh"
 #include "src/core/reuse_analysis.hh"
 #include "src/core/tensor_analysis.hh"
+#include "src/dse/shard.hh"
 #include "src/obs/metrics.hh"
 #include "src/obs/obs.hh"
 
@@ -766,14 +766,15 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
         };
         std::vector<PeArtifacts> artifacts(blocks.size());
         if (layer_ok && !pair_refs.empty()) {
-            ThreadPool::runChunked(
+            artifacts = shardedFill<PeArtifacts>(
                 options.num_threads, blocks.size(),
-                [&](std::size_t begin, std::size_t end) {
+                [&](std::size_t begin, std::size_t end,
+                    std::vector<PeArtifacts> &slots) {
                     obs::ScopedSpan span(shardSite());
                     span.arg("begin", begin);
                     span.arg("end", end);
                     for (std::size_t b = begin; b < end; ++b) {
-                        PeArtifacts &art = artifacts[b];
+                        PeArtifacts &art = slots[b];
                         try {
                             const AcceleratorConfig cfg =
                                 makeConfig(blocks[b].pes, min_bw);
@@ -805,11 +806,11 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
             std::uint64_t energy_order = 0;
             std::uint64_t edp_order = 0;
         };
-        std::vector<PairOutcome> outcomes(pair_refs.size());
-
-        ThreadPool::runChunked(
+        const std::vector<PairOutcome> outcomes =
+            shardedFill<PairOutcome>(
             options.num_threads, pair_refs.size(),
-            [&](std::size_t begin, std::size_t end) {
+            [&](std::size_t begin, std::size_t end,
+                std::vector<PairOutcome> &slots) {
                 obs::ScopedSpan span(pairsSite());
                 span.arg("begin", begin);
                 span.arg("end", end);
@@ -817,7 +818,7 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
                     const PairRef &ref = pair_refs[pi];
                     const PeBlock &blk = blocks[ref.block];
                     const double bw = space.noc_bandwidths[ref.ibw];
-                    PairOutcome &out = outcomes[pi];
+                    PairOutcome &out = slots[pi];
 
                     // Per-pair error sequence mirrors the serial
                     // walk: config validation, then the layer-level

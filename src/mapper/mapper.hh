@@ -1,0 +1,287 @@
+/**
+ * @file
+ * The mapping-space search engine (mapper v2), successor of
+ * dataflows/tuner: searches the decoupled space built by
+ * mapper/search_space over one layer, a whole network, or jointly
+ * with the closed-form hardware sweep of dse/explorer.
+ *
+ * Determinism. Candidates carry their enumeration index; evaluation
+ * is sharded across the thread pool into per-candidate slots and
+ * merged serially in index order (dse/shard.hh), and ranking sorts by
+ * (objective value, enumeration index) — results are byte-identical
+ * for any num_threads.
+ *
+ * Oracle. With MapperOptions::exact the engine skips the symmetry
+ * dedup and the capacity cut and evaluates every generated candidate
+ * (capacity is still enforced post-evaluation when requested, from
+ * the analyzer's own fits_l1). Because the prunes only remove
+ * candidates that analyze bit-identically to a kept lower-index
+ * representative (symmetry) or that the analyzer itself would reject
+ * (capacity), the pruned search's bests match the oracle's bests
+ * byte-for-byte, names included.
+ *
+ * Evaluation path. Survivors run the pure stage engines directly
+ * (bind -> reuse -> flat -> performance -> cost ->
+ * assembleLayerAnalysis), like the DSE fast sweep — bit-identical to
+ * the memoizing pipeline by assembleLayerAnalysis's contract, without
+ * thrashing the shared LRU caches with tens of thousands of
+ * one-shot mappings. Network mode's best-single-dataflow scoring
+ * goes through Analyzer::evaluateBatch instead, so repeated shapes
+ * hit the warm pipeline caches.
+ */
+
+#ifndef MAESTRO_MAPPER_MAPPER_HH
+#define MAESTRO_MAPPER_MAPPER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/analyzer.hh"
+#include "src/dataflows/adaptive.hh"
+#include "src/dse/design_space.hh"
+#include "src/dse/explorer.hh"
+#include "src/mapper/search_space.hh"
+#include "src/model/network.hh"
+
+namespace maestro
+{
+namespace mapper
+{
+
+/** The tuning objective, shared with the adaptive/tuner modules. */
+using dataflows::Objective;
+
+/**
+ * Search knobs. The space bounds live in `space`; the rest controls
+ * pruning, ranking, and parallelism.
+ */
+struct MapperOptions
+{
+    /** Bounds of the declared mapping space. */
+    SpaceOptions space;
+
+    /** Keep at most this many ranked results. */
+    std::size_t top_k = 10;
+
+    /** Reject mappings whose L1 requirement exceeds the config (the
+     *  pruned search additionally applies the conservative pre-bind
+     *  capacity cut; see search_space.hh). */
+    bool enforce_l1_capacity = false;
+
+    /** Exhaustive oracle mode: no symmetry dedup, no capacity cut;
+     *  every generated candidate is evaluated. Bests are
+     *  byte-identical to the pruned search (see file comment). */
+    bool exact = false;
+
+    /** Threads evaluating candidates (<= 1 = serial); results are
+     *  byte-identical for any value. */
+    std::size_t num_threads = 1;
+
+    /** Joint mode: how many shortlisted mappings enter the hardware
+     *  sweep. */
+    std::size_t joint_dataflows = 4;
+};
+
+/** One ranked mapping and its measured metrics. */
+struct MappedDataflow
+{
+    Dataflow dataflow{"mapping"};
+    double runtime = 0.0;
+    double energy = 0.0;
+    double edp = 0.0;
+    double utilization = 0.0;
+
+    /** The minimized objective's value. */
+    double objective_value = 0.0;
+
+    /** Deterministic enumeration index (the ranking tiebreak). */
+    std::size_t index = 0;
+};
+
+/** Search accounting for one mapLayer call. */
+struct MapperStats
+{
+    /** Declared cross-product points this search covers (the
+     *  coverage unit; includes symmetry-collapsed, ladder-clipped,
+     *  and capacity-cut points). */
+    double covered = 0.0;
+
+    /** Structural candidates emitted by the cross product. */
+    std::size_t generated = 0;
+
+    /** Candidates dropped by canonical-mapping-key dedup (a kept
+     *  lower-index candidate analyzes bit-identically). */
+    std::size_t pruned_symmetry = 0;
+
+    /** Candidates dropped by the conservative L1 capacity cut. */
+    std::size_t pruned_capacity = 0;
+
+    /** Candidates fully evaluated through the stage engines. */
+    std::size_t evaluated = 0;
+
+    /** Evaluated candidates rejected (bind/analysis failure, or L1
+     *  over capacity when enforced). */
+    std::size_t rejected = 0;
+
+    /** Wall time of the search (never feeds back into results). */
+    double seconds = 0.0;
+
+    /** covered / seconds. */
+    double per_second = 0.0;
+};
+
+/** Result of one single-layer search. */
+struct MapperResult
+{
+    /** Ranked mappings, best first (at most top_k). */
+    std::vector<MappedDataflow> ranked;
+
+    MapperStats stats;
+
+    /** Convenience: the winner. @throws Error if nothing survived. */
+    const MappedDataflow &best() const;
+};
+
+/** The objective's value on an analyzed layer. */
+double objectiveValue(const LayerAnalysis &analysis,
+                      Objective objective);
+
+/**
+ * Searches the mapping space of one layer.
+ *
+ * @param analyzer Analyzer with the target hardware (stage engines
+ *        use its config and energy model; the pipeline caches are
+ *        not touched).
+ * @param layer Layer to map.
+ * @param objective What to minimize.
+ * @param options Space bounds and search knobs.
+ */
+MapperResult mapLayer(const Analyzer &analyzer, const Layer &layer,
+                      Objective objective,
+                      const MapperOptions &options = MapperOptions());
+
+/**
+ * Evaluates and ranks an explicit candidate list through the
+ * analyzer's batch path (pipeline caches), with the engine's
+ * deterministic (objective value, list index) ranking. Used by the
+ * dataflows::tuner compat shim; candidates failing to analyze — or
+ * exceeding L1 capacity when enforced — are dropped and counted into
+ * *rejected when non-null.
+ */
+std::vector<MappedDataflow> rankDataflows(
+    const Analyzer &analyzer, const Layer &layer, Objective objective,
+    const std::vector<Dataflow> &candidates, std::size_t top_k,
+    bool enforce_l1_capacity, std::size_t num_threads,
+    std::size_t *rejected);
+
+/** Per-layer outcome of a whole-network search. */
+struct NetworkLayerBest
+{
+    /** Layer name. */
+    std::string layer;
+
+    /** True when this layer's search was served from an earlier
+     *  layer with the same shape fingerprint (cross-layer dedup). */
+    bool reused = false;
+
+    /** The layer's winning mapping. */
+    MappedDataflow best;
+
+    /** The layer's search accounting (copied for reused layers). */
+    MapperStats stats;
+};
+
+/** One dataflow scored across a whole network. */
+struct NetworkDataflowScore
+{
+    Dataflow dataflow{"mapping"};
+    double runtime = 0.0; ///< sum of per-layer cycles
+    double energy = 0.0;  ///< sum of per-layer on-chip energy
+    double edp = 0.0;     ///< sum of per-layer EDPs
+
+    /** Sum of per-layer objective values (comparable with
+     *  adaptive_total). */
+    double objective_value = 0.0;
+};
+
+/** Result of a whole-network search. */
+struct NetworkMapperResult
+{
+    /** Per-layer winners, in execution order. */
+    std::vector<NetworkLayerBest> layers;
+
+    /** Best single dataflow applied to every layer, chosen among the
+     *  distinct per-layer winners (structural fingerprint dedup). */
+    NetworkDataflowScore best_single;
+
+    /** Sum of per-layer best objective values (the adaptive bound the
+     *  paper's Sec. 7 tuner aims at). */
+    double adaptive_total = 0.0;
+
+    /** Distinct layer shapes actually searched. */
+    std::size_t unique_shapes = 0;
+
+    /** Aggregate accounting. covered/generated/pruned sum over ALL
+     *  layers (reused layers inherit their representative's numbers —
+     *  that coverage is the point of the dedup); evaluated/seconds
+     *  reflect only the searches actually run. */
+    MapperStats stats;
+};
+
+/**
+ * Searches every layer of a network: per-layer winners plus the best
+ * single dataflow across the whole network. Layers sharing a shape
+ * fingerprint are searched once (cross-layer dedup); the best-single
+ * scoring runs through the warm pipeline caches.
+ */
+NetworkMapperResult mapNetwork(
+    const Analyzer &analyzer, const Network &network,
+    Objective objective, const MapperOptions &options = MapperOptions());
+
+/** One shortlisted mapping co-optimized with the hardware sweep. */
+struct JointDesign
+{
+    /** The shortlisted mapping (metrics at the base hardware). */
+    MappedDataflow mapping;
+
+    /** The best hardware point found for it. */
+    dse::DesignPoint point;
+
+    /** The objective at that point (+inf when no valid point). */
+    double objective_value = 0.0;
+};
+
+/** Result of a joint mapping x hardware search. */
+struct JointMapperResult
+{
+    /** The base-hardware mapping search. */
+    MapperResult mapping;
+
+    /** One entry per shortlisted mapping, shortlist order. */
+    std::vector<JointDesign> designs;
+
+    /** The winning (mapping, hardware) pair. */
+    JointDesign best;
+
+    /** Aggregate DSE accounting across the shortlist sweeps. */
+    double explored_points = 0.0;
+    double valid_points = 0.0;
+};
+
+/**
+ * Joint mode: shortlists the mapper's top `joint_dataflows` mappings
+ * at the base hardware, then runs the closed-form `(PEs, BW)` sweep
+ * of dse::Explorer for each and reports the best pair. The objective
+ * maps onto the sweep's OptTarget (Runtime -> Throughput).
+ */
+JointMapperResult mapJoint(const Analyzer &analyzer, const Layer &layer,
+                           Objective objective,
+                           const dse::DesignSpace &space,
+                           const dse::DseOptions &dse_options,
+                           const MapperOptions &options = MapperOptions());
+
+} // namespace mapper
+} // namespace maestro
+
+#endif // MAESTRO_MAPPER_MAPPER_HH

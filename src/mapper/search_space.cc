@@ -1,0 +1,273 @@
+#include "src/mapper/search_space.hh"
+
+#include <algorithm>
+
+#include "src/common/error.hh"
+#include "src/core/cluster_analysis.hh"
+#include "src/core/reuse_analysis.hh"
+
+namespace maestro
+{
+namespace mapper
+{
+
+namespace
+{
+
+SizeExpr
+c(Count value)
+{
+    return SizeExpr::of(value);
+}
+
+SizeExpr
+sz(Dim d, Count add = 0)
+{
+    return SizeExpr::sizeOf(d, add);
+}
+
+/** The four iterating dims, in canonical enumeration order. */
+constexpr std::array<Dim, 4> kIterDims = {Dim::K, Dim::C, Dim::Y,
+                                          Dim::X};
+
+/** 7! — the declared loop orders over all seven dims. */
+constexpr double kDeclaredOrders = 5040.0;
+
+/** Clips a ladder to the extent and drops the duplicates the clamp
+ *  creates (binding clamps sizes to the scope extent, so every entry
+ *  >= extent builds the same bound map). */
+std::vector<Count>
+clipLadder(const std::vector<Count> &ladder, Count extent)
+{
+    std::vector<Count> out;
+    for (Count t : ladder) {
+        const Count clipped = std::clamp<Count>(t, 1, extent);
+        if (std::find(out.begin(), out.end(), clipped) == out.end())
+            out.push_back(clipped);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** The SpatialMap directive of a level-0 / inner-level dimension. */
+Directive
+spatialDirective(Dim d)
+{
+    if (d == Dim::Y)
+        return Directive::spatial(Dim::Y, sz(Dim::R), c(1));
+    if (d == Dim::X)
+        return Directive::spatial(Dim::X, sz(Dim::S), c(1));
+    return Directive::spatial(d, c(1), c(1));
+}
+
+/** The TemporalMap directive of a dimension at tile size t. */
+Directive
+temporalDirective(Dim d, Count t)
+{
+    if (d == Dim::Y)
+        return t == 1 ? Directive::temporal(Dim::Y, sz(Dim::R), c(1))
+                      : Directive::temporal(Dim::Y, sz(Dim::R, t - 1),
+                                            c(t));
+    if (d == Dim::X)
+        return t == 1 ? Directive::temporal(Dim::X, sz(Dim::S), c(1))
+                      : Directive::temporal(Dim::X, sz(Dim::S, t - 1),
+                                            c(t));
+    return Directive::temporal(d, c(t), c(t));
+}
+
+} // namespace
+
+SearchSpace
+buildSearchSpace(const Layer &layer, const SpaceOptions &options)
+{
+    SearchSpace space;
+
+    // ---- On-chip side. ----
+    // Cluster configurations: one single-level entry (emitted once,
+    // however many <=1 sizes the option list holds) plus, per real
+    // cluster size, one choice of inner spatial dim.
+    double cluster_configs = 0.0;
+    bool single_level_done = false;
+    std::vector<std::pair<Count, std::optional<Dim>>> clusters;
+    for (Count cs : options.cluster_sizes) {
+        if (cs <= 1) {
+            if (!single_level_done) {
+                clusters.emplace_back(1, std::nullopt);
+                cluster_configs += 1.0;
+                single_level_done = true;
+            }
+            continue;
+        }
+        for (Dim inner : kIterDims)
+            clusters.emplace_back(cs, inner);
+        cluster_configs += static_cast<double>(kIterDims.size());
+    }
+
+    // Canonical orders: permutations of {K, C, Y, X} in lexicographic
+    // order; N/R/S placements are symmetry-collapsed (see header).
+    std::array<Dim, 4> order = kIterDims;
+    do {
+        for (std::size_t spatial_pos = 0; spatial_pos < order.size();
+             ++spatial_pos) {
+            for (const auto &[cs, inner] : clusters) {
+                OnChipChoice choice;
+                choice.order = order;
+                choice.spatial_pos = spatial_pos;
+                choice.cluster_size = cs;
+                choice.inner_spatial = inner.value_or(Dim::K);
+                space.onchip.push_back(choice);
+            }
+        }
+    } while (std::next_permutation(
+        order.begin(), order.end(), [](Dim a, Dim b) {
+            return static_cast<int>(a) < static_cast<int>(b);
+        }));
+
+    space.onchip_declared = kDeclaredOrders *
+                            static_cast<double>(kIterDims.size()) *
+                            cluster_configs;
+
+    // ---- Off-chip side. ----
+    space.ladders[Dim::K] =
+        clipLadder(options.channel_tiles, layer.effectiveDim(Dim::K));
+    space.ladders[Dim::C] =
+        clipLadder(options.channel_tiles, layer.effectiveDim(Dim::C));
+    space.ladders[Dim::Y] =
+        clipLadder(options.activation_tiles, layer.outputY());
+    space.ladders[Dim::X] =
+        clipLadder(options.activation_tiles, layer.outputX());
+
+    space.offchip_declared =
+        static_cast<double>(options.channel_tiles.size()) *
+        static_cast<double>(options.channel_tiles.size()) *
+        static_cast<double>(options.activation_tiles.size()) *
+        static_cast<double>(options.activation_tiles.size());
+
+    space.covered = space.onchip_declared * space.offchip_declared;
+    return space;
+}
+
+std::vector<Candidate>
+crossCandidates(const Layer &layer, const SearchSpace &space)
+{
+    (void)layer;
+    std::vector<Candidate> out;
+
+    // Tile tuple iteration: the non-spatial dims in their loop-order
+    // positions, outermost ladder slowest — a deterministic odometer.
+    for (const OnChipChoice &oc : space.onchip) {
+        std::array<Dim, 3> tiled{};
+        std::size_t n = 0;
+        for (std::size_t pos = 0; pos < oc.order.size(); ++pos)
+            if (pos != oc.spatial_pos)
+                tiled[n++] = oc.order[pos];
+
+        std::array<std::size_t, 3> idx{0, 0, 0};
+        for (;;) {
+            DimMap<Count> tiles;
+            for (std::size_t i = 0; i < tiled.size(); ++i)
+                tiles[tiled[i]] = space.ladders[tiled[i]][idx[i]];
+
+            Candidate cand;
+            std::string name = "M-";
+            for (Dim d : oc.order)
+                name += dimName(d);
+            name += msg("-s", dimName(oc.spatialDim()));
+            if (oc.cluster_size > 1)
+                name += msg("-c", oc.cluster_size, "i",
+                            dimName(oc.inner_spatial));
+            name += "-t";
+            for (Dim d : kIterDims)
+                if (d != oc.spatialDim())
+                    name += msg(dimName(d), tiles[d]);
+
+            Dataflow df(std::move(name));
+            for (std::size_t pos = 0; pos < oc.order.size(); ++pos) {
+                const Dim d = oc.order[pos];
+                if (pos == oc.spatial_pos)
+                    df.add(spatialDirective(d));
+                else
+                    df.add(temporalDirective(d, tiles[d]));
+            }
+            df.add(Directive::temporal(Dim::R, sz(Dim::R), sz(Dim::R)));
+            df.add(Directive::temporal(Dim::S, sz(Dim::S), sz(Dim::S)));
+            if (oc.cluster_size > 1) {
+                df.add(Directive::cluster(c(oc.cluster_size)));
+                df.add(spatialDirective(oc.inner_spatial));
+            }
+            cand.dataflow = std::move(df);
+            cand.index = out.size();
+            out.push_back(std::move(cand));
+
+            // Advance the odometer (innermost tile fastest).
+            std::size_t i = tiled.size();
+            while (i > 0) {
+                --i;
+                if (++idx[i] < space.ladders[tiled[i]].size())
+                    break;
+                idx[i] = 0;
+                if (i == 0)
+                    goto next_onchip;
+            }
+        }
+    next_onchip:;
+    }
+    return out;
+}
+
+std::string
+canonicalMappingKey(const Dataflow &dataflow, const Layer &layer,
+                    Count num_pes)
+{
+    BoundDataflow bound;
+    try {
+        bound = bindDataflow(dataflow, layer, num_pes);
+    } catch (const std::exception &) {
+        return std::string();
+    }
+
+    std::string key;
+    key.reserve(160);
+    for (const BoundLevel &level : bound.levels) {
+        key += msg("L", level.num_units, "[");
+        for (const BoundDirective &bd : level.directives) {
+            // Full-extent single-step temporal maps are loop-order
+            // inert: they contribute only their (extent-sized) chunk,
+            // exactly like the binder's inferred maps (see header).
+            if (!bd.spatial() && bd.steps <= 1 &&
+                bd.size >= level.extents[bd.dim])
+                continue;
+            key += msg(bd.spatial() ? "S" : "T", dimName(bd.dim), ":",
+                       bd.size, ",", bd.offset_in, ",", bd.offset_out,
+                       ",", bd.out_space ? 1 : 0, ",", bd.steps, ",",
+                       bd.edge_size, ";");
+        }
+        key += "]";
+    }
+    return key;
+}
+
+double
+l1LowerBoundBytes(const Dataflow &dataflow, const Layer &layer,
+                  const AcceleratorConfig &config)
+{
+    BoundDataflow bound;
+    try {
+        bound = bindDataflow(dataflow, layer, config.num_pes);
+    } catch (const std::exception &) {
+        return -1.0;
+    }
+    const bool depthwise = layer.type() == OpType::DepthwiseConv;
+    double elems = 0.0;
+    for (TensorKind t : kAllTensors) {
+        double chunk = 1.0;
+        for (const StorageDimView &sd :
+             tensorStorageDims(bound.peLevel(), t, depthwise))
+            chunk *= sd.chunk;
+        elems += chunk;
+    }
+    return 2.0 * elems * static_cast<double>(config.precision_bytes);
+}
+
+} // namespace mapper
+} // namespace maestro

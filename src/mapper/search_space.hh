@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The decoupled mapping space of the dataflow search engine (mapper
+ * v2), after Marvel's observation that the space splits into an
+ * off-chip subspace (tile-size ladders per temporal dimension) and an
+ * on-chip subspace (loop order, spatial dimension, cluster size)
+ * that can be enumerated and pruned independently before taking the
+ * cross product.
+ *
+ * On-chip subspace. A level-0 directive list orders the four
+ * iterating dimensions {K, C, Y, X}; one of them is the SpatialMap,
+ * the others are TemporalMaps; R and S ride along as full-extent
+ * single-step TemporalMaps; an optional Cluster(n) opens an inner
+ * level with one inner SpatialMap. The *declared* order space is all
+ * permutations of the seven dims (N and the full R/S maps included),
+ * but full-extent single-step maps never become loops of the flat
+ * nest (reuse_analysis builds loops only from directives with
+ * steps > 1, and the spatial fold loop keeps its position relative to
+ * the iterating loops), so every placement of N/R/S analyzes
+ * bit-identically: symmetry canonicalization keeps one representative
+ * per class — 7! = 5040 declared orders collapse to 4! = 24.
+ *
+ * Off-chip subspace. Each temporally mapped dimension draws a tile
+ * from a per-dimension ladder: K/C tiles are plain index-space chunks
+ * (TemporalMap(t, t) d), Y/X tiles are output-space chunks
+ * (TemporalMap(Sz(R)+t-1, t) Y produces t output rows per step; t = 1
+ * is the standard sliding window). Ladder entries that meet or exceed
+ * the layer extent all clamp to the same full-extent map (binding
+ * clamps size to the scope extent), so the clipped ladder is deduped
+ * per dimension before the cross product — the second per-side prune.
+ *
+ * Cross-product stage. Candidates surviving the per-side prunes are
+ * crossed; two residual equivalence classes are removed there:
+ * choices whose tile rides on the spatially mapped dimension (the
+ * spatial chunk is fixed, so every ladder entry builds the same
+ * directive list) are skipped by construction, and anything else that
+ * still binds identically (e.g. a clamped tile colliding with a
+ * different loop order) is caught by the canonical mapping key — a
+ * rendering of the *bound* dataflow that drops directives which bind
+ * to full-extent single-step temporal maps, the bound analog of
+ * core/pipeline.hh's structural dataflowFingerprint.
+ *
+ * Capacity cut. l1_bytes_required >= 2 * precision * sum of PE-level
+ * storage chunks (flat_analysis only ever scales the resident set UP
+ * from the chunk product, via fold residency), so that bound — cheap
+ * to compute from a binding, no reuse/flat/cost stages — is a
+ * conservative feasibility cut: it only removes candidates the
+ * analyzer would reject for the same reason, which keeps the pruned
+ * search byte-identical to the exhaustive oracle.
+ */
+
+#ifndef MAESTRO_MAPPER_SEARCH_SPACE_HH
+#define MAESTRO_MAPPER_SEARCH_SPACE_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/core/dataflow.hh"
+#include "src/hw/accelerator.hh"
+#include "src/model/layer.hh"
+
+namespace maestro
+{
+namespace mapper
+{
+
+/** Knobs bounding the declared mapping space. */
+struct SpaceOptions
+{
+    /** Cluster sizes to try; 1 means a single-level dataflow. */
+    std::vector<Count> cluster_sizes = {1, 4, 16, 64};
+
+    /** Tile ladder for temporally mapped channel dims (K, C). */
+    std::vector<Count> channel_tiles = {1, 8, 64};
+
+    /** Output-rows/cols-per-step ladder for temporal Y/X maps. */
+    std::vector<Count> activation_tiles = {1, 4};
+};
+
+/** One canonical on-chip choice (post symmetry collapse). */
+struct OnChipChoice
+{
+    /** Order of the four iterating dims at level 0 (outer first). */
+    std::array<Dim, 4> order{Dim::K, Dim::C, Dim::Y, Dim::X};
+
+    /** Index into `order` of the SpatialMap dimension. */
+    std::size_t spatial_pos = 0;
+
+    /** Cluster size (1 = no Cluster directive, single level). */
+    Count cluster_size = 1;
+
+    /** Inner-level SpatialMap dim (meaningful when cluster_size > 1). */
+    Dim inner_spatial = Dim::K;
+
+    /** The spatially mapped level-0 dimension. */
+    Dim spatialDim() const { return order[spatial_pos]; }
+};
+
+/**
+ * The pruned sides of the decoupled space for one layer, plus the
+ * coverage accounting of the declared (unpruned) space.
+ */
+struct SearchSpace
+{
+    /** Canonical on-chip choices, in deterministic enumeration
+     *  order (loop-order lexicographic, then spatial position, then
+     *  cluster config). */
+    std::vector<OnChipChoice> onchip;
+
+    /** Per-dimension tile ladders after extent clipping and
+     *  per-dimension dedup (ascending, unique). Only K/C/Y/X entries
+     *  are populated. */
+    DimMap<std::vector<Count>> ladders;
+
+    /** Declared on-chip points: 7! orders x spatial choice x cluster
+     *  configs, before symmetry collapse. */
+    double onchip_declared = 0.0;
+
+    /** Declared off-chip points: product of the raw ladder sizes. */
+    double offchip_declared = 0.0;
+
+    /** Declared cross-product size (the mapper's coverage unit). */
+    double covered = 0.0;
+};
+
+/**
+ * Builds the pruned decoupled space for one layer: enumerates both
+ * sides, applies the per-side prunes (symmetry canonicalization on
+ * the on-chip side, extent clipping + dedup on the off-chip side),
+ * and records the declared-space accounting.
+ */
+SearchSpace buildSearchSpace(const Layer &layer,
+                             const SpaceOptions &options);
+
+/**
+ * One structural candidate of the cross product: the dataflow plus
+ * its deterministic enumeration index (the ranking tiebreak).
+ */
+struct Candidate
+{
+    Dataflow dataflow{"mapping"};
+    std::size_t index = 0;
+};
+
+/**
+ * Takes the cross product of the pruned sides in deterministic order.
+ * Tiles riding on the spatially mapped dimension are skipped by
+ * construction (they cannot change the directive list); every emitted
+ * candidate is a distinct directive list. Candidate names encode the
+ * full choice (e.g. "M-KCYX-sC-c16iK-tK8C1Y1X4").
+ */
+std::vector<Candidate> crossCandidates(const Layer &layer,
+                                       const SearchSpace &space);
+
+/**
+ * Canonical mapping key: binds the dataflow and renders only the
+ * directives that can influence the analysis (spatial maps, and
+ * temporal maps that either iterate or bind to less than their scope
+ * extent), plus per-level unit counts. Directive lists differing only
+ * in the placement of full-extent single-step temporal maps render to
+ * the same key and analyze bit-identically (see file comment).
+ *
+ * @return The key, or an empty string when binding fails (callers
+ *         keep such candidates; evaluation reports the error).
+ */
+std::string canonicalMappingKey(const Dataflow &dataflow,
+                                const Layer &layer, Count num_pes);
+
+/**
+ * Conservative lower bound on cost_analysis's l1_bytes_required:
+ * 2 * precision * sum over tensors of the PE-level storage-chunk
+ * product. Never exceeds the analyzer's reported requirement.
+ *
+ * @return The bound in bytes, or -1.0 when binding fails.
+ */
+double l1LowerBoundBytes(const Dataflow &dataflow, const Layer &layer,
+                         const AcceleratorConfig &config);
+
+} // namespace mapper
+} // namespace maestro
+
+#endif // MAESTRO_MAPPER_SEARCH_SPACE_HH

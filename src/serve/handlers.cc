@@ -7,8 +7,8 @@
 #include "src/common/json.hh"
 #include "src/common/version.hh"
 #include "src/dataflows/catalog.hh"
-#include "src/dataflows/tuner.hh"
 #include "src/dse/explorer.hh"
+#include "src/mapper/mapper.hh"
 #include "src/frontend/parser.hh"
 #include "src/obs/metrics.hh"
 
@@ -102,6 +102,100 @@ writeDesignPoint(JsonWriter &w, const char *name,
     w.key("energy").value(p.energy);
     w.key("edp").value(p.edp);
     w.key("valid").value(p.valid);
+    w.endObject();
+}
+
+/** Query-parameter count (positive integer) with a clean Error. */
+std::size_t
+paramCount(const QueryParams &params, const std::string &key,
+           std::size_t fallback)
+{
+    const double v = paramDouble(params, key,
+                                 static_cast<double>(fallback));
+    fatalIf(v < 1.0 || v != static_cast<double>(
+                                static_cast<std::size_t>(v)),
+            msg("query parameter '", key, "' must be a positive "
+                "integer"));
+    return static_cast<std::size_t>(v);
+}
+
+/** Comma-separated Count list (e.g. ?clusters=1,4,16). */
+std::vector<Count>
+paramCountList(const QueryParams &params, const std::string &key,
+               std::vector<Count> fallback)
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        return fallback;
+    std::vector<Count> out;
+    const std::string &v = it->second;
+    std::size_t pos = 0;
+    while (pos <= v.size()) {
+        const std::size_t comma = std::min(v.find(',', pos), v.size());
+        Count entry = 0;
+        const auto res = std::from_chars(v.data() + pos,
+                                         v.data() + comma, entry);
+        fatalIf(res.ec != std::errc() || res.ptr != v.data() + comma ||
+                    entry < 1,
+                msg("query parameter '", key, "': '", v,
+                    "' is not a comma-separated list of positive "
+                    "integers"));
+        out.push_back(entry);
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Mapper options resolved from query knobs + the worker budget. */
+mapper::MapperOptions
+mapperOptions(const QueryParams &params, std::size_t worker_threads)
+{
+    mapper::MapperOptions options;
+    options.top_k = paramCount(params, "top_k", options.top_k);
+    options.enforce_l1_capacity = params.count("enforce_l1") > 0;
+    options.exact = params.count("exact") > 0;
+    const std::size_t budget = std::max<std::size_t>(worker_threads, 1);
+    options.num_threads =
+        std::min(budget, paramCount(params, "threads", budget));
+    options.space.cluster_sizes = paramCountList(
+        params, "clusters", options.space.cluster_sizes);
+    options.space.channel_tiles = paramCountList(
+        params, "tiles", options.space.channel_tiles);
+    options.space.activation_tiles = paramCountList(
+        params, "act_tiles", options.space.activation_tiles);
+    return options;
+}
+
+/** Writes the mapper's search accounting (no wall-clock fields —
+ *  responses must stay byte-reproducible). */
+void
+writeSearchStats(JsonWriter &w, const mapper::MapperStats &stats)
+{
+    w.key("search").beginObject();
+    w.key("covered").value(stats.covered);
+    w.key("generated").value(static_cast<std::uint64_t>(stats.generated));
+    w.key("pruned_symmetry")
+        .value(static_cast<std::uint64_t>(stats.pruned_symmetry));
+    w.key("pruned_capacity")
+        .value(static_cast<std::uint64_t>(stats.pruned_capacity));
+    w.key("evaluated")
+        .value(static_cast<std::uint64_t>(stats.evaluated));
+    w.key("rejected")
+        .value(static_cast<std::uint64_t>(stats.rejected));
+    w.endObject();
+}
+
+/** Writes one ranked mapping (an object, no surrounding key). */
+void
+writeMappedDataflow(JsonWriter &w, const mapper::MappedDataflow &md)
+{
+    w.beginObject();
+    w.key("dataflow").value(md.dataflow.name());
+    w.key("runtime").value(md.runtime);
+    w.key("energy").value(md.energy);
+    w.key("edp").value(md.edp);
+    w.key("utilization").value(md.utilization);
+    w.key("objective_value").value(md.objective_value);
     w.endObject();
 }
 
@@ -240,48 +334,110 @@ dseJson(const RequestInputs &inputs, const QueryParams &params,
 std::string
 tuneJson(const RequestInputs &inputs, const QueryParams &params,
          const std::shared_ptr<AnalysisPipeline> &pipeline,
-         const EnergyModel &energy)
+         const EnergyModel &energy, std::size_t worker_threads)
 {
-    const Layer &layer = singleLayer(inputs, "tune");
     const auto obj_it = params.find("objective");
     const std::string obj =
         obj_it == params.end() ? "runtime" : obj_it->second;
-    dataflows::Objective objective = dataflows::Objective::Runtime;
+    mapper::Objective objective = mapper::Objective::Runtime;
     if (obj == "energy")
-        objective = dataflows::Objective::Energy;
+        objective = mapper::Objective::Energy;
     else if (obj == "edp")
-        objective = dataflows::Objective::Edp;
+        objective = mapper::Objective::Edp;
     else
         fatalIf(obj != "runtime",
                 msg("objective must be runtime, energy, or edp; got '",
                     obj, "'"));
 
+    const auto mode_it = params.find("mode");
+    const std::string mode =
+        mode_it == params.end() ? "layer" : mode_it->second;
+    fatalIf(mode != "layer" && mode != "network" && mode != "joint",
+            msg("mode must be layer, network, or joint; got '", mode,
+                "'"));
+
+    const mapper::MapperOptions options =
+        mapperOptions(params, worker_threads);
     const Analyzer analyzer(inputs.config, energy, pipeline);
-    const dataflows::TunerResult res =
-        dataflows::tuneDataflow(analyzer, layer, objective);
 
     JsonWriter w;
     w.beginObject();
     w.key("endpoint").value("tune");
-    w.key("layer").value(layer.name());
-    w.key("objective").value(obj);
-    w.key("candidates")
-        .value(static_cast<std::uint64_t>(res.candidates));
-    w.key("rejected").value(static_cast<std::uint64_t>(res.rejected));
-    w.key("deduped").value(static_cast<std::uint64_t>(res.deduped));
-    w.key("ranked").beginArray();
-    for (const auto &td : res.ranked) {
-        w.beginObject();
-        w.key("dataflow").value(td.dataflow.name());
-        w.key("runtime").value(td.runtime);
-        w.key("energy").value(td.energy);
-        w.key("edp").value(td.edp);
-        w.key("utilization").value(td.utilization);
-        w.key("objective_value").value(td.objective_value);
+    w.key("mode").value(mode);
+
+    if (mode == "network") {
+        const mapper::NetworkMapperResult res = mapper::mapNetwork(
+            analyzer, inputs.network, objective, options);
+        w.key("network").value(inputs.network.name());
+        w.key("objective").value(obj);
+        w.key("unique_shapes")
+            .value(static_cast<std::uint64_t>(res.unique_shapes));
+        w.key("adaptive_total").value(res.adaptive_total);
+        writeSearchStats(w, res.stats);
+        w.key("layers").beginArray();
+        for (const mapper::NetworkLayerBest &entry : res.layers) {
+            w.beginObject();
+            w.key("layer").value(entry.layer);
+            w.key("reused").value(entry.reused);
+            w.key("best");
+            writeMappedDataflow(w, entry.best);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("best_single").beginObject();
+        w.key("dataflow").value(res.best_single.dataflow.name());
+        w.key("runtime").value(res.best_single.runtime);
+        w.key("energy").value(res.best_single.energy);
+        w.key("edp").value(res.best_single.edp);
+        w.key("objective_value")
+            .value(res.best_single.objective_value);
         w.endObject();
+        w.key("winner").value(res.best_single.dataflow.toString());
+    } else if (mode == "joint") {
+        const Layer &layer = singleLayer(inputs, "tune");
+        dse::DseOptions dse_options;
+        dse_options.area_budget_mm2 =
+            paramDouble(params, "area", 16.0);
+        dse_options.power_budget_mw =
+            paramDouble(params, "power", 450.0);
+        dse_options.num_threads = options.num_threads;
+        const mapper::JointMapperResult res =
+            mapper::mapJoint(analyzer, layer, objective,
+                             dse::DesignSpace::figure13(),
+                             dse_options, options);
+        w.key("layer").value(layer.name());
+        w.key("objective").value(obj);
+        writeSearchStats(w, res.mapping.stats);
+        w.key("explored_points").value(res.explored_points);
+        w.key("valid_points").value(res.valid_points);
+        w.key("designs").beginArray();
+        for (const mapper::JointDesign &d : res.designs) {
+            w.beginObject();
+            w.key("dataflow").value(d.mapping.dataflow.name());
+            w.key("objective_value").value(d.objective_value);
+            writeDesignPoint(w, "point", d.point);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("best").beginObject();
+        w.key("dataflow").value(res.best.mapping.dataflow.name());
+        w.key("objective_value").value(res.best.objective_value);
+        writeDesignPoint(w, "point", res.best.point);
+        w.endObject();
+        w.key("winner").value(res.best.mapping.dataflow.toString());
+    } else {
+        const Layer &layer = singleLayer(inputs, "tune");
+        const mapper::MapperResult res =
+            mapper::mapLayer(analyzer, layer, objective, options);
+        w.key("layer").value(layer.name());
+        w.key("objective").value(obj);
+        writeSearchStats(w, res.stats);
+        w.key("ranked").beginArray();
+        for (const mapper::MappedDataflow &md : res.ranked)
+            writeMappedDataflow(w, md);
+        w.endArray();
+        w.key("winner").value(res.best().dataflow.toString());
     }
-    w.endArray();
-    w.key("winner").value(res.best().dataflow.toString());
     w.endObject();
     return w.str();
 }

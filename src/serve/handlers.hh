@@ -95,16 +95,26 @@ dseJson(const RequestInputs &inputs, const QueryParams &params,
         const EnergyModel &energy);
 
 /**
- * POST /tune: dataflow auto-tuning for one layer. Query: ?layer=
- * (required unless the network has one layer), ?objective=
- * runtime|energy|edp.
+ * POST /tune: mapping-space search (mapper v2).
  *
- * @throws Error on bad parameters or when no candidate survives.
+ * Query: ?mode=layer|network|joint (default layer), ?layer= (layer
+ * and joint modes; required unless the network has one layer),
+ * ?objective=runtime|energy|edp, ?top_k=N, ?enforce_l1=on,
+ * ?exact=on (exhaustive oracle), ?threads=N (capped by the server's
+ * worker budget), ?clusters=/?tiles=/?act_tiles= (comma lists
+ * bounding the space), and ?area=/?power= budgets in joint mode.
+ *
+ * `worker_threads` is the caller's evaluation-thread budget (the
+ * server passes its worker pool size; the CLI passes --threads);
+ * results are byte-identical for any value, so responses stay
+ * reproducible across deployments.
+ *
+ * @throws Error on bad parameters or when no mapping survives.
  */
 std::string
 tuneJson(const RequestInputs &inputs, const QueryParams &params,
          const std::shared_ptr<AnalysisPipeline> &pipeline,
-         const EnergyModel &energy);
+         const EnergyModel &energy, std::size_t worker_threads = 1);
 
 /** GET /healthz body ({"status","version"}). */
 std::string healthzJson();

@@ -450,7 +450,8 @@ AnalysisServer::dispatchAnalysis(const HttpRequest &request)
                                context_.energy);
             else
                 json = tuneJson(inputs, params, context_.pipeline,
-                                context_.energy);
+                                context_.energy,
+                                options_.worker_threads);
             outcome = {200, std::move(json)};
         } catch (const Error &e) {
             outcome = {400, errorJson(e.what())};

@@ -55,8 +55,8 @@
 #include "src/common/version.hh"
 #include "src/core/analyzer.hh"
 #include "src/dataflows/catalog.hh"
-#include "src/dataflows/tuner.hh"
 #include "src/dse/explorer.hh"
+#include "src/mapper/mapper.hh"
 #include "src/frontend/parser.hh"
 #include "src/model/zoo.hh"
 #include "src/obs/metrics.hh"
@@ -81,8 +81,17 @@ const char *const kUsage =
     "  simulate  --model NAME --layer L [--dataflow D]\n"
     "  dse       --model NAME --layer L --dataflow D "
     "[--area MM2] [--power MW] [--dse-exact]\n"
-    "  tune      --model NAME --layer L [--objective "
+    "  tune      --model NAME [--layer L] [--objective "
     "runtime|energy|edp]\n"
+    "            [--mode layer|network|joint] [--top-k N] "
+    "[--enforce-l1] [--tune-exact]\n"
+    "            [--clusters 1,4,16,64] [--tiles 1,8,64] "
+    "[--act-tiles 1,4]\n"
+    "            [--area MM2] [--power MW] [--format json]\n"
+    "            (--layer required for layer/joint modes; "
+    "--tune-exact runs the\n"
+    "             exhaustive oracle the pruned search is validated "
+    "against)\n"
     "  serve     [--port P] [--host ADDR] [--threads N] "
     "[--queue N] [--deadline-ms N]\n"
     "shared: [--threads N] [--stats on] [--trace OUT.json] "
@@ -129,7 +138,8 @@ parseArgs(int argc, char **argv)
         fatalIf(key.rfind("--", 0) != 0,
                 msg("expected --option, found '", key, "'"));
         // Valueless switches.
-        if (key == "--dse-exact" || key == "--profile") {
+        if (key == "--dse-exact" || key == "--profile" ||
+            key == "--enforce-l1" || key == "--tune-exact") {
             args.options[key.substr(2)] = "on";
             continue;
         }
@@ -466,50 +476,203 @@ cmdDse(const Args &args, const Inputs &in)
     return 0;
 }
 
+/** Comma-separated positive Count list from a flag value. */
+std::vector<Count>
+parseCountList(const std::string &flag, const std::string &value)
+{
+    std::vector<Count> out;
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+        const std::size_t comma =
+            std::min(value.find(',', pos), value.size());
+        const std::string entry = value.substr(pos, comma - pos);
+        try {
+            out.push_back(std::stoll(entry));
+        } catch (const std::exception &) {
+            out.push_back(0);
+        }
+        fatalIf(out.back() < 1,
+                msg(flag, ": '", value,
+                    "' is not a comma-separated list of positive "
+                    "integers"));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Mapper options resolved from the tune flags. */
+mapper::MapperOptions
+tuneOptions(const Args &args, const RunOptions &opts)
+{
+    mapper::MapperOptions options;
+    options.num_threads = opts.num_threads;
+    options.top_k = args.getInt("top-k", options.top_k);
+    fatalIf(options.top_k < 1, "--top-k must be positive");
+    options.enforce_l1_capacity = args.has("enforce-l1");
+    options.exact = args.has("tune-exact");
+    if (args.has("clusters"))
+        options.space.cluster_sizes =
+            parseCountList("--clusters", args.get("clusters"));
+    if (args.has("tiles"))
+        options.space.channel_tiles =
+            parseCountList("--tiles", args.get("tiles"));
+    if (args.has("act-tiles"))
+        options.space.activation_tiles =
+            parseCountList("--act-tiles", args.get("act-tiles"));
+    return options;
+}
+
+/**
+ * tune --format json: the server's /tune JSON from the same code
+ * path (serve::tuneJson), so CLI and server bodies are
+ * byte-identical for equal inputs.
+ */
+int
+cmdTuneJson(const Args &args, const Inputs &in, const RunOptions &opts)
+{
+    serve::RequestInputs req;
+    req.network = in.network;
+    req.config = in.config;
+    req.layer_name = in.layer_name;
+    serve::QueryParams params;
+    params["objective"] = args.get("objective", "runtime");
+    params["mode"] = args.get("mode", "layer");
+    if (in.layer_name)
+        params["layer"] = *in.layer_name;
+    if (args.has("top-k"))
+        params["top_k"] = args.get("top-k");
+    if (args.has("clusters"))
+        params["clusters"] = args.get("clusters");
+    if (args.has("tiles"))
+        params["tiles"] = args.get("tiles");
+    if (args.has("act-tiles"))
+        params["act_tiles"] = args.get("act-tiles");
+    if (args.has("enforce-l1"))
+        params["enforce_l1"] = "on";
+    if (args.has("tune-exact"))
+        params["exact"] = "on";
+    if (args.has("area"))
+        params["area"] = args.get("area");
+    if (args.has("power"))
+        params["power"] = args.get("power");
+    auto pipeline = std::make_shared<AnalysisPipeline>();
+    std::cout << serve::tuneJson(req, params, pipeline, EnergyModel(),
+                                 opts.num_threads)
+              << "\n";
+    if (args.has("profile"))
+        printProfile(pipeline->stats());
+    return kExitOk;
+}
+
+/** One search-stats summary line of a tune run. */
+void
+printSearchStats(const mapper::MapperStats &stats)
+{
+    std::cout << "covered " << engFormat(stats.covered)
+              << " mappings (" << stats.generated << " canonical, "
+              << stats.pruned_symmetry << " symmetry-pruned, "
+              << stats.pruned_capacity << " capacity-cut, "
+              << stats.evaluated << " evaluated, " << stats.rejected
+              << " rejected) in " << fixedFormat(stats.seconds, 3)
+              << " s = " << engFormat(stats.per_second)
+              << " mappings/s\n\n";
+}
+
 int
 cmdTune(const Args &args, const Inputs &in)
 {
-    fatalIf(!in.layer_name, "tune needs --layer");
-    const Layer &layer = in.network.layer(*in.layer_name);
+    const RunOptions opts = runOptions(args);
+    if (args.get("format", "table") == "json")
+        return cmdTuneJson(args, in, opts);
+    fatalIf(args.get("format", "table") != "table",
+            "--format must be table or json");
+
     const std::string obj = args.get("objective", "runtime");
-    dataflows::Objective objective = dataflows::Objective::Runtime;
+    mapper::Objective objective = mapper::Objective::Runtime;
     if (obj == "energy")
-        objective = dataflows::Objective::Energy;
+        objective = mapper::Objective::Energy;
     else if (obj == "edp")
-        objective = dataflows::Objective::Edp;
+        objective = mapper::Objective::Edp;
     else
         fatalIf(obj != "runtime",
                 "objective must be runtime, energy, or edp");
+    const std::string mode = args.get("mode", "layer");
+    fatalIf(mode != "layer" && mode != "network" && mode != "joint",
+            "--mode must be layer, network, or joint");
 
-    const RunOptions opts = runOptions(args);
+    const mapper::MapperOptions options = tuneOptions(args, opts);
     const Analyzer analyzer(in.config);
-    dataflows::TunerOptions tuner_options;
-    tuner_options.num_threads = opts.num_threads;
-    const auto t0 = std::chrono::steady_clock::now();
-    const dataflows::TunerResult res =
-        dataflows::tuneDataflow(analyzer, layer, objective,
-                                tuner_options);
-    const auto t1 = std::chrono::steady_clock::now();
-    std::cout << "tuned " << res.candidates << " candidates ("
-              << res.rejected << " rejected) for " << layer.name()
-              << ", objective " << obj << "\n\n";
+
+    if (mode == "network") {
+        const mapper::NetworkMapperResult res = mapper::mapNetwork(
+            analyzer, in.network, objective, options);
+        std::cout << "tuned network " << in.network.name() << " ("
+                  << res.unique_shapes << " unique shapes, objective "
+                  << obj << ")\n";
+        printSearchStats(res.stats);
+        Table table({"layer", "best dataflow", "objective", "reused"});
+        for (const auto &entry : res.layers) {
+            table.addRow({entry.layer, entry.best.dataflow.name(),
+                          engFormat(entry.best.objective_value),
+                          entry.reused ? "yes" : "no"});
+        }
+        table.print(std::cout);
+        std::cout << "\nper-layer-best total: "
+                  << engFormat(res.adaptive_total)
+                  << "\nbest single dataflow ("
+                  << engFormat(res.best_single.objective_value)
+                  << "):\n"
+                  << res.best_single.dataflow.toString();
+        return 0;
+    }
+
+    fatalIf(!in.layer_name, "tune needs --layer");
+    const Layer &layer = in.network.layer(*in.layer_name);
+
+    if (mode == "joint") {
+        dse::DseOptions dse_options;
+        dse_options.area_budget_mm2 = args.getDouble("area", 16.0);
+        dse_options.power_budget_mw = args.getDouble("power", 450.0);
+        dse_options.num_threads = opts.num_threads;
+        const mapper::JointMapperResult res = mapper::mapJoint(
+            analyzer, layer, objective, dse::DesignSpace::figure13(),
+            dse_options, options);
+        std::cout << "joint-tuned " << layer.name() << " (objective "
+                  << obj << ", " << res.designs.size()
+                  << " shortlisted mappings, "
+                  << engFormat(res.explored_points)
+                  << " design points)\n";
+        printSearchStats(res.mapping.stats);
+        Table table({"dataflow", "PEs", "NoC BW", "objective"});
+        for (const auto &d : res.designs) {
+            table.addRow({d.mapping.dataflow.name(),
+                          std::to_string(d.point.num_pes),
+                          fixedFormat(d.point.noc_bandwidth, 1),
+                          engFormat(d.objective_value)});
+        }
+        table.print(std::cout);
+        std::cout << "\nwinning mapping (at " << res.best.point.num_pes
+                  << " PEs, BW " << res.best.point.noc_bandwidth
+                  << "):\n"
+                  << res.best.mapping.dataflow.toString();
+        return 0;
+    }
+
+    const mapper::MapperResult res =
+        mapper::mapLayer(analyzer, layer, objective, options);
+    std::cout << "tuned " << layer.name() << " (objective " << obj
+              << (options.exact ? ", exhaustive oracle" : "") << ")\n";
+    printSearchStats(res.stats);
     Table table({"rank", "dataflow", "runtime", "energy", "util"});
     int rank = 1;
-    for (const auto &td : res.ranked) {
-        table.addRow({std::to_string(rank++), td.dataflow.name(),
-                      engFormat(td.runtime), engFormat(td.energy),
-                      fixedFormat(td.utilization, 2)});
+    for (const auto &md : res.ranked) {
+        table.addRow({std::to_string(rank++), md.dataflow.name(),
+                      engFormat(md.runtime), engFormat(md.energy),
+                      fixedFormat(md.utilization, 2)});
     }
     table.print(std::cout);
     std::cout << "\nwinning dataflow:\n"
               << res.best().dataflow.toString();
-    if (opts.print_stats) {
-        printPipelineStats(
-            analyzer.pipelineStats(),
-            std::chrono::duration<double>(t1 - t0).count());
-    }
-    if (args.has("profile"))
-        printProfile(analyzer.pipelineStats());
     return 0;
 }
 
