@@ -30,6 +30,7 @@
 #include "src/dse/explorer.hh"
 #include "src/mapper/mapper.hh"
 #include "src/model/zoo.hh"
+#include "src/sim/crossval.hh"
 #include "src/sim/reference_sim.hh"
 
 namespace
@@ -400,6 +401,123 @@ mapperSweepStudy()
     std::printf("MAESTRO_BENCH_JSON %s\n", w.str().c_str());
 }
 
+/**
+ * Crossval throughput + periodic-vs-exact speedup study. Two parts:
+ *
+ *  - the crossval sweep itself (seed 7, 1000 triples) at 1/2/4
+ *    threads, reporting triples per second plus the per-metric error
+ *    statistics the CI gate bounds;
+ *  - the fast-path payoff on a steady-state-dominated layer (64-ch
+ *    64x64 conv, where prologue/epilogue effects are a sliver of the
+ *    schedule): wall-clock of the periodic simulator vs the exact
+ *    nest walker on the same (layer, dataflow, hw), per dataflow.
+ *    The acceptance bar is >= 50x on every steady-state-dominated
+ *    case; the class collapse (steps per step class) is reported
+ *    alongside as the structural explanation.
+ *
+ * Emits a fourth MAESTRO_BENCH_JSON line ("crossval");
+ * BENCH_crossval.json checks in a captured copy.
+ */
+void
+crossvalStudy()
+{
+    crossval::CrossvalOptions options;
+    options.seed = 7;
+    options.triples = 1000;
+
+    crossval::CrossvalReport report;
+    auto sweepSeconds = [&](std::size_t threads) {
+        return bestSeconds(3, [&] {
+            options.threads = threads;
+            report = crossval::runCrossval(options);
+            benchmark::DoNotOptimize(report);
+        });
+    };
+    const double sweep_1t = sweepSeconds(1);
+    const double sweep_2t = sweepSeconds(2);
+    const double sweep_4t = sweepSeconds(4);
+    const auto evaluated = static_cast<double>(report.evaluated);
+
+    // Steady-state-dominated layer: big enough that the repeating
+    // window dwarfs the boundary steps, small enough that the exact
+    // oracle finishes in seconds.
+    DimMap<Count> dims(1);
+    dims[Dim::K] = 64;
+    dims[Dim::C] = 64;
+    dims[Dim::R] = 3;
+    dims[Dim::S] = 3;
+    dims[Dim::Y] = 64;
+    dims[Dim::X] = 64;
+    const Layer layer("conv64", OpType::Conv2D, dims);
+    const AcceleratorConfig cfg = AcceleratorConfig::paperStudy();
+    const char *speedup_dataflows[] = {"KC-P", "C-P", "YX-P"};
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("bench").value("crossval");
+    w.key("seed").value(options.seed);
+    w.key("triples").value(options.triples);
+    w.key("evaluated").value(report.evaluated);
+    w.key("skipped").value(report.skipped);
+    w.key("hw_threads").value(std::thread::hardware_concurrency());
+    w.key("triples_per_sec_1t").fixed(evaluated / sweep_1t, 1);
+    w.key("triples_per_sec_2t").fixed(evaluated / sweep_2t, 1);
+    w.key("triples_per_sec_4t").fixed(evaluated / sweep_4t, 1);
+    w.key("nest_steps_covered").sci(report.total_steps, 3);
+    w.key("step_classes_evaluated").sci(report.total_classes, 3);
+
+    w.key("error_pct").beginObject();
+    const struct
+    {
+        const char *name;
+        const crossval::MetricStats &stats;
+    } metrics[] = {
+        {"cycles", report.cycles},
+        {"macs", report.macs},
+        {"l2_supply", report.l2_supply},
+        {"dram_fill", report.dram_fill},
+    };
+    for (const auto &metric : metrics) {
+        w.key(metric.name).beginObject();
+        w.key("mean").fixed(metric.stats.meanAbsPct(), 2);
+        w.key("max").fixed(metric.stats.max_abs_pct, 2);
+        w.key("hist").beginArray();
+        for (const std::uint64_t bucket : metric.stats.hist)
+            w.value(bucket);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+
+    // Periodic vs exact on the steady-state layer, per dataflow. The
+    // exact walk runs once (it is the slow side being measured).
+    w.key("steady_state_speedup").beginObject();
+    for (const char *name : speedup_dataflows) {
+        const Dataflow df = dataflows::byName(name);
+        SimResult fast;
+        const double fast_s = bestSeconds(3, [&] {
+            fast = simulateLayer(layer, df, cfg);
+            benchmark::DoNotOptimize(fast);
+        });
+        SimOptions exact_options;
+        exact_options.exact = true;
+        const double exact_s = bestSeconds(1, [&] {
+            benchmark::DoNotOptimize(
+                simulateLayer(layer, df, cfg, exact_options));
+        });
+        w.key(name).beginObject();
+        w.key("steps").fixed(fast.steps, 0);
+        w.key("step_classes").fixed(fast.step_classes, 0);
+        w.key("exact_seconds").fixed(exact_s, 3);
+        w.key("fast_seconds").sci(fast_s, 3);
+        w.key("speedup").fixed(exact_s / fast_s, 1);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    std::printf("MAESTRO_BENCH_JSON %s\n", w.str().c_str());
+}
+
 } // namespace
 
 int
@@ -413,5 +531,6 @@ main(int argc, char **argv)
     pipelineStudy();
     dseSweepStudy();
     mapperSweepStudy();
+    crossvalStudy();
     return 0;
 }

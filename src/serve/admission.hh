@@ -122,6 +122,7 @@ struct RequestCounters
     std::atomic<std::uint64_t> analyze{0};
     std::atomic<std::uint64_t> dse{0};
     std::atomic<std::uint64_t> tune{0};
+    std::atomic<std::uint64_t> simulate{0};
     std::atomic<std::uint64_t> healthz{0};
     std::atomic<std::uint64_t> stats{0};
     std::atomic<std::uint64_t> metrics{0};

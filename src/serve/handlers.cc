@@ -11,6 +11,7 @@
 #include "src/mapper/mapper.hh"
 #include "src/frontend/parser.hh"
 #include "src/obs/metrics.hh"
+#include "src/sim/reference_sim.hh"
 
 namespace maestro
 {
@@ -443,6 +444,63 @@ tuneJson(const RequestInputs &inputs, const QueryParams &params,
 }
 
 std::string
+simulateJson(const RequestInputs &inputs, const QueryParams &params,
+             const std::shared_ptr<AnalysisPipeline> &pipeline,
+             const EnergyModel &energy)
+{
+    const Layer &layer = singleLayer(inputs, "simulate");
+
+    SimOptions options;
+    options.exact = params.count("exact") > 0;
+    options.max_steps =
+        paramDouble(params, "max_steps", options.max_steps);
+    fatalIf(options.max_steps <= 0.0,
+            "query parameter 'max_steps' must be positive");
+
+    const Analyzer analyzer(inputs.config, energy, pipeline);
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("endpoint").value("simulate");
+    w.key("layer").value(layer.name());
+    w.key("mode").value(options.exact ? "exact" : "periodic");
+    w.key("dataflows").beginArray();
+    for (const Dataflow &df : inputs.dataflows) {
+        const SimResult sim =
+            simulateLayer(layer, df, inputs.config, options);
+        const LayerAnalysis la = analyzer.analyzeLayer(layer, df);
+        w.beginObject();
+        w.key("dataflow").value(df.name());
+        w.key("cycles").value(sim.cycles);
+        w.key("steps").value(sim.steps);
+        w.key("step_classes").value(sim.step_classes);
+        w.key("macs").value(sim.macs);
+        w.key("avg_active_pes").value(sim.avg_active_pes);
+        w.key("l2_supply").beginObject();
+        w.key("weight").value(sim.l2_supply[TensorKind::Weight]);
+        w.key("input").value(sim.l2_supply[TensorKind::Input]);
+        w.endObject();
+        w.key("output_commits").value(sim.output_commits);
+        w.key("dram_fill").beginObject();
+        w.key("weight").value(sim.dram_fill[TensorKind::Weight]);
+        w.key("input").value(sim.dram_fill[TensorKind::Input]);
+        w.endObject();
+        w.key("dram_busy").value(sim.dram_busy);
+        w.key("noc_busy").value(sim.noc_busy);
+        w.key("compute_cycles").value(sim.compute_cycles);
+        w.key("analytical_runtime").value(la.runtime);
+        w.key("runtime_error").value(
+            sim.cycles > 0.0
+                ? (la.runtime - sim.cycles) / sim.cycles
+                : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
 healthzJson()
 {
     JsonWriter w;
@@ -472,6 +530,7 @@ statsJson(const PipelineStats &pipeline,
     w.key("analyze").value(load(counters.analyze));
     w.key("dse").value(load(counters.dse));
     w.key("tune").value(load(counters.tune));
+    w.key("simulate").value(load(counters.simulate));
     w.key("healthz").value(load(counters.healthz));
     w.key("stats").value(load(counters.stats));
     w.key("metrics").value(load(counters.metrics));
@@ -562,6 +621,7 @@ metricsText(const PipelineStats &pipeline,
         {"dse", load(counters.dse)},
         {"healthz", load(counters.healthz)},
         {"metrics", load(counters.metrics)},
+        {"simulate", load(counters.simulate)},
         {"stats", load(counters.stats)},
         {"tune", load(counters.tune)},
     };

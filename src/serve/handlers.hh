@@ -116,6 +116,23 @@ tuneJson(const RequestInputs &inputs, const QueryParams &params,
          const std::shared_ptr<AnalysisPipeline> &pipeline,
          const EnergyModel &energy, std::size_t worker_threads = 1);
 
+/**
+ * POST /simulate: the periodic reference simulator on one layer,
+ * cross-checked against the analytical model per dataflow.
+ *
+ * Query: ?layer= (required unless the network has one layer),
+ * ?exact=on (walk every nest position — the oracle), ?max_steps=N
+ * (work guard: nest steps on the exact path, step classes on the
+ * periodic path).
+ *
+ * @throws Error on bad parameters, unbindable dataflows, or a
+ *         tripped work guard.
+ */
+std::string
+simulateJson(const RequestInputs &inputs, const QueryParams &params,
+             const std::shared_ptr<AnalysisPipeline> &pipeline,
+             const EnergyModel &energy);
+
 /** GET /healthz body ({"status","version"}). */
 std::string healthzJson();
 

@@ -74,6 +74,8 @@ requestSite(const std::string &path)
     static const obs::Site analyze = make("http.analyze", "analyze");
     static const obs::Site dse = make("http.dse", "dse");
     static const obs::Site tune = make("http.tune", "tune");
+    static const obs::Site simulate =
+        make("http.simulate", "simulate");
     static const obs::Site healthz = make("http.healthz", "healthz");
     static const obs::Site stats = make("http.stats", "stats");
     static const obs::Site metrics = make("http.metrics", "metrics");
@@ -84,6 +86,8 @@ requestSite(const std::string &path)
         return dse;
     if (path == "/tune")
         return tune;
+    if (path == "/simulate")
+        return simulate;
     if (path == "/healthz")
         return healthz;
     if (path == "/stats")
@@ -400,11 +404,14 @@ AnalysisServer::dispatch(const HttpRequest &request)
         reply.content_type = "text/plain; version=0.0.4; charset=utf-8";
         return reply;
     }
-    if (path == "/analyze" || path == "/dse" || path == "/tune") {
+    if (path == "/analyze" || path == "/dse" || path == "/tune" ||
+        path == "/simulate") {
         if (path == "/analyze")
             counters_.analyze.fetch_add(1, std::memory_order_relaxed);
         else if (path == "/dse")
             counters_.dse.fetch_add(1, std::memory_order_relaxed);
+        else if (path == "/simulate")
+            counters_.simulate.fetch_add(1, std::memory_order_relaxed);
         else
             counters_.tune.fetch_add(1, std::memory_order_relaxed);
         if (request.method != "POST")
@@ -448,6 +455,9 @@ AnalysisServer::dispatchAnalysis(const HttpRequest &request)
             else if (path == "/dse")
                 json = dseJson(inputs, params, context_.pipeline,
                                context_.energy);
+            else if (path == "/simulate")
+                json = simulateJson(inputs, params, context_.pipeline,
+                                    context_.energy);
             else
                 json = tuneJson(inputs, params, context_.pipeline,
                                 context_.energy,

@@ -1,10 +1,14 @@
 #include "src/sim/reference_sim.hh"
 
 #include <algorithm>
-#include <cmath>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
 
 #include "src/common/error.hh"
-#include "src/core/reuse_analysis.hh"
+#include "src/sim/step_classes.hh"
+#include "src/sim/step_model.hh"
 
 namespace maestro
 {
@@ -12,344 +16,132 @@ namespace maestro
 namespace
 {
 
-/** A half-open index interval [start, start + size). */
-struct Interval
+/** One step class: member count times the shared contribution. */
+struct LeafTally
 {
-    Count start = 0;
-    Count size = 0;
-
-    bool empty() const { return size <= 0; }
+    double count = 0.0;
+    sim::StepContribution c;
 };
 
-/** Overlap size of two intervals. */
-Count
-overlap(const Interval &a, const Interval &b)
+/**
+ * Combines the leaves into totals. Both paths produce their leaves
+ * in the same (lexicographic key) order with bit-equal counts and
+ * contributions, so this shared reduction is where byte-identity is
+ * inherited rather than re-proven.
+ */
+SimResult
+combineLeaves(const std::vector<LeafTally> &leaves)
 {
-    const Count lo = std::max(a.start, b.start);
-    const Count hi = std::min(a.start + a.size, b.start + b.size);
-    return std::max<Count>(0, hi - lo);
+    SimResult r;
+    double active_sum = 0.0;
+    for (const LeafTally &leaf : leaves) {
+        const double n = leaf.count;
+        r.cycles += n * leaf.c.cycles;
+        r.macs += n * leaf.c.macs;
+        r.steps += n;
+        active_sum += n * leaf.c.active;
+        r.l2_supply[TensorKind::Weight] += n * leaf.c.l2_supply_w;
+        r.l2_supply[TensorKind::Input] += n * leaf.c.l2_supply_i;
+        r.output_commits += n * leaf.c.output_commits;
+        r.dram_fill[TensorKind::Weight] += n * leaf.c.dram_fill_w;
+        r.dram_fill[TensorKind::Input] += n * leaf.c.dram_fill_i;
+        r.noc_busy += n * leaf.c.noc_busy;
+        r.compute_cycles += n * leaf.c.compute_cycles;
+    }
+    r.step_classes = static_cast<double>(leaves.size());
+    r.avg_active_pes = r.steps > 0.0 ? active_sum / r.steps : 0.0;
+    return r;
 }
 
-/** One loop of the flattened simulation nest. */
-struct SimLoop
+std::string
+describePosition(const std::vector<Count> &pos)
 {
-    std::size_t level = 0;
-    bool is_fold = false;
-    Dim dim = Dim::N; // temporal loops only
-    Count steps = 1;
-};
-
-/** A tensor's concrete chunk as a list of per-storage-dim intervals. */
-struct Rect
-{
-    std::vector<Interval> dims;
-
-    double
-    volume() const
-    {
-        double v = 1.0;
-        for (const auto &iv : dims)
-            v *= static_cast<double>(std::max<Count>(0, iv.size));
-        return v;
-    }
-
-    /** Volume of this rect not covered by `prev` (rectangle diff). */
-    double
-    newVolume(const Rect &prev) const
-    {
-        if (prev.dims.size() != dims.size())
-            return volume();
-        double ov = 1.0;
-        for (std::size_t i = 0; i < dims.size(); ++i)
-            ov *= static_cast<double>(overlap(dims[i], prev.dims[i]));
-        return volume() - ov;
-    }
-};
+    std::ostringstream out;
+    out << "(";
+    for (std::size_t i = 0; i < pos.size(); ++i)
+        out << (i ? "," : "") << pos[i];
+    out << ")";
+    return out.str();
+}
 
 /**
- * Walks the flattened nest, resolving concrete per-level positions.
+ * The oracle: walks every nest position, classifies it through the
+ * same partition tree the fast path enumerates, and asserts every
+ * class member contributes bit-identically to the class's first
+ * (representative) member. A violation means the periodic
+ * classification is wrong for this workload and raises Error instead
+ * of silently diverging.
  */
-class Nest
+std::vector<LeafTally>
+exactLeaves(const sim::StepEngine &engine, const BoundDataflow &bound,
+            sim::Nest &nest)
 {
-  public:
-    explicit Nest(const BoundDataflow &bound)
-        : bound_(bound)
-    {
-        for (std::size_t l = 0; l < bound.levels.size(); ++l) {
-            const BoundLevel &level = bound.levels[l];
-            for (std::size_t i = 0; i < level.directives.size(); ++i) {
-                if (i == level.first_spatial &&
-                    level.spatial_folds > 1) {
-                    loops_.push_back(
-                        {l, true, Dim::N, level.spatial_folds});
-                }
-                const BoundDirective &bd = level.directives[i];
-                if (!bd.spatial() && bd.iterating())
-                    loops_.push_back({l, false, bd.dim, bd.steps});
-            }
-        }
-        pos_.assign(loops_.size(), 0);
-    }
-
-    const std::vector<SimLoop> &loops() const { return loops_; }
-
-    double
-    totalSteps() const
-    {
-        double total = 1.0;
-        for (const auto &loop : loops_)
-            total *= static_cast<double>(loop.steps);
-        return total;
-    }
-
-    /** Advances the odometer; false when the nest is exhausted. */
-    bool
-    advance()
-    {
-        for (std::size_t i = loops_.size(); i-- > 0;) {
-            if (++pos_[i] < loops_[i].steps)
-                return true;
-            pos_[i] = 0;
-        }
-        return false;
-    }
-
-    /** Fold position of a level (0 when it has no fold loop). */
-    Count
-    foldPos(std::size_t level) const
-    {
-        for (std::size_t i = 0; i < loops_.size(); ++i) {
-            if (loops_[i].is_fold && loops_[i].level == level)
-                return pos_[i];
-        }
-        return 0;
-    }
-
-    /** Temporal position of a dim at a level (0 when not iterating). */
-    Count
-    dimPos(std::size_t level, Dim dim) const
-    {
-        for (std::size_t i = 0; i < loops_.size(); ++i) {
-            if (!loops_[i].is_fold && loops_[i].level == level &&
-                loops_[i].dim == dim) {
-                return pos_[i];
-            }
-        }
-        return 0;
-    }
-
-    /** True when any level-0 loop moved since the previous step. */
-    bool
-    level0Changed(const std::vector<Count> &prev) const
-    {
-        for (std::size_t i = 0; i < loops_.size(); ++i) {
-            if (loops_[i].level == 0 && pos_[i] != prev[i])
-                return true;
-        }
-        return false;
-    }
-
-    const std::vector<Count> &positions() const { return pos_; }
-
-  private:
-    const BoundDataflow &bound_;
-    std::vector<SimLoop> loops_;
-    std::vector<Count> pos_;
-};
-
-/**
- * Concrete chunk resolver for the representative PE (unit 0 of every
- * level) or for level-0 granularity (deeper levels at full extent).
- */
-class ChunkResolver
-{
-  public:
-    ChunkResolver(const BoundDataflow &bound, const Layer &layer,
-                  bool depthwise)
-        : bound_(bound), depthwise_(depthwise)
-    {
-        stride_ = layer.type() == OpType::TransposedConv
-                      ? 1
-                      : layer.strideVal();
-        r_full_ = layer.dim(Dim::R);
-        s_full_ = layer.dim(Dim::S);
-        out_y_ = convOutputs(layer.effectiveDim(Dim::Y), r_full_, stride_);
-        out_x_ = convOutputs(layer.effectiveDim(Dim::X), s_full_, stride_);
-    }
-
-    /**
-     * Absolute interval of a dimension down to `depth` levels (deeper
-     * levels kept at their full chunk extent).
-     */
-    Interval
-    dimInterval(const Nest &nest, Dim d, std::size_t depth) const
-    {
-        Interval iv;
-        iv.start = 0;
-        iv.size = bound_.levels[0].extents[d];
-        for (std::size_t l = 0; l < depth; ++l) {
-            const BoundLevel &level = bound_.levels[l];
-            const BoundDirective *dir = nullptr;
-            for (const auto &bd : level.directives) {
-                if (bd.dim == d) {
-                    dir = &bd;
-                    break;
-                }
-            }
-            panicIf(dir == nullptr, "missing directive in sim");
-            Count p;
-            if (dir->spatial()) {
-                p = nest.foldPos(l) * level.num_units; // unit 0
-            } else {
-                p = nest.dimPos(l, d);
-            }
-            const Count extent = iv.size;
-            Count local_start = p * dir->offset_in;
-            if (local_start > std::max<Count>(0, extent - 1))
-                local_start = std::max<Count>(0, extent - 1);
-            const Count size =
-                std::min<Count>(dir->size, extent - local_start);
-            iv.start += local_start;
-            iv.size = size;
-        }
-        return iv;
-    }
-
-    /** Weight chunk at the given depth. */
-    Rect
-    weightRect(const Nest &nest, std::size_t depth) const
-    {
-        Rect r;
-        if (!depthwise_)
-            r.dims.push_back(dimInterval(nest, Dim::K, depth));
-        r.dims.push_back(dimInterval(nest, Dim::C, depth));
-        r.dims.push_back(dimInterval(nest, Dim::R, depth));
-        r.dims.push_back(dimInterval(nest, Dim::S, depth));
-        return r;
-    }
-
-    /** Input chunk at the given depth. */
-    Rect
-    inputRect(const Nest &nest, std::size_t depth) const
-    {
-        Rect r;
-        r.dims.push_back(dimInterval(nest, Dim::N, depth));
-        r.dims.push_back(dimInterval(nest, Dim::C, depth));
-        r.dims.push_back(dimInterval(nest, Dim::Y, depth));
-        r.dims.push_back(dimInterval(nest, Dim::X, depth));
-        return r;
-    }
-
-    /**
-     * Output positions along one axis touched/owned by an
-     * (activation, filter) interval pair.
-     */
-    Interval
-    outputInterval(const Interval &act, const Interval &filt,
-                   Count filt_full, Count out_extent) const
-    {
-        Interval iv;
-        if (act.empty() || filt.empty())
-            return iv;
-        if (act.size >= filt_full) {
-            // Ownership: outputs producible with the full filter.
-            iv.start = (act.start + stride_ - 1) / stride_;
-            const Count last =
-                (act.start + act.size - filt_full) / stride_;
-            iv.size = std::max<Count>(0, last - iv.start + 1);
+    sim::ClassTree tree(engine, bound);
+    std::map<std::vector<Count>, LeafTally> tally;
+    sim::StepState states[2];
+    std::vector<Count> key;
+    bool first = true;
+    int cur = 0;
+    while (true) {
+        const sim::StepContribution c = engine.step(
+            nest, first ? nullptr : &states[1 - cur], &states[cur]);
+        tree.classify(nest.positions(), key);
+        auto [it, inserted] = tally.try_emplace(key);
+        if (inserted) {
+            it->second.count = 1.0;
+            it->second.c = c;
         } else {
-            // Diagonal: outputs this partial window contributes to.
-            const Count lo_raw =
-                act.start - (filt.start + filt.size - 1);
-            const Count lo =
-                std::max<Count>(0, (lo_raw + stride_ - 1) / stride_);
-            const Count hi = (act.start + act.size - 1 - filt.start) /
-                             stride_;
-            iv.start = lo;
-            iv.size = std::max<Count>(0, hi - lo + 1);
+            fatalIf(it->second.c != c,
+                    msg("sim step-class invariant violated at position ",
+                        describePosition(nest.positions()),
+                        ": contribution differs from the class "
+                        "representative"));
+            it->second.count += 1.0;
         }
-        // Clamp to the layer's output extent.
-        const Count hi = std::min<Count>(iv.start + iv.size, out_extent);
-        iv.start = std::min(iv.start, out_extent);
-        iv.size = std::max<Count>(0, hi - iv.start);
-        return iv;
+        first = false;
+        cur = 1 - cur;
+        if (!nest.advance())
+            break;
     }
+    std::vector<LeafTally> leaves;
+    leaves.reserve(tally.size());
+    for (const auto &[k, leaf] : tally)
+        leaves.push_back(leaf);
+    return leaves;
+}
 
-    /** Output chunk at the given depth. */
-    Rect
-    outputRect(const Nest &nest, std::size_t depth) const
-    {
-        Rect r;
-        r.dims.push_back(dimInterval(nest, Dim::N, depth));
-        r.dims.push_back(
-            dimInterval(nest, depthwise_ ? Dim::C : Dim::K, depth));
-        r.dims.push_back(outputInterval(dimInterval(nest, Dim::Y, depth),
-                                        dimInterval(nest, Dim::R, depth),
-                                        r_full_, out_y_));
-        r.dims.push_back(outputInterval(dimInterval(nest, Dim::X, depth),
-                                        dimInterval(nest, Dim::S, depth),
-                                        s_full_, out_x_));
-        return r;
-    }
-
-    /**
-     * Exact MACs of the representative PE at the current step:
-     * valid (y, r) pairs enumerated over the filter chunk.
-     */
-    double
-    peMacs(const Nest &nest) const
-    {
-        const std::size_t depth = bound_.levels.size();
-        const Interval n = dimInterval(nest, Dim::N, depth);
-        const Interval k = dimInterval(nest, Dim::K, depth);
-        const Interval c = dimInterval(nest, Dim::C, depth);
-        const double pairs_y =
-            axisPairs(dimInterval(nest, Dim::Y, depth),
-                      dimInterval(nest, Dim::R, depth), r_full_, out_y_);
-        const double pairs_x =
-            axisPairs(dimInterval(nest, Dim::X, depth),
-                      dimInterval(nest, Dim::S, depth), s_full_, out_x_);
-        return static_cast<double>(n.size) * static_cast<double>(k.size) *
-               static_cast<double>(c.size) * pairs_y * pairs_x;
-    }
-
-    Count stride() const { return stride_; }
-
-  private:
-    /** Valid (act, filt) pairs along one axis, by filter enumeration. */
-    double
-    axisPairs(const Interval &act, const Interval &filt, Count filt_full,
-              Count out_extent) const
-    {
-        if (act.empty() || filt.empty())
-            return 0.0;
-        const Interval outs =
-            outputInterval(act, filt, filt_full, out_extent);
-        if (outs.empty())
-            return 0.0;
-        double pairs = 0.0;
-        for (Count r = filt.start; r < filt.start + filt.size; ++r) {
-            // y = y' * stride + r must fall inside the act interval.
-            const Count y_lo = std::max<Count>(
-                outs.start * stride_ + r, act.start);
-            const Count y_hi =
-                std::min<Count>((outs.start + outs.size - 1) * stride_ + r,
-                                act.start + act.size - 1);
-            if (y_hi < y_lo)
-                continue;
-            pairs += static_cast<double>((y_hi - y_lo) / stride_ + 1);
-        }
-        return pairs;
-    }
-
-    const BoundDataflow &bound_;
-    bool depthwise_;
-    Count stride_ = 1;
-    Count r_full_ = 1;
-    Count s_full_ = 1;
-    Count out_y_ = 1;
-    Count out_x_ = 1;
-};
+/**
+ * The periodic fast path: enumerate the step classes, evaluate one
+ * representative per class (synthesizing its predecessor's state at
+ * the odometer-decremented position), and weight by member count.
+ */
+std::vector<LeafTally>
+fastLeaves(const sim::StepEngine &engine, const BoundDataflow &bound,
+           double max_classes)
+{
+    sim::ClassTree tree(engine, bound);
+    sim::Nest cur(bound);
+    sim::Nest prev(bound);
+    std::vector<Count> prev_pos;
+    std::vector<LeafTally> leaves;
+    tree.enumerate(
+        max_classes,
+        [&](const std::vector<Count> &rep, double count) {
+            cur.setPositions(rep);
+            prev_pos = rep;
+            sim::StepContribution c;
+            if (!cur.decrement(prev_pos)) {
+                // The all-zeros class is the init step.
+                c = engine.step(cur, nullptr, nullptr);
+            } else {
+                prev.setPositions(prev_pos);
+                const sim::StepState prev_state = engine.stateAt(prev);
+                c = engine.step(cur, &prev_state, nullptr);
+            }
+            leaves.push_back({count, c});
+        });
+    return leaves;
+}
 
 } // namespace
 
@@ -362,224 +154,20 @@ simulateLayer(const Layer &layer, const Dataflow &dataflow,
     const bool depthwise = layer.type() == OpType::DepthwiseConv;
     const BoundDataflow bound =
         bindDataflow(dataflow, layer, config.num_pes);
-    const std::size_t depth = bound.levels.size();
+    const sim::StepEngine engine(bound, layer, config, depthwise);
 
-    Nest nest(bound);
-    fatalIf(nest.totalSteps() > options.max_steps,
-            msg("simulation nest has ", nest.totalSteps(),
-                " steps, exceeding the guard of ", options.max_steps));
-
-    ChunkResolver resolver(bound, layer, depthwise);
-
-    // Per-level steady sharing multipliers (multicast/reduction), from
-    // the ownership-aware storage-dim shifts.
-    std::vector<double> level_units(depth);
-    TensorMap<std::vector<double>> unique_ratio;
-    std::vector<bool> out_reduction(depth, false);
-    for (TensorKind t : kAllTensors)
-        unique_ratio[t].assign(depth, 1.0);
-    for (std::size_t l = 0; l < depth; ++l) {
-        const BoundLevel &level = bound.levels[l];
-        level_units[l] = static_cast<double>(level.num_units);
-        for (TensorKind t : kAllTensors) {
-            const auto dims = tensorStorageDims(level, t, depthwise);
-            double unique = 1.0;
-            double total = 1.0;
-            const double a = level.active_units;
-            bool any_shift = false;
-            for (const auto &sd : dims) {
-                const double shift = std::abs(sd.shift);
-                if (shift > 0.0) {
-                    any_shift = true;
-                    unique *= sd.chunk + (a - 1.0) *
-                                             std::min(shift, sd.chunk);
-                } else {
-                    unique *= sd.chunk;
-                }
-                total *= sd.chunk;
-            }
-            total *= a;
-            const bool has_spatial =
-                level.first_spatial != BoundLevel::kNoSpatial &&
-                a > 1.0;
-            double ratio = 1.0;
-            if (has_spatial) {
-                ratio = any_shift
-                            ? std::min(1.0, total > 0.0 ? unique / total
-                                                        : 1.0)
-                            : 1.0 / a;
-            }
-            unique_ratio[t][l] = ratio;
-            if (t == TensorKind::Output)
-                out_reduction[l] = has_spatial && !any_shift;
-        }
+    std::vector<LeafTally> leaves;
+    if (options.exact) {
+        sim::Nest nest(bound);
+        fatalIf(nest.totalSteps() > options.max_steps,
+                msg("simulation nest has ", nest.totalSteps(),
+                    " steps, exceeding the guard of ",
+                    options.max_steps));
+        leaves = exactLeaves(engine, bound, nest);
+    } else {
+        leaves = fastLeaves(engine, bound, options.max_steps);
     }
-
-    // Concrete spatial position count of one level given the current
-    // scope (edge chunks at outer levels shrink inner extents).
-    auto spatial_steps_now = [&](std::size_t l) -> Count {
-        const BoundLevel &level = bound.levels[l];
-        if (level.first_spatial == BoundLevel::kNoSpatial)
-            return 1;
-        Count steps = 1;
-        for (const auto &bd : level.directives) {
-            if (!bd.spatial())
-                continue;
-            const Count extent =
-                resolver.dimInterval(nest, bd.dim, l).size;
-            if (extent <= 0)
-                continue;
-            Count st;
-            if (bd.out_space) {
-                const Dim filt = bd.dim == Dim::Y ? Dim::R : Dim::S;
-                const Count filt_extent =
-                    resolver.dimInterval(nest, filt, l).size;
-                const Count outs =
-                    convOutputs(extent, filt_extent, level.stride);
-                const Count chunk_outs = convOutputs(
-                    std::min(bd.size, extent), filt_extent,
-                    level.stride);
-                st = chunk_outs > 0 ? numMapPositions(outs, chunk_outs,
-                                                      bd.offset_out)
-                                    : 1;
-            } else {
-                st = numMapPositions(extent,
-                                     std::min(bd.size, extent),
-                                     bd.offset_in);
-            }
-            steps = std::max(steps, st);
-        }
-        return steps;
-    };
-
-    // Active units per level for the current fold position and scope.
-    auto active_units = [&](std::size_t l) {
-        const BoundLevel &level = bound.levels[l];
-        const Count steps = spatial_steps_now(l);
-        const Count fold = nest.foldPos(l);
-        const Count remaining = steps - fold * level.num_units;
-        return static_cast<double>(std::clamp<Count>(
-            remaining, steps > 1 ? 0 : 1, level.num_units));
-    };
-
-    SimResult result;
-    const double vw = static_cast<double>(config.vector_width);
-    const double density =
-        layer.inputDensityVal() * layer.weightDensityVal();
-
-    TensorMap<Rect> prev_pe;
-    TensorMap<Rect> prev_top;
-    std::vector<Count> prev_pos = nest.positions();
-    bool first = true;
-    double active_pe_sum = 0.0;
-
-    // Per-step cache of the levels' active-unit counts (the resolver
-    // walk behind active_units is too costly to repeat per use).
-    std::vector<double> act(depth, 1.0);
-
-    while (true) {
-        for (std::size_t l = 0; l < depth; ++l)
-            act[l] = std::max(1.0, active_units(l));
-
-        // Chip-wide sharing multipliers for this step.
-        double repl = 1.0;
-        TensorMap<double> unique_mult(1.0);
-        double out_mult = 1.0;
-        for (std::size_t l = 0; l < depth; ++l) {
-            const double a = act[l];
-            repl *= a;
-            for (TensorKind t :
-                 {TensorKind::Weight, TensorKind::Input}) {
-                unique_mult[t] *=
-                    std::max(1.0, a * unique_ratio[t][l]);
-            }
-            if (out_reduction[l]) {
-                out_mult *= config.spatial_reduction ? 1.0 : a;
-            } else {
-                out_mult *= std::max(
-                    1.0, a * unique_ratio[TensorKind::Output][l]);
-            }
-        }
-
-        TensorMap<double> noc_mult;
-        for (TensorKind t : {TensorKind::Weight, TensorKind::Input}) {
-            noc_mult[t] =
-                config.spatial_multicast ? unique_mult[t] : repl;
-        }
-
-        // Representative-PE chunks and their new data.
-        TensorMap<Rect> pe;
-        pe[TensorKind::Weight] = resolver.weightRect(nest, depth);
-        pe[TensorKind::Input] = resolver.inputRect(nest, depth);
-        pe[TensorKind::Output] = resolver.outputRect(nest, depth);
-
-        double noc_in = 0.0;
-        for (TensorKind t : {TensorKind::Weight, TensorKind::Input}) {
-            const double fresh =
-                first ? pe[t].volume() : pe[t].newVolume(prev_pe[t]);
-            const double dens =
-                t == TensorKind::Input ? layer.inputDensityVal()
-                                       : layer.weightDensityVal();
-            result.l2_supply[t] += fresh * noc_mult[t] * dens;
-            noc_in += fresh * noc_mult[t] * dens;
-        }
-        // Output egress: the part of the previous chunk not retained.
-        double out_elems = 0.0;
-        if (!first) {
-            out_elems = prev_pe[TensorKind::Output].newVolume(
-                pe[TensorKind::Output]);
-        }
-        result.output_commits += out_elems * out_mult;
-
-        // DRAM side (level-0 granularity chunks).
-        if (first || nest.level0Changed(prev_pos)) {
-            TensorMap<Rect> top;
-            top[TensorKind::Weight] = resolver.weightRect(nest, 1);
-            top[TensorKind::Input] = resolver.inputRect(nest, 1);
-            double dram = 0.0;
-            for (TensorKind t :
-                 {TensorKind::Weight, TensorKind::Input}) {
-                const double fresh =
-                    first ? top[t].volume()
-                          : top[t].newVolume(prev_top[t]);
-                const double dens =
-                    t == TensorKind::Input ? layer.inputDensityVal()
-                                           : layer.weightDensityVal();
-                const double mult =
-                    std::max(1.0, act[0] * unique_ratio[t][0]);
-                result.dram_fill[t] += fresh * mult * dens;
-                dram += fresh * mult * dens;
-            }
-            prev_top = top;
-        }
-
-        // Per-step delay.
-        const double macs_pe = resolver.peMacs(nest) * density;
-        double active = 1.0;
-        for (std::size_t l = 0; l < depth; ++l)
-            active *= act[l];
-        result.macs += macs_pe * active;
-        active_pe_sum += active;
-
-        const double compute = std::ceil(std::max(1.0, macs_pe) / vw);
-        const double d_in = config.noc.delay(noc_in);
-        const double d_out = config.noc.delay(out_elems * out_mult);
-        if (first) {
-            result.cycles += d_in + compute + d_out;
-        } else {
-            result.cycles += std::max({d_in, compute, d_out});
-        }
-        result.noc_busy += d_in + d_out;
-        result.compute_cycles += compute;
-        result.steps += 1.0;
-
-        prev_pe = pe;
-        prev_pos = nest.positions();
-        first = false;
-        if (!nest.advance())
-            break;
-    }
-
+    SimResult result = combineLeaves(leaves);
 
     // L2 capacity correction: a tensor resident in half the L2 is
     // fetched from DRAM exactly once.
@@ -604,8 +192,6 @@ simulateLayer(const Layer &layer, const Dataflow &dataflow,
     // The off-chip interface overlaps with on-chip execution under
     // double buffering: runtime is bounded below by its busy time.
     result.cycles = std::max(result.cycles, result.dram_busy);
-    result.avg_active_pes =
-        result.steps > 0.0 ? active_pe_sum / result.steps : 0.0;
     return result;
 }
 

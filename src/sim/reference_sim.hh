@@ -7,8 +7,8 @@
  * Neither is available here, so this module provides the substitute
  * documented in DESIGN.md: an *executable* model of the same abstract
  * machine (PE array + private L1s + shared L2 + pipe NoC, Fig. 2)
- * that steps through the bound dataflow's entire loop nest position
- * by position:
+ * that accounts for every position of the bound dataflow's flattened
+ * loop nest:
  *
  *  - every step computes each tensor's concrete index-space chunk for
  *    a representative PE (exact clamped edges, exact partial folds),
@@ -20,8 +20,18 @@
  *  - per-step delay is max(NoC ingress, compute, NoC egress) under
  *    double buffering, with DRAM modeled as a busy-time resource.
  *
+ * Two execution paths produce byte-identical results (DESIGN.md §9):
+ * the default *periodic* path partitions the nest into step classes
+ * (steady-state interior positions vs init/edge/fold boundaries),
+ * simulates one representative per class, and multiplies by the
+ * member count; the `exact` path (`--sim-exact`) walks every
+ * position, re-derives each class membership, and asserts bit-equal
+ * contributions — the oracle the randomized equivalence suite pins
+ * the fast path against.
+ *
  * Agreement between this simulator and the analytical engines is the
- * reproduction's stand-in for the paper's RTL validation.
+ * reproduction's stand-in for the paper's RTL validation; the
+ * crossval harness (src/sim/crossval.hh) enforces it at scale.
  */
 
 #ifndef MAESTRO_SIM_REFERENCE_SIM_HH
@@ -44,6 +54,10 @@ struct SimResult
 
     /** Total steps of the flattened nest. */
     double steps = 0.0;
+
+    /** Distinct step classes evaluated (== steps for a walk where
+     *  every position is its own class; far smaller when periodic). */
+    double step_classes = 0.0;
 
     /** Total MACs executed (all PEs). */
     double macs = 0.0;
@@ -75,14 +89,26 @@ struct SimResult
  */
 struct SimOptions
 {
-    /** Abort if the nest has more steps than this (safety guard). */
+    /**
+     * Work guard: the exact walker aborts when the nest has more
+     * steps than this; the periodic path aborts when it needs more
+     * *step classes* than this (the same bound applied to each
+     * path's own unit of work, so the fast path accepts nests whose
+     * raw step count is astronomically larger).
+     */
     double max_steps = 5e8;
+
+    /** Walk every position (the oracle) instead of the periodic
+     *  fast path. Results are byte-identical; only speed differs. */
+    bool exact = false;
 };
 
 /**
  * Runs the reference simulation of one layer under one dataflow.
  *
- * @throws Error if the nest exceeds options.max_steps.
+ * @throws Error if the selected path exceeds options.max_steps, or
+ *         if the exact walker detects a step-class contribution
+ *         mismatch (a periodic-classification bug — never expected).
  */
 SimResult simulateLayer(const Layer &layer, const Dataflow &dataflow,
                         const AcceleratorConfig &config,

@@ -1,0 +1,245 @@
+#include "src/sim/step_classes.hh"
+
+#include <algorithm>
+
+#include "src/common/error.hh"
+#include "src/common/math_util.hh"
+
+namespace maestro
+{
+namespace sim
+{
+
+Partition
+Partition::singletons(Count steps)
+{
+    Partition p;
+    p.steps = steps;
+    p.left_end = steps;
+    p.edge_start = steps;
+    p.mod = 1;
+    return p;
+}
+
+Partition
+Partition::grouped(Count steps, Count left_end, Count edge_start,
+                   Count mod)
+{
+    left_end = std::clamp<Count>(left_end, 1, steps);
+    edge_start = std::clamp<Count>(edge_start, left_end, steps);
+    mod = std::max<Count>(1, mod);
+    // Grouping must actually compress, and every residue class needs
+    // at least one member so ranks are total.
+    if (edge_start - left_end <= mod)
+        return singletons(steps);
+
+    Partition p;
+    p.steps = steps;
+    p.left_end = left_end;
+    p.edge_start = edge_start;
+    p.mod = mod;
+    p.residue_rank.assign(static_cast<std::size_t>(mod), -1);
+    for (Count rep = left_end; rep < left_end + mod; ++rep) {
+        p.residue_rank[static_cast<std::size_t>(rep % mod)] =
+            static_cast<Count>(p.interior_reps.size());
+        p.interior_reps.push_back(rep);
+        p.interior_counts.push_back(
+            static_cast<double>((edge_start - 1 - rep) / mod + 1));
+    }
+    return p;
+}
+
+Count
+Partition::groupOf(Count p) const
+{
+    if (p < left_end)
+        return p;
+    if (p >= edge_start) {
+        return left_end + static_cast<Count>(interior_reps.size()) +
+               (p - edge_start);
+    }
+    const Count rank = residue_rank[static_cast<std::size_t>(p % mod)];
+    panicIf(rank < 0, "sim step-class residue without a rank");
+    return left_end + rank;
+}
+
+Count
+Partition::repOf(Count g) const
+{
+    if (g < left_end)
+        return g;
+    const Count n_int = static_cast<Count>(interior_reps.size());
+    if (g < left_end + n_int)
+        return interior_reps[static_cast<std::size_t>(g - left_end)];
+    return edge_start + (g - left_end - n_int);
+}
+
+double
+Partition::countOf(Count g) const
+{
+    const Count n_int = static_cast<Count>(interior_reps.size());
+    if (g >= left_end && g < left_end + n_int)
+        return interior_counts[static_cast<std::size_t>(g - left_end)];
+    return 1.0;
+}
+
+ClassTree::ClassTree(const StepEngine &engine,
+                     const BoundDataflow &bound)
+    : engine_(engine), bound_(bound), scratch_(bound)
+{
+}
+
+Partition
+ClassTree::partitionFor(std::size_t loop_index)
+{
+    const SimLoop &loop = scratch_.loops()[loop_index];
+    const Count S = loop.steps;
+    if (S <= 4)
+        return Partition::singletons(S);
+    const ChunkResolver &res = engine_.resolver();
+    const Count stride = std::max<Count>(1, res.stride());
+
+    if (!loop.is_fold) {
+        const Dim d = loop.dim;
+        // Filter-axis loops couple into the diagonal output windows
+        // in ways the translation argument does not cover; their
+        // extents are filter-sized, so singletons cost nothing.
+        if (d == Dim::R || d == Dim::S)
+            return Partition::singletons(S);
+        const BoundDirective &bd = *loop.directive;
+        const Count E = res.dimInterval(scratch_, d, loop.level).size;
+        const Count o = std::max<Count>(1, bd.offset_in);
+        const Count sz =
+            std::min<Count>(bd.size, std::max<Count>(1, E));
+        Count slack = 0;
+        Count mod = 1;
+        if (d == Dim::Y || d == Dim::X) {
+            // Interior positions (and their odometer predecessors)
+            // must stay clear of both tensor boundaries: the diagonal
+            // window's left clamp and the output-extent right clamp.
+            slack = res.filterFull(d) + stride;
+            mod = stride;
+        }
+        const Count left_end = ceilDiv(slack, o) + 1;
+        const Count num = E - slack - sz;
+        const Count edge_start = num < 0 ? 0 : num / o + 1;
+        return Partition::grouped(S, left_end, edge_start, mod);
+    }
+
+    // Fold loop: spatial positions advance with the fold for every
+    // spatial directive of the level.
+    const std::size_t l = loop.level;
+    const BoundLevel &level = bound_.levels[l];
+    if (engine_.spatialStepsNow(scratch_, l) != level.spatial_steps)
+        return Partition::singletons(S);
+    Count left_end = 1;
+    Count edge_start = S - 1; // the last fold may be partial
+    Count mod = 1;
+    for (const auto &bd : level.directives) {
+        if (!bd.spatial())
+            continue;
+        if (bd.dim == Dim::R || bd.dim == Dim::S)
+            return Partition::singletons(S);
+        const Count E = res.dimInterval(scratch_, bd.dim, l).size;
+        const Count o =
+            std::max<Count>(1, level.num_units * bd.offset_in);
+        Count slack = 0;
+        if (bd.dim == Dim::Y || bd.dim == Dim::X) {
+            slack = res.filterFull(bd.dim) + stride;
+            mod = std::max(mod, stride);
+        }
+        left_end = std::max(left_end, ceilDiv(slack, o) + 1);
+        const Count num = E - slack - bd.size;
+        edge_start = std::min(edge_start, num < 0 ? 0 : num / o + 1);
+    }
+    return Partition::grouped(S, left_end, edge_start, mod);
+}
+
+ClassTree::Node &
+ClassTree::childOf(Node &node, std::size_t loop_index, Count group)
+{
+    // The caller has positioned scratch_[loop_index] at the group's
+    // representative, so the child's partition sees its context.
+    auto it = node.kids.find(group);
+    if (it == node.kids.end()) {
+        auto child = std::make_unique<Node>();
+        child->part = partitionFor(loop_index + 1);
+        it = node.kids.emplace(group, std::move(child)).first;
+    }
+    return *it->second;
+}
+
+void
+ClassTree::classify(const std::vector<Count> &pos,
+                    std::vector<Count> &key_out)
+{
+    key_out.clear();
+    const std::size_t n = scratch_.loops().size();
+    if (n == 0)
+        return;
+    if (!root_) {
+        root_ = std::make_unique<Node>();
+        root_->part = partitionFor(0);
+    }
+    Node *node = root_.get();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Count g = node->part.groupOf(pos[i]);
+        key_out.push_back(g);
+        scratch_.setPosition(i, node->part.repOf(g));
+        if (i + 1 < n)
+            node = &childOf(*node, i, g);
+    }
+}
+
+void
+ClassTree::enumerateFrom(
+    Node &node, std::size_t loop_index, std::vector<Count> &rep,
+    double count, double max_classes, double &classes,
+    const std::function<void(const std::vector<Count> &, double)>
+        &visit)
+{
+    const Count groups = node.part.numGroups();
+    const std::size_t n = scratch_.loops().size();
+    for (Count g = 0; g < groups; ++g) {
+        const Count p = node.part.repOf(g);
+        rep[loop_index] = p;
+        scratch_.setPosition(loop_index, p);
+        const double c = count * node.part.countOf(g);
+        if (loop_index + 1 == n) {
+            classes += 1.0;
+            fatalIf(classes > max_classes,
+                    msg("simulation nest has more than ", max_classes,
+                        " step classes, exceeding the guard"));
+            visit(rep, c);
+        } else {
+            enumerateFrom(childOf(node, loop_index, g), loop_index + 1,
+                          rep, c, max_classes, classes, visit);
+        }
+    }
+}
+
+void
+ClassTree::enumerate(
+    double max_classes,
+    const std::function<void(const std::vector<Count> &, double)>
+        &visit)
+{
+    const std::size_t n = scratch_.loops().size();
+    if (n == 0) {
+        fatalIf(max_classes < 1.0,
+                msg("simulation nest has more than ", max_classes,
+                    " step classes, exceeding the guard"));
+        visit({}, 1.0);
+        return;
+    }
+    if (!root_) {
+        root_ = std::make_unique<Node>();
+        root_->part = partitionFor(0);
+    }
+    std::vector<Count> rep(n, 0);
+    double classes = 0.0;
+    enumerateFrom(*root_, 0, rep, 1.0, max_classes, classes, visit);
+}
+
+} // namespace sim
+} // namespace maestro

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Step-class decomposition of the flattened nest (the periodic fast
+ * path's core).
+ *
+ * A nest position's contribution (step_model.hh) depends on the
+ * position tuple only through a small amount of structure: which
+ * loops are at zero (carry pattern), which are at a clamped edge
+ * position, the position modulo the convolution stride for Y/X loops
+ * (output-space ceil/floor divisions), and proximity to the tensor
+ * boundary (output-extent and diagonal-window clamps). Positions that
+ * agree on all of that form a *step class*: every member contributes
+ * the same `StepContribution`, so the class is simulated once at its
+ * representative and multiplied by the member count.
+ *
+ * Classes are organized as a tree over the nest's loops: each node
+ * partitions one loop's positions given the concrete representatives
+ * chosen by its ancestors (outer edge choices shrink inner extents,
+ * so inner partitions are context-dependent). Leaves are classes; the
+ * leaf count is typically polynomial in the loop count while the walk
+ * is exponential. The partition rules are intentionally conservative
+ * — any position that *could* behave differently becomes a singleton
+ * — and the exact walker re-derives every class membership and
+ * asserts bit-equal contributions (reference_sim.cc), so the
+ * randomized equivalence suite proves the classification, not just
+ * the totals.
+ */
+
+#ifndef MAESTRO_SIM_STEP_CLASSES_HH
+#define MAESTRO_SIM_STEP_CLASSES_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/sim/step_model.hh"
+
+namespace maestro
+{
+namespace sim
+{
+
+/**
+ * Partition of one loop's positions [0, steps) into groups:
+ * singletons [0, left_end) and [edge_start, steps), and interior
+ * classes [left_end, edge_start) grouped by position mod `mod`.
+ */
+struct Partition
+{
+    Count steps = 1;
+    Count left_end = 1;
+    Count edge_start = 1;
+    Count mod = 1;
+    std::vector<Count> interior_reps;    ///< ascending representatives
+    std::vector<double> interior_counts; ///< aligned member counts
+    std::vector<Count> residue_rank;     ///< pos%mod -> interior index
+
+    /** Every position its own group (the no-compression fallback). */
+    static Partition singletons(Count steps);
+
+    /** Groups [left_end, edge_start) by residue; falls back to
+     *  singletons when grouping would not compress. */
+    static Partition grouped(Count steps, Count left_end,
+                             Count edge_start, Count mod);
+
+    Count numGroups() const
+    {
+        return left_end + static_cast<Count>(interior_reps.size()) +
+               (steps - edge_start);
+    }
+    Count groupOf(Count p) const;
+    Count repOf(Count g) const;
+    double countOf(Count g) const;
+};
+
+/**
+ * Lazy context-dependent partition tree over the nest's loops.
+ *
+ * Both simulation paths share one tree: the fast path enumerates
+ * every leaf (`enumerate`), the exact walker classifies each visited
+ * position (`classify`) to tally and cross-check contributions. Node
+ * partitions are computed on first visit with the ancestor
+ * representatives applied to a scratch nest, so outer edge contexts
+ * see their true (shrunken) extents.
+ */
+class ClassTree
+{
+  public:
+    ClassTree(const StepEngine &engine, const BoundDataflow &bound);
+
+    /**
+     * Group-index path of a position tuple (one entry per loop).
+     * Appends lazily-created nodes along the way.
+     */
+    void classify(const std::vector<Count> &pos,
+                  std::vector<Count> &key_out);
+
+    /**
+     * Visits every leaf class in lexicographic key order with its
+     * representative position tuple and member count.
+     *
+     * @throws Error when the class count exceeds `max_classes`
+     *         (the fast path's rendering of SimOptions::max_steps).
+     */
+    void
+    enumerate(double max_classes,
+              const std::function<void(const std::vector<Count> &rep,
+                                       double count)> &visit);
+
+  private:
+    struct Node
+    {
+        Partition part;
+        std::map<Count, std::unique_ptr<Node>> kids;
+    };
+
+    Partition partitionFor(std::size_t loop_index);
+    Node &childOf(Node &node, std::size_t loop_index, Count group);
+    void enumerateFrom(Node &node, std::size_t loop_index,
+                       std::vector<Count> &rep, double count,
+                       double max_classes, double &classes,
+                       const std::function<void(
+                           const std::vector<Count> &, double)> &visit);
+
+    const StepEngine &engine_;
+    const BoundDataflow &bound_;
+    Nest scratch_;
+    std::unique_ptr<Node> root_;
+};
+
+} // namespace sim
+} // namespace maestro
+
+#endif // MAESTRO_SIM_STEP_CLASSES_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the mass cross-validation harness: the CI-gate subset,
+ * determinism across runs and thread counts, and gate diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/crossval.hh"
+
+namespace maestro
+{
+namespace crossval
+{
+namespace
+{
+
+CrossvalOptions
+fastOptions()
+{
+    CrossvalOptions options;
+    options.seed = 7;
+    options.triples = 96;
+    options.threads = 4;
+    return options;
+}
+
+TEST(Crossval, SamplerIsPureFunctionOfSeedAndIndex)
+{
+    for (std::uint64_t i : {0ULL, 1ULL, 17ULL, 4095ULL}) {
+        const TripleSpec a = sampleTriple(42, i);
+        const TripleSpec b = sampleTriple(42, i);
+        EXPECT_EQ(a.describe(), b.describe());
+    }
+    // Different indices must not collapse to one spec.
+    EXPECT_NE(sampleTriple(42, 1).describe(),
+              sampleTriple(42, 2).describe());
+    // Sampled triples must be layer-constructible.
+    for (std::uint64_t i = 0; i < 64; ++i)
+        sampleTriple(3, i).layer().validate();
+}
+
+TEST(Crossval, ReportIsIdenticalForAnyThreadCount)
+{
+    CrossvalOptions options = fastOptions();
+    options.threads = 1;
+    const CrossvalReport serial = runCrossval(options);
+    options.threads = 4;
+    const CrossvalReport parallel = runCrossval(options);
+
+    EXPECT_EQ(crossvalJson(options, serial),
+              crossvalJson(options, parallel));
+    EXPECT_EQ(serial.evaluated, parallel.evaluated);
+    EXPECT_EQ(serial.cycles.sum_abs_pct, parallel.cycles.sum_abs_pct);
+    EXPECT_EQ(serial.dram_fill.max_abs_pct,
+              parallel.dram_fill.max_abs_pct);
+}
+
+TEST(Crossval, GateSubsetPasses)
+{
+    // The same discipline CI enforces (on a smaller sample): the
+    // analytical model must track the simulator within tolerance.
+    const CrossvalOptions options = fastOptions();
+    const CrossvalReport report = runCrossval(options);
+    const GateResult gate = checkGate(report, options);
+
+    std::string all;
+    for (const std::string &f : gate.failures)
+        all += f + "\n";
+    EXPECT_TRUE(gate.ok) << all;
+    EXPECT_GE(report.evaluated, report.requested * 2 / 3);
+}
+
+TEST(Crossval, GateFailureNamesTheOffendingTriple)
+{
+    const CrossvalOptions options = fastOptions();
+    const CrossvalReport report = runCrossval(options);
+
+    CrossvalGate impossible;
+    impossible.mean_cycles_pct = 0.0;
+    impossible.max_macs_pct = -1.0;
+    const GateResult gate = checkGate(report, options, impossible);
+    ASSERT_FALSE(gate.ok);
+    ASSERT_GE(gate.failures.size(), 2u);
+    // Failures must carry a reproducible triple description.
+    EXPECT_NE(gate.failures[0].find("triple #"), std::string::npos)
+        << gate.failures[0];
+    EXPECT_NE(gate.failures[0].find("pes"), std::string::npos)
+        << gate.failures[0];
+}
+
+TEST(Crossval, JsonIsDeterministicAndStructured)
+{
+    const CrossvalOptions options = fastOptions();
+    const std::string a = crossvalJson(options, runCrossval(options));
+    const std::string b = crossvalJson(options, runCrossval(options));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"endpoint\":\"crossval\""), std::string::npos);
+    EXPECT_NE(a.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(a.find("\"hist\""), std::string::npos);
+}
+
+TEST(Crossval, StepClassesFarFewerThanSteps)
+{
+    // The whole point of the periodic path: across the sample the
+    // evaluated step classes must be a small fraction of the nest
+    // steps they stand in for.
+    const CrossvalReport report = runCrossval(fastOptions());
+    EXPECT_GT(report.total_steps, 5.0 * report.total_classes);
+}
+
+} // namespace
+} // namespace crossval
+} // namespace maestro

@@ -267,6 +267,23 @@ heavyPayload()
 }
 
 /**
+ * Single conv sized so an exact-walk simulation (~8K nest steps)
+ * holds a worker busy for ~100ms: slow enough to overlap concurrent
+ * clients deterministically, fast enough not to stall ctest.
+ */
+std::string
+midNetwork()
+{
+    return "Network mid {\n"
+           "  Layer conv {\n"
+           "    Type: CONV;\n"
+           "    Dimensions { K: 16; C: 16; R: 3; S: 3; "
+           "Y: 24; X: 24; }\n"
+           "  }\n"
+           "}\n";
+}
+
+/**
  * Extracts the integer member `field` of JSON object `object` from a
  * body produced by JsonWriter (known key order, no whitespace).
  */
@@ -297,6 +314,17 @@ referenceAnalyze(const std::string &dsl, const QueryParams &params)
         dsl, params, AcceleratorConfig::paperStudy());
     return analyzeJson(inputs, std::make_shared<AnalysisPipeline>(),
                        EnergyModel());
+}
+
+/** The reference bytes the server must reproduce for /simulate. */
+std::string
+referenceSimulate(const std::string &dsl, const QueryParams &params)
+{
+    const RequestInputs inputs = resolveRequest(
+        dsl, params, AcceleratorConfig::paperStudy());
+    return simulateJson(inputs, params,
+                        std::make_shared<AnalysisPipeline>(),
+                        EnergyModel());
 }
 
 // ---------------------------------------------------------------- //
@@ -383,6 +411,162 @@ TEST(Serve, DseAndTuneEndpoints)
 
     // dse with several dataflows resolved (no ?dataflow) is a 400.
     EXPECT_EQ(oneShot(port, postRequest("/dse", dsl)).status, 400);
+}
+
+TEST(Serve, SimulateMatchesDirectHandlerByteForByte)
+{
+    const std::string dsl = tinyNetwork(8);
+    const QueryParams params{{"dataflow", "C-P"}};
+    const std::string expected = referenceSimulate(dsl, params);
+    const std::string raw =
+        postRequest("/simulate?dataflow=C-P", dsl);
+
+    TestServer server;
+    const ClientResponse got = oneShot(server.port(), raw);
+    ASSERT_EQ(got.status, 200) << got.body;
+    EXPECT_EQ(got.body, expected);
+    EXPECT_NE(got.body.find("\"endpoint\":\"simulate\""),
+              std::string::npos);
+    EXPECT_NE(got.body.find("\"mode\":\"periodic\""),
+              std::string::npos);
+    EXPECT_NE(got.body.find("\"step_classes\""), std::string::npos);
+
+    // The worker-pool size must never leak into response bytes: a
+    // 4-worker deployment serves the same JSON as the direct call.
+    ServeOptions options;
+    options.worker_threads = 4;
+    TestServer pooled(options);
+    const ClientResponse via_pool = oneShot(pooled.port(), raw);
+    ASSERT_EQ(via_pool.status, 200) << via_pool.body;
+    EXPECT_EQ(via_pool.body, expected);
+}
+
+TEST(Serve, SimulateExactOracleMatchesPeriodicNumbers)
+{
+    TestServer server;
+    const std::uint16_t port = server.port();
+    const std::string dsl = tinyNetwork(8);
+
+    const ClientResponse periodic =
+        oneShot(port, postRequest("/simulate?dataflow=C-P", dsl));
+    const ClientResponse exact = oneShot(
+        port, postRequest("/simulate?dataflow=C-P&exact=on", dsl));
+    ASSERT_EQ(periodic.status, 200) << periodic.body;
+    ASSERT_EQ(exact.status, 200) << exact.body;
+
+    // The fast path pins every numeric field to the naive walker's;
+    // only the "mode" tag may differ between the two bodies.
+    const std::string exact_tag = "\"mode\":\"exact\"";
+    std::string normalized = exact.body;
+    const std::size_t at = normalized.find(exact_tag);
+    ASSERT_NE(at, std::string::npos) << exact.body;
+    normalized.replace(at, exact_tag.size(), "\"mode\":\"periodic\"");
+    EXPECT_EQ(normalized, periodic.body);
+}
+
+TEST(Serve, SimulateGuardLayerErrorsAndStatsCounter)
+{
+    TestServer server;
+    const std::uint16_t port = server.port();
+
+    // The exact-path work guard surfaces as a client error, naming
+    // the guard in the body rather than burning a worker.
+    const ClientResponse guarded = oneShot(
+        port, postRequest("/simulate?dataflow=C-P&exact=on&"
+                          "max_steps=10",
+                          tinyNetwork(8)));
+    EXPECT_EQ(guarded.status, 400);
+    EXPECT_NE(guarded.body.find("\"error\""), std::string::npos);
+
+    // A non-positive guard is rejected up front.
+    EXPECT_EQ(oneShot(port, postRequest(
+                                "/simulate?dataflow=C-P&max_steps=0",
+                                tinyNetwork(8)))
+                  .status,
+              400);
+
+    // Multi-layer networks need ?layer=; with it, the request lands.
+    const std::string two = repeatedShapeNetwork(2);
+    EXPECT_EQ(
+        oneShot(port, postRequest("/simulate?dataflow=C-P", two))
+            .status,
+        400);
+    EXPECT_EQ(oneShot(port, postRequest(
+                                "/simulate?dataflow=C-P&layer=conv1",
+                                two))
+                  .status,
+              200);
+
+    const std::string stats =
+        oneShot(port, getRequest("/stats")).body;
+    EXPECT_EQ(jsonField(stats, "requests", "simulate"), 4u);
+}
+
+TEST(Serve, SimulateSharesBackpressureAndDeadlinePaths)
+{
+    // /simulate rides the same admission/deadline machinery as the
+    // other analysis endpoints; pin both failure paths for it.
+    const std::string slow_raw = postRequest(
+        "/simulate?dataflow=C-P&exact=on", midNetwork());
+
+    {
+        ServeOptions options;
+        options.worker_threads = 1;
+        options.queue_capacity = 1;
+        options.deadline_ms = 60000;
+        TestServer server(options);
+        const std::uint16_t port = server.port();
+
+        constexpr int kClients = 4;
+        std::mutex mutex;
+        std::condition_variable cv;
+        int ready = 0;
+        bool go = false;
+        std::vector<ClientResponse> responses(kClients);
+        std::vector<std::thread> clients;
+        for (int i = 0; i < kClients; ++i) {
+            clients.emplace_back([&, i] {
+                {
+                    std::unique_lock<std::mutex> lock(mutex);
+                    if (++ready == kClients) {
+                        go = true;
+                        cv.notify_all();
+                    } else {
+                        cv.wait(lock, [&] { return go; });
+                    }
+                }
+                responses[i] = oneShot(port, slow_raw);
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+
+        int ok = 0;
+        int rejected = 0;
+        for (const ClientResponse &r : responses) {
+            if (r.status == 200) {
+                ++ok;
+            } else if (r.status == 503) {
+                ++rejected;
+                EXPECT_EQ(r.headers.count("retry-after"), 1u);
+            } else {
+                ADD_FAILURE() << "unexpected status " << r.status;
+            }
+        }
+        EXPECT_GE(ok, 1);
+        EXPECT_GE(rejected, 1);
+    }
+
+    {
+        ServeOptions options;
+        options.worker_threads = 2;
+        options.deadline_ms = 1; // far below the exact walk's cost
+        TestServer server(options);
+        const ClientResponse slow =
+            oneShot(server.port(), slow_raw);
+        EXPECT_EQ(slow.status, 408);
+        EXPECT_NE(slow.body.find("\"error\""), std::string::npos);
+    }
 }
 
 // ---------------------------------------------------------------- //

@@ -12,6 +12,7 @@
 #include "src/common/error.hh"
 #include "src/core/analyzer.hh"
 #include "src/dataflows/catalog.hh"
+#include "src/sim/crossval.hh"
 #include "src/sim/reference_sim.hh"
 
 namespace maestro
@@ -99,14 +100,118 @@ TEST(Sim, WeightSupplyAtLeastTensorOnce)
     }
 }
 
-TEST(Sim, GuardRejectsHugeNests)
+TEST(Sim, GuardRejectsHugeNestsOnExactPath)
 {
     const Layer layer = conv(512, 512, 224, 3, 1, 1);
     SimOptions options;
+    options.exact = true;
     options.max_steps = 1000;
     EXPECT_THROW(simulateLayer(layer, dataflows::cPartitioned(),
                                smallConfig(), options),
                  Error);
+}
+
+TEST(Sim, ExactGuardBoundaryIsInclusive)
+{
+    // The guard must reject strictly-greater step counts and accept
+    // a budget exactly equal to the nest size.
+    const Layer layer = conv(8, 8, 12, 3, 1, 1);
+    const Dataflow df = dataflows::cPartitioned();
+    SimOptions probe;
+    const SimResult sized = simulateLayer(layer, df, smallConfig(), probe);
+
+    SimOptions options;
+    options.exact = true;
+    options.max_steps = sized.steps;
+    EXPECT_NO_THROW(simulateLayer(layer, df, smallConfig(), options));
+    options.max_steps = sized.steps - 1.0;
+    EXPECT_THROW(simulateLayer(layer, df, smallConfig(), options),
+                 Error);
+}
+
+TEST(Sim, FastGuardBoundsStepClassesNotSteps)
+{
+    // The periodic path accepts a nest whose raw step count is far
+    // beyond the budget (that's its purpose) but applies the same
+    // guard semantics to its own unit of work, the step classes.
+    const Layer layer = conv(512, 512, 224, 3, 1, 1);
+    const Dataflow df = dataflows::cPartitioned();
+    SimOptions options;
+    options.max_steps = 100000;
+    SimResult fast;
+    ASSERT_NO_THROW(
+        fast = simulateLayer(layer, df, smallConfig(), options));
+    EXPECT_GT(fast.steps, options.max_steps);
+    EXPECT_LE(fast.step_classes, options.max_steps);
+
+    options.max_steps = fast.step_classes;
+    EXPECT_NO_THROW(simulateLayer(layer, df, smallConfig(), options));
+    options.max_steps = fast.step_classes - 1.0;
+    EXPECT_THROW(simulateLayer(layer, df, smallConfig(), options),
+                 Error);
+}
+
+/**
+ * Satellite properties over a seeded randomized sweep: exact MAC
+ * conservation, DRAM fill lower-bounded by the tensor volume it must
+ * at least deliver, and cycles lower-bounded by every modeled
+ * resource's busy time.
+ */
+TEST(Sim, RandomizedInvariants)
+{
+    int checked = 0;
+    for (std::uint64_t i = 0; i < 120 && checked < 48; ++i) {
+        const crossval::TripleSpec spec =
+            crossval::sampleTriple(1234, i);
+        const Layer layer = spec.layer();
+        SimResult sim;
+        try {
+            sim = simulateLayer(layer,
+                                dataflows::byName(spec.dataflow),
+                                spec.config());
+        } catch (const Error &) {
+            continue; // unbindable sample
+        }
+        ++checked;
+        const std::string what = spec.describe();
+
+        // MACs match the algorithmic count exactly (the schedule
+        // covers the whole output space, once).
+        const double alg =
+            static_cast<double>(layer.totalMacs());
+        EXPECT_NEAR(sim.macs, alg, 1e-6 * alg) << what;
+
+        // DRAM must deliver every element the schedule consumes at
+        // least once: all weights always; all inputs at stride 1
+        // (a strided schedule legitimately skips input elements).
+        const double w_volume =
+            static_cast<double>(
+                layer.tensorVolume(TensorKind::Weight)) *
+            layer.weightDensityVal();
+        EXPECT_GE(sim.dram_fill[TensorKind::Weight],
+                  w_volume * (1.0 - 1e-9))
+            << what;
+        if (spec.stride == 1) {
+            const double i_volume =
+                static_cast<double>(
+                    layer.tensorVolume(TensorKind::Input)) *
+                layer.inputDensityVal();
+            EXPECT_GE(sim.dram_fill[TensorKind::Input],
+                      i_volume * (1.0 - 1e-9))
+                << what;
+        }
+
+        // Runtime is bounded below by each resource's busy time.
+        // Ingress and egress are separate overlapped NoC channels, so
+        // the combined noc_busy may reach twice the runtime but each
+        // direction alone never exceeds it.
+        EXPECT_GE(sim.cycles, sim.compute_cycles * (1.0 - 1e-9))
+            << what;
+        EXPECT_GE(sim.cycles, 0.5 * sim.noc_busy * (1.0 - 1e-9))
+            << what;
+        EXPECT_GE(sim.cycles, sim.dram_busy * (1.0 - 1e-9)) << what;
+    }
+    EXPECT_GE(checked, 32);
 }
 
 /**

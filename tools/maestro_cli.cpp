@@ -5,6 +5,9 @@
  * Subcommands:
  *   analyze   analytical model for one layer or a whole network
  *   simulate  reference cycle-level simulation of one layer
+ *             (periodic fast path by default; --sim-exact walks
+ *             every nest position — the byte-identical oracle)
+ *   crossval  mass randomized analytical-vs-simulator validation
  *   dse       hardware design space exploration for one layer
  *   tune      dataflow auto-tuning for one layer
  *   serve     long-lived HTTP analysis server (see src/serve)
@@ -62,6 +65,7 @@
 #include "src/obs/metrics.hh"
 #include "src/obs/obs.hh"
 #include "src/serve/server.hh"
+#include "src/sim/crossval.hh"
 #include "src/sim/reference_sim.hh"
 
 namespace
@@ -74,11 +78,20 @@ constexpr int kExitError = 1;
 constexpr int kExitUsage = 2;
 
 const char *const kUsage =
-    "usage: maestro <analyze|simulate|dse|tune|serve> "
+    "usage: maestro <analyze|simulate|crossval|dse|tune|serve> "
     "[--key value ...]\n"
     "  analyze   --model NAME | --file PATH ('-' = stdin) "
     "[--layer L] [--dataflow D] [--format json]\n"
-    "  simulate  --model NAME --layer L [--dataflow D]\n"
+    "  simulate  --model NAME --layer L [--dataflow D] "
+    "[--sim-exact] [--max-steps N] [--format json]\n"
+    "            (--sim-exact walks every nest position; the default "
+    "periodic path\n"
+    "             is byte-identical and collapses the steady state)\n"
+    "  crossval  [--triples N] [--seed S] [--threads N] [--check] "
+    "[--format json]\n"
+    "            (randomized analytical-vs-simulator sweep; --check "
+    "applies the CI\n"
+    "             error-tolerance gate and fails on violation)\n"
     "  dse       --model NAME --layer L --dataflow D "
     "[--area MM2] [--power MW] [--dse-exact]\n"
     "  tune      --model NAME [--layer L] [--objective "
@@ -139,7 +152,8 @@ parseArgs(int argc, char **argv)
                 msg("expected --option, found '", key, "'"));
         // Valueless switches.
         if (key == "--dse-exact" || key == "--profile" ||
-            key == "--enforce-l1" || key == "--tune-exact") {
+            key == "--enforce-l1" || key == "--tune-exact" ||
+            key == "--sim-exact" || key == "--check") {
             args.options[key.substr(2)] = "on";
             continue;
         }
@@ -395,27 +409,154 @@ cmdAnalyze(const Args &args, const Inputs &in)
     return 0;
 }
 
-int
-cmdSimulate(const Inputs &in)
+/** Simulator options shared by the table and JSON paths. */
+SimOptions
+simOptions(const Args &args)
 {
-    fatalIf(!in.layer_name, "simulate needs --layer");
-    const Layer &layer = in.network.layer(*in.layer_name);
+    SimOptions options;
+    options.exact = args.has("sim-exact");
+    options.max_steps =
+        args.getDouble("max-steps", options.max_steps);
+    fatalIf(options.max_steps <= 0.0, "--max-steps must be positive");
+    return options;
+}
+
+/**
+ * simulate --format json: the server's /simulate JSON from the same
+ * code path (serve::simulateJson), so CLI and server bodies are
+ * byte-identical for equal inputs.
+ */
+int
+cmdSimulateJson(const Args &args, const Inputs &in)
+{
+    serve::RequestInputs req;
+    req.network = in.network;
+    req.dataflows = in.dataflows;
+    req.config = in.config;
+    req.layer_name = in.layer_name;
+    serve::QueryParams params;
+    if (in.layer_name)
+        params["layer"] = *in.layer_name;
+    if (args.has("sim-exact"))
+        params["exact"] = "on";
+    if (args.has("max-steps"))
+        params["max_steps"] = args.get("max-steps");
+    auto pipeline = std::make_shared<AnalysisPipeline>();
+    std::cout << serve::simulateJson(req, params, pipeline,
+                                     EnergyModel())
+              << "\n";
+    if (args.has("profile"))
+        printProfile(pipeline->stats());
+    return kExitOk;
+}
+
+int
+cmdSimulate(const Args &args, const Inputs &in)
+{
+    if (args.get("format", "table") == "json")
+        return cmdSimulateJson(args, in);
+    fatalIf(args.get("format", "table") != "table",
+            "--format must be table or json");
+    // Like the server's /simulate: a single-layer network needs no
+    // explicit selection.
+    fatalIf(!in.layer_name && in.network.layers().size() != 1,
+            "simulate needs --layer");
+    const Layer &layer = in.layer_name
+                             ? in.network.layer(*in.layer_name)
+                             : in.network.layers().front();
+    const SimOptions options = simOptions(args);
     const Analyzer analyzer(in.config);
     Table table({"dataflow", "analytical(cyc)", "simulated(cyc)",
-                 "error(%)", "sim MACs", "sim active PEs"});
+                 "error(%)", "sim MACs", "sim active PEs",
+                 "steps/class"});
     for (const Dataflow &df : in.dataflows) {
         const LayerAnalysis la = analyzer.analyzeLayer(layer, df);
-        const SimResult sim = simulateLayer(layer, df, in.config);
-        table.addRow({df.name(), engFormat(la.runtime),
-                      engFormat(sim.cycles),
-                      fixedFormat(100.0 * (la.runtime - sim.cycles) /
-                                      sim.cycles,
-                                  2),
-                      engFormat(sim.macs),
-                      fixedFormat(sim.avg_active_pes, 1)});
+        const SimResult sim =
+            simulateLayer(layer, df, in.config, options);
+        table.addRow(
+            {df.name(), engFormat(la.runtime), engFormat(sim.cycles),
+             fixedFormat(100.0 * (la.runtime - sim.cycles) /
+                             sim.cycles,
+                         2),
+             engFormat(sim.macs),
+             fixedFormat(sim.avg_active_pes, 1),
+             engFormat(sim.steps) + "/" +
+                 engFormat(sim.step_classes)});
     }
     table.print(std::cout);
     return 0;
+}
+
+int
+cmdCrossval(const Args &args)
+{
+    const RunOptions opts = runOptions(args);
+    crossval::CrossvalOptions options;
+    options.seed = static_cast<std::uint64_t>(
+        args.getInt("seed", static_cast<Count>(options.seed)));
+    options.triples = static_cast<std::uint64_t>(
+        args.getInt("triples", static_cast<Count>(options.triples)));
+    fatalIf(options.triples < 1, "--triples must be positive");
+    options.threads = opts.num_threads;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const crossval::CrossvalReport report =
+        crossval::runCrossval(options);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    if (args.get("format", "table") == "json") {
+        std::cout << crossval::crossvalJson(options, report) << "\n";
+    } else {
+        fatalIf(args.get("format", "table") != "table",
+                "--format must be table or json");
+        std::cout << "crossval: " << report.evaluated << " of "
+                  << report.requested << " triples evaluated ("
+                  << report.skipped << " skipped) in "
+                  << fixedFormat(seconds, 2) << " s ("
+                  << engFormat(static_cast<double>(report.evaluated) /
+                               std::max(seconds, 1e-9))
+                  << " triples/s), seed " << options.seed << "\n"
+                  << "simulated " << engFormat(report.total_steps)
+                  << " nest steps via "
+                  << engFormat(report.total_classes)
+                  << " step classes\n";
+        Table table({"metric", "mean err(%)", "max err(%)", "<=1%",
+                     "<=5%", "<=25%", ">25%"});
+        const auto add = [&](const char *name,
+                             const crossval::MetricStats &m) {
+            const double n =
+                std::max<double>(1.0, static_cast<double>(m.count));
+            const auto pct = [&](std::uint64_t c) {
+                return fixedFormat(100.0 * static_cast<double>(c) / n,
+                                   1);
+            };
+            table.addRow(
+                {name, fixedFormat(m.meanAbsPct(), 2),
+                 fixedFormat(m.max_abs_pct, 2), pct(m.hist[0]),
+                 pct(m.hist[0] + m.hist[1] + m.hist[2]),
+                 pct(m.count - m.hist[5]), pct(m.hist[5])});
+        };
+        add("cycles", report.cycles);
+        add("MACs", report.macs);
+        add("L2 supply", report.l2_supply);
+        add("DRAM fill", report.dram_fill);
+        table.print(std::cout);
+    }
+
+    if (args.has("check")) {
+        const crossval::GateResult gate =
+            crossval::checkGate(report, options);
+        if (!gate.ok) {
+            for (const std::string &f : gate.failures)
+                std::cerr << "crossval gate: " << f << "\n";
+            return kExitError;
+        }
+        std::cerr << "crossval gate: ok\n";
+    }
+    return kExitOk;
 }
 
 int
@@ -733,8 +874,8 @@ main(int argc, char **argv)
         return kExitOk;
     }
     const bool known = command == "analyze" || command == "simulate" ||
-                       command == "dse" || command == "tune" ||
-                       command == "serve";
+                       command == "crossval" || command == "dse" ||
+                       command == "tune" || command == "serve";
     if (!known) {
         std::cerr << "error: unknown command '" << command << "'\n"
                   << kUsage;
@@ -756,11 +897,13 @@ main(int argc, char **argv)
         const int rc = [&] {
             if (args.command == "serve")
                 return cmdServe(args);
+            if (args.command == "crossval")
+                return cmdCrossval(args);
             const Inputs in = resolveInputs(args);
             if (args.command == "analyze")
                 return cmdAnalyze(args, in);
             if (args.command == "simulate")
-                return cmdSimulate(in);
+                return cmdSimulate(args, in);
             if (args.command == "dse")
                 return cmdDse(args, in);
             return cmdTune(args, in);
