@@ -7,6 +7,13 @@ namespace maestro
 {
 
 void
+fatalIf(bool condition, const char *message)
+{
+    if (condition)
+        throw Error(message);
+}
+
+void
 fatalIf(bool condition, const std::string &message)
 {
     if (condition)
@@ -14,12 +21,24 @@ fatalIf(bool condition, const std::string &message)
 }
 
 void
+panicWith(const std::string &message)
+{
+    std::cerr << "maestro panic: " << message << std::endl;
+    std::abort();
+}
+
+void
+panicIf(bool condition, const char *message)
+{
+    if (condition)
+        panicWith(message);
+}
+
+void
 panicIf(bool condition, const std::string &message)
 {
-    if (condition) {
-        std::cerr << "maestro panic: " << message << std::endl;
-        std::abort();
-    }
+    if (condition)
+        panicWith(message);
 }
 
 } // namespace maestro

@@ -36,9 +36,14 @@ class Error : public std::runtime_error
 /**
  * Throws maestro::Error if the condition holds.
  *
+ * The const char* overload avoids materialising a std::string on the
+ * (overwhelmingly common) non-throwing path; checks in analysis inner
+ * loops rely on this being allocation-free when the condition is false.
+ *
  * @param condition Condition signalling a user error when true.
  * @param message Description of the error shown to the user.
  */
+void fatalIf(bool condition, const char *message);
 void fatalIf(bool condition, const std::string &message);
 
 /**
@@ -50,7 +55,11 @@ void fatalIf(bool condition, const std::string &message);
  * @param condition Condition signalling a library bug when true.
  * @param message Description printed to stderr before aborting.
  */
+void panicIf(bool condition, const char *message);
 void panicIf(bool condition, const std::string &message);
+
+/** Aborts with the given message (out-of-line cold path). */
+[[noreturn]] void panicWith(const std::string &message);
 
 /**
  * Builds a message from streamable parts.
@@ -65,6 +74,33 @@ msg(Args &&...args)
     std::ostringstream os;
     (os << ... << std::forward<Args>(args));
     return os.str();
+}
+
+/**
+ * Lazy-formatting fatalIf: the message parts are only streamed into a
+ * string on the throwing path, so a passing check costs one branch and
+ * no allocation. Prefer this spelling over fatalIf(c, msg(...)), which
+ * pays an ostringstream construction even when the condition is false —
+ * measured at ~20x the cost of the whole surrounding analysis in the
+ * DSE sweep's bind stage.
+ */
+template <typename... Args>
+    requires(sizeof...(Args) >= 2)
+inline void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition) [[unlikely]]
+        throw Error(msg(std::forward<Args>(args)...));
+}
+
+/** Lazy-formatting panicIf; see the fatalIf overload above. */
+template <typename... Args>
+    requires(sizeof...(Args) >= 2)
+inline void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition) [[unlikely]]
+        panicWith(msg(std::forward<Args>(args)...));
 }
 
 } // namespace maestro

@@ -8,17 +8,15 @@ namespace maestro
 Count
 ceilDiv(Count numerator, Count denominator)
 {
-    panicIf(numerator < 0 || denominator <= 0,
-            msg("ceilDiv(", numerator, ", ", denominator, ") out of domain"));
+    panicIf(numerator < 0 || denominator <= 0, "ceilDiv(", numerator, ", ", denominator, ") out of domain");
     return (numerator + denominator - 1) / denominator;
 }
 
 Count
 numMapPositions(Count extent, Count size, Count offset)
 {
-    panicIf(extent <= 0 || size <= 0 || offset <= 0,
-            msg("numMapPositions(", extent, ", ", size, ", ", offset,
-                ") out of domain"));
+    panicIf(extent <= 0 || size <= 0 || offset <= 0, "numMapPositions(", extent, ", ", size, ", ", offset,
+                ") out of domain");
     if (extent <= size)
         return 1;
     return 1 + ceilDiv(extent - size, offset);

@@ -19,9 +19,8 @@ Table::Table(std::vector<std::string> headers)
 void
 Table::addRow(std::vector<std::string> cells)
 {
-    fatalIf(cells.size() != headers_.size(),
-            msg("Table row has ", cells.size(), " cells, expected ",
-                headers_.size()));
+    fatalIf(cells.size() != headers_.size(), "Table row has ", cells.size(), " cells, expected ",
+                headers_.size());
     rows_.push_back(std::move(cells));
 }
 

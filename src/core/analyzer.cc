@@ -65,9 +65,8 @@ Analyzer::analyzeLayers(std::vector<BatchJob> jobs,
     std::vector<LayerAnalysis> layers;
     layers.reserve(evals.size());
     for (std::size_t i = 0; i < evals.size(); ++i) {
-        fatalIf(!evals[i].ok,
-                msg("layer '", jobs[i].layer.name(),
-                    "': ", evals[i].error));
+        fatalIf(!evals[i].ok, "layer '", jobs[i].layer.name(),
+                    "': ", evals[i].error);
         layers.push_back(std::move(evals[i].analysis));
     }
     return layers;
@@ -90,10 +89,9 @@ Analyzer::analyzeNetworkAdaptive(const Network &network,
                                  const std::vector<Dataflow> &dataflows,
                                  std::size_t num_threads) const
 {
-    fatalIf(dataflows.size() != network.layers().size(),
-            msg("adaptive analysis needs one dataflow per layer: got ",
+    fatalIf(dataflows.size() != network.layers().size(), "adaptive analysis needs one dataflow per layer: got ",
                 dataflows.size(), " for ", network.layers().size(),
-                " layers"));
+                " layers");
     std::vector<BatchJob> jobs;
     jobs.reserve(network.layers().size());
     for (std::size_t i = 0; i < network.layers().size(); ++i)

@@ -35,10 +35,10 @@ bindMapDirective(const Directive &directive,
     const Count extent = extents[directive.dim];
     Count size = directive.size.eval(layer_dims);
     Count offset = directive.offset.eval(layer_dims);
-    fatalIf(size <= 0, msg("map size for ", dimName(directive.dim),
-                           " evaluates to ", size));
-    fatalIf(offset <= 0, msg("map offset for ", dimName(directive.dim),
-                             " evaluates to ", offset));
+    fatalIf(size <= 0, "map size for ", dimName(directive.dim),
+                           " evaluates to ", size);
+    fatalIf(offset <= 0, "map offset for ", dimName(directive.dim),
+                             " evaluates to ", offset);
     size = std::min(size, extent);
     bound.size = size;
 
@@ -51,13 +51,18 @@ bindMapDirective(const Directive &directive,
         // Output-space stepping: the chunk produces outputs on its own;
         // offsets are in output units, scaled by stride in input space.
         bound.out_space = true;
-        bound.offset_out = offset;
-        bound.offset_in = offset * stride;
         const Count level_outputs =
             convOutputs(extent, filter_extent, stride);
         const Count chunk_outputs =
             convOutputs(size, filter_extent, stride);
         panicIf(chunk_outputs <= 0, "chunk produces no outputs");
+        // Clamp the slide to what the chunk actually produces: a
+        // Table-3 style Map(Sz(S), 8) chunk yields only
+        // ceil((8-S+1)/stride) output columns at stride > 1, so an
+        // unclamped 8-output slide would skip every other column
+        // (ROADMAP item 6). At stride 1 the clamp is a no-op.
+        bound.offset_out = std::min(offset, chunk_outputs);
+        bound.offset_in = bound.offset_out * stride;
         bound.steps = numMapPositions(level_outputs, chunk_outputs,
                                       bound.offset_out);
         const Count edge_outputs =
@@ -95,8 +100,8 @@ bindDataflow(const Dataflow &dataflow, const Layer &layer, Count num_pes)
     for (const auto &d : dataflow.directives()) {
         if (d.kind == DirectiveKind::Cluster) {
             Count size = d.size.eval(layer_dims);
-            fatalIf(size <= 0, msg("dataflow ", dataflow.name(),
-                                   ": cluster size evaluates to ", size));
+            fatalIf(size <= 0, "dataflow ", dataflow.name(),
+                                   ": cluster size evaluates to ", size);
             cluster_sizes.push_back(size);
             level_dirs.emplace_back();
         } else {

@@ -31,8 +31,24 @@ CostResult::accessSums() const
     sums.input_volume = tensor_volumes[TensorKind::Input];
     sums.weight_fill = dram_fill_model[TensorKind::Weight];
     sums.input_fill = dram_fill_model[TensorKind::Input];
+    sums.l2_required = l2_bytes_required;
     sums.groups = groups;
     return sums;
+}
+
+double
+l2BytesRequired(const BoundDataflow &bound,
+                const std::vector<LevelReuse> &reuse,
+                Count precision_bytes)
+{
+    double l2_elems = 0.0;
+    const double active0 = bound.levels[0].active_units;
+    for (TensorKind t : kAllTensors) {
+        const TensorLevelTraffic &tr = reuse[0].traffic[t];
+        l2_elems += tr.chunk_volume *
+                    std::max(1.0, active0 * tr.spatial_unique_ratio);
+    }
+    return 2.0 * l2_elems * static_cast<double>(precision_bytes);
 }
 
 RegisterTraffic
@@ -219,15 +235,8 @@ analyzeCost(const BoundDataflow &bound, const std::vector<LevelReuse> &reuse,
         cost.l1_bytes_required =
             2.0 * l1_elems * static_cast<double>(config.precision_bytes);
 
-        double l2_elems = 0.0;
-        const double active0 = bound.levels[0].active_units;
-        for (TensorKind t : kAllTensors) {
-            const TensorLevelTraffic &tr = reuse[0].traffic[t];
-            l2_elems += tr.chunk_volume *
-                        std::max(1.0, active0 * tr.spatial_unique_ratio);
-        }
         cost.l2_bytes_required =
-            2.0 * l2_elems * static_cast<double>(config.precision_bytes);
+            l2BytesRequired(bound, reuse, config.precision_bytes);
 
         cost.fits_l1 = cost.l1_bytes_required <=
                        static_cast<double>(config.l1_bytes);

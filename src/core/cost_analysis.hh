@@ -25,6 +25,8 @@
 #ifndef MAESTRO_CORE_COST_ANALYSIS_HH
 #define MAESTRO_CORE_COST_ANALYSIS_HH
 
+#include <algorithm>
+
 #include "src/core/performance_analysis.hh"
 #include "src/hw/energy.hh"
 #include "src/model/layer.hh"
@@ -127,6 +129,7 @@ struct CostResult
         double input_volume = 0.0;  ///< per-group elements
         double weight_fill = 0.0;   ///< per-group DRAM fill model
         double input_fill = 0.0;    ///< per-group DRAM fill model
+        double l2_required = 0.0;   ///< schedule's L2 working set (bytes)
         double groups = 1.0;
     };
 
@@ -152,6 +155,31 @@ CostResult analyzeCost(const BoundDataflow &bound,
                        const Layer &layer,
                        const AcceleratorConfig &config,
                        const EnergyModel &energy_model);
+
+/**
+ * Required L2 capacity in bytes: twice the steady working set at the
+ * DRAM <-> L2 boundary (double buffering, paper Fig. 8). Shared by
+ * analyzeCost (the fits_l2 requirement) and the performance engine's
+ * DRAM residency correction so both see the same number.
+ */
+double l2BytesRequired(const BoundDataflow &bound,
+                       const std::vector<LevelReuse> &reuse,
+                       Count precision_bytes);
+
+/**
+ * L2 capacity available for pinning a whole tensor, given the
+ * schedule's streaming working set `l2_required` (bytes). A stationary
+ * tensor needs no double buffer of its own — it only has to leave room
+ * for the double-buffered streaming chunks — so the bound is the more
+ * generous of the classic half-capacity rule and `l2 - l2_required`.
+ * A tensor whose byte volume fits under this bound is fetched from
+ * DRAM once (its refetch traffic never leaves the L2).
+ */
+inline double
+l2ResidencyBytes(double l2_bytes, double l2_required)
+{
+    return std::max(0.5 * l2_bytes, l2_bytes - l2_required);
+}
 
 /**
  * Register-file (L0) traffic of one PE chunk execution.

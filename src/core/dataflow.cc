@@ -91,19 +91,16 @@ Dataflow::numLevels() const
 void
 Dataflow::validate() const
 {
-    fatalIf(directives_.empty(),
-            msg("dataflow ", name_, ": no directives"));
-    fatalIf(directives_.back().kind == DirectiveKind::Cluster,
-            msg("dataflow ", name_,
-                ": Cluster must be followed by map directives"));
+    fatalIf(directives_.empty(), "dataflow ", name_, ": no directives");
+    fatalIf(directives_.back().kind == DirectiveKind::Cluster, "dataflow ", name_,
+                ": Cluster must be followed by map directives");
 
     std::set<Dim> seen;
     bool level_has_map = false;
     std::size_t level = 0;
     auto check_level_end = [&]() {
-        fatalIf(!level_has_map,
-                msg("dataflow ", name_, ": cluster level ", level,
-                    " has no map directives"));
+        fatalIf(!level_has_map, "dataflow ", name_, ": cluster level ", level,
+                    " has no map directives");
     };
     for (const auto &d : directives_) {
         if (d.kind == DirectiveKind::Cluster) {
@@ -112,26 +109,22 @@ Dataflow::validate() const
             level_has_map = false;
             ++level;
             if (!d.size.dim) {
-                fatalIf(d.size.constant <= 0,
-                        msg("dataflow ", name_,
-                            ": Cluster size must be positive"));
+                fatalIf(d.size.constant <= 0, "dataflow ", name_,
+                            ": Cluster size must be positive");
             }
             continue;
         }
         level_has_map = true;
-        fatalIf(seen.count(d.dim) > 0,
-                msg("dataflow ", name_, ": dimension ", dimName(d.dim),
-                    " mapped twice in cluster level ", level));
+        fatalIf(seen.count(d.dim) > 0, "dataflow ", name_, ": dimension ", dimName(d.dim),
+                    " mapped twice in cluster level ", level);
         seen.insert(d.dim);
         if (!d.size.dim) {
-            fatalIf(d.size.constant <= 0,
-                    msg("dataflow ", name_, ": map size for ",
-                        dimName(d.dim), " must be positive"));
+            fatalIf(d.size.constant <= 0, "dataflow ", name_, ": map size for ",
+                        dimName(d.dim), " must be positive");
         }
         if (!d.offset.dim) {
-            fatalIf(d.offset.constant <= 0,
-                    msg("dataflow ", name_, ": map offset for ",
-                        dimName(d.dim), " must be positive"));
+            fatalIf(d.offset.constant <= 0, "dataflow ", name_, ": map offset for ",
+                        dimName(d.dim), " must be positive");
         }
     }
     check_level_end();

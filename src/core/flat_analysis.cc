@@ -107,6 +107,12 @@ analyzeFlat(const BoundDataflow &bound,
     FlatAnalysis flat;
 
     // ---- Flattened loops and advance counts. ----
+    {
+        std::size_t total_loops = 0;
+        for (const LevelReuse &lr : reuse)
+            total_loops += lr.loops.size();
+        flat.loops.reserve(total_loops);
+    }
     for (std::size_t l = 0; l < bound.levels.size(); ++l) {
         for (const LoopInfo &li : reuse[l].loops) {
             FlatLoop fl;
@@ -203,6 +209,7 @@ analyzeFlat(const BoundDataflow &bound,
     //      flattened nest). ----
     for (TensorKind kind : kAllTensors) {
         std::vector<std::size_t> coupled;
+        coupled.reserve(flat.loops.size());
         bool coupled_temporal = false;
         for (std::size_t i = 0; i < flat.loops.size(); ++i) {
             if (loopCoupled(bound, flat.loops[i], tensors, kind,

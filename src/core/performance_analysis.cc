@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/error.hh"
+#include "src/core/cost_analysis.hh"
 
 namespace maestro
 {
@@ -12,10 +13,15 @@ PerformanceResult
 analyzePerformance(const BoundDataflow &bound,
                    const std::vector<LevelReuse> &reuse,
                    const FlatAnalysis &flat, const Layer &layer,
-                   const AcceleratorConfig &config, double compute_scale)
+                   const AcceleratorConfig &config, double compute_scale,
+                   PerfRuntimeProfile *profile)
 {
     config.validate();
     panicIf(reuse.empty(), "analyzePerformance: no levels");
+    if (profile) {
+        *profile = PerfRuntimeProfile();
+        profile->cases.reserve(flat.loops.size());
+    }
 
     PerformanceResult result;
     result.active_pes = flat.active_pes;
@@ -52,8 +58,12 @@ analyzePerformance(const BoundDataflow &bound,
         }
     }
     // DRAM fill totals (weights/inputs) and drain (final outputs).
-    // L2 capacity correction: a tensor resident in half the L2 is
-    // fetched once, so its refetch traffic never reaches DRAM.
+    // L2 capacity correction: a tensor the L2 can pin alongside the
+    // schedule's streaming working set is fetched once, so its refetch
+    // traffic never reaches DRAM (see l2ResidencyBytes).
+    const double l2_resident_bytes = l2ResidencyBytes(
+        static_cast<double>(config.l2_bytes),
+        l2BytesRequired(bound, reuse, config.precision_bytes));
     TensorMap<double> dram_ratio(1.0);
     for (TensorKind t : {TensorKind::Weight, TensorKind::Input}) {
         const double model_fill =
@@ -63,7 +73,7 @@ analyzePerformance(const BoundDataflow &bound,
             static_cast<double>(layer.tensorVolume(t));
         const bool resident =
             volume * static_cast<double>(config.precision_bytes) <=
-            0.5 * static_cast<double>(config.l2_bytes);
+            l2_resident_bytes;
         const double fill = resident && model_fill > volume
                                 ? volume
                                 : model_fill;
@@ -114,6 +124,12 @@ analyzePerformance(const BoundDataflow &bound,
         result.runtime += d_dram + d_noc + pe_compute;
         offchip_busy += d_dram;
         noc_busy += d_noc;
+        if (profile) {
+            profile->init_dram_delay = d_dram;
+            profile->init_noc_volume = noc_in;
+            profile->pe_compute = pe_compute;
+            profile->pe_compute_avg = pe_compute_avg;
+        }
     }
 
     for (std::size_t i = 0; i < flat.loops.size(); ++i) {
@@ -143,6 +159,9 @@ analyzePerformance(const BoundDataflow &bound,
 
         const double d_in = config.noc.delay(noc_in);
         const double d_out = config.noc.delay(noc_out);
+        if (profile)
+            profile->cases.push_back(
+                {std::max(noc_in, noc_out), fl.advance_count});
 
         // Use the edge-averaged compute for steady steps so the sum
         // integrates correctly over partial tail chunks.
@@ -167,6 +186,8 @@ analyzePerformance(const BoundDataflow &bound,
 
     // The off-chip interface must sustain the whole fill/drain volume;
     // runtime is bounded below by its busy time.
+    if (profile)
+        profile->offchip_busy = offchip_busy;
     result.runtime = std::max(result.runtime, offchip_busy);
 
     // ---- Traffic totals. ----

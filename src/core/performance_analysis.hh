@@ -19,6 +19,7 @@
 #include <string>
 
 #include "src/core/flat_analysis.hh"
+#include "src/core/sweep_invariants.hh"
 #include "src/model/layer.hh"
 
 namespace maestro
@@ -89,13 +90,17 @@ struct PerformanceResult
  *        correction on DRAM refetches).
  * @param config Hardware configuration.
  * @param compute_scale Multiplier on per-step MACs (uniform sparsity).
+ * @param profile Optional out-param: the bandwidth-invariant runtime
+ *        terms, captured alongside the normal computation (see
+ *        sweep_invariants.hh). Filling it does not perturb the result.
  */
 PerformanceResult analyzePerformance(const BoundDataflow &bound,
                                      const std::vector<LevelReuse> &reuse,
                                      const FlatAnalysis &flat,
                                      const Layer &layer,
                                      const AcceleratorConfig &config,
-                                     double compute_scale = 1.0);
+                                     double compute_scale = 1.0,
+                                     PerfRuntimeProfile *profile = nullptr);
 
 } // namespace maestro
 

@@ -35,7 +35,7 @@ findDirective(const BoundLevel &level, Dim d)
         if (bd.dim == d)
             return bd;
     }
-    panicIf(true, msg("no directive for dim ", dimName(d)));
+    panicIf(true, "no directive for dim ", dimName(d));
     return level.directives.front();
 }
 
@@ -46,6 +46,7 @@ tensorStorageDims(const BoundLevel &level, TensorKind kind, bool depthwise)
 {
     const Count stride = level.stride;
     std::vector<StorageDimView> dims;
+    dims.reserve(4);
 
     auto direct = [&](Dim d) {
         const BoundDirective &bd = findDirective(level, d);
@@ -153,6 +154,7 @@ analyzeLevelReuse(const BoundLevel &level, const TensorInfo &tensors,
 {
     LevelReuse out;
     const Count stride = level.stride;
+    out.loops.reserve(level.directives.size() + 1);
 
     // ---- Nest loops (iterating temporal directives + fold loop). ----
     for (std::size_t i = 0; i < level.directives.size(); ++i) {
@@ -272,6 +274,7 @@ analyzeLevelReuse(const BoundLevel &level, const TensorInfo &tensors,
         // Temporal deltas per nest loop (transition model; see .hh).
         t.delta_per_loop.assign(out.loops.size(), 0.0);
         std::vector<std::size_t> coupled_loops;
+        coupled_loops.reserve(out.loops.size());
         bool coupled_temporal = false;
         for (std::size_t i = 0; i < out.loops.size(); ++i) {
             const LoopInfo &loop = out.loops[i];

@@ -1,0 +1,28 @@
+#include "src/core/sweep_invariants.hh"
+
+#include <algorithm>
+
+namespace maestro
+{
+
+double
+runtimeFromProfile(const PerfRuntimeProfile &profile, const NocModel &noc)
+{
+    // Initial step: (dram + noc) + compute, in the engine's
+    // association order.
+    double runtime = profile.init_dram_delay +
+                     noc.delay(profile.init_noc_volume) +
+                     profile.pe_compute;
+    for (const PerfRuntimeCase &c : profile.cases) {
+        // delay(max(in, out)) == max(delay(in), delay(out)) bit for
+        // bit (monotone division), and pe_compute_avg >= 1 absorbs
+        // the zero-volume branch, so one max replays the engine's
+        // three-way max exactly.
+        const double outstanding =
+            std::max(noc.delay(c.volume), profile.pe_compute_avg);
+        runtime += outstanding * c.advance;
+    }
+    return std::max(runtime, profile.offchip_busy);
+}
+
+} // namespace maestro

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bandwidth-invariant runtime profile of one analyzed (layer,
+ * dataflow, PE count) combination.
+ *
+ * The performance engine's runtime is the only model output that
+ * depends on the NoC bandwidth: every per-case communication volume,
+ * the DRAM-side delays, and the compute terms are fixed once the
+ * dataflow is bound to a PE count. `PerfRuntimeProfile` captures those
+ * invariant terms as the engine computes them, and
+ * `runtimeFromProfile` re-evaluates the runtime at any bandwidth as a
+ * closed form — byte-identical to re-running the engine with that
+ * bandwidth, because it replays the exact expressions in the exact
+ * association order (see the per-term notes below).
+ *
+ * This is the hoisting layer the DSE batch kernels build on: the
+ * sweep runs the engine once per PE count and prices the whole
+ * bandwidth axis with `dse::batchRuntimes` over a contiguous array.
+ */
+
+#ifndef MAESTRO_CORE_SWEEP_INVARIANTS_HH
+#define MAESTRO_CORE_SWEEP_INVARIANTS_HH
+
+#include <vector>
+
+#include "src/hw/noc.hh"
+
+namespace maestro
+{
+
+/**
+ * One iteration case of the flattened nest with a positive advance
+ * count (the performance engine skips the rest).
+ *
+ * The engine's per-case cost is max(NoC ingress delay, NoC egress
+ * delay, steady compute). Because NocModel::delay is monotone
+ * nondecreasing in the volume — exactly, in IEEE arithmetic: division
+ * by a positive bandwidth and adding the latency both preserve
+ * ordering, and delay(v <= 0) == 0 — the two delay terms collapse to
+ * delay(max(ingress, egress)) with bit-equal result, so one volume per
+ * case suffices.
+ */
+struct PerfRuntimeCase
+{
+    /** max(NoC ingress, NoC egress) volume of one advance (elems). */
+    double volume = 0.0;
+    /** Occurrence count of the case over the whole nest. */
+    double advance = 0.0;
+};
+
+/**
+ * Everything analyzePerformance feeds its runtime accumulation except
+ * the NoC bandwidth. Cases appear in flat-loop order, so replaying
+ * them reproduces the engine's summation order exactly.
+ */
+struct PerfRuntimeProfile
+{
+    /** Off-chip delay of the initial serial fill (bw-independent:
+     *  the off-chip interface is not swept). */
+    double init_dram_delay = 0.0;
+    /** NoC volume of the initial serial fill (elems). */
+    double init_noc_volume = 0.0;
+    /** Steady per-step compute delay (ceil form, initial step). */
+    double pe_compute = 0.0;
+    /** Edge-averaged per-step compute delay (steady cases). */
+    double pe_compute_avg = 1.0;
+    /** Total off-chip busy time (runtime lower bound). */
+    double offchip_busy = 0.0;
+    /** Steady cases in flat-loop order. */
+    std::vector<PerfRuntimeCase> cases;
+};
+
+/**
+ * Re-evaluates the engine's runtime (before group scaling) at the
+ * given NoC model. Byte-identical to analyzePerformance's runtime
+ * with the same bound/reuse/flat inputs and a config whose NoC is
+ * `noc`.
+ */
+double runtimeFromProfile(const PerfRuntimeProfile &profile,
+                          const NocModel &noc);
+
+} // namespace maestro
+
+#endif // MAESTRO_CORE_SWEEP_INVARIANTS_HH

@@ -4,6 +4,9 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <map>
 #include <utility>
 
@@ -14,6 +17,7 @@
 #include "src/core/pipeline.hh"
 #include "src/core/reuse_analysis.hh"
 #include "src/core/tensor_analysis.hh"
+#include "src/dse/batch_kernels.hh"
 #include "src/dse/shard.hh"
 #include "src/obs/metrics.hh"
 #include "src/obs/obs.hh"
@@ -91,14 +95,17 @@ kibOf(Count bytes)
     return static_cast<double>(bytes) / 1024.0;
 }
 
-/** The per-tensor L2 residency predicate of energyFromSums; monotone
- *  nondecreasing in l2_bytes, which makes the first resident L2 size a
- *  partition point of the sorted size list. */
+/** The per-tensor L2 residency predicate of energyFromSums — the same
+ *  expression as the performance engine's DRAM correction (see
+ *  l2ResidencyBytes). Monotone nondecreasing in l2_bytes, which makes
+ *  the first resident L2 size a partition point of the sorted size
+ *  list. */
 bool
-l2Resident(double volume, Count precision_bytes, Count l2_bytes)
+l2Resident(double volume, Count precision_bytes, Count l2_bytes,
+           double l2_required)
 {
     return volume * static_cast<double>(precision_bytes) <=
-           0.5 * static_cast<double>(l2_bytes);
+           l2ResidencyBytes(static_cast<double>(l2_bytes), l2_required);
 }
 
 /**
@@ -324,35 +331,6 @@ struct BestSet
     }
 };
 
-/** First index whose size meets the requirement (capacity feasibility
- *  is a suffix of the ascending size list). */
-std::size_t
-firstFeasible(const std::vector<Count> &sizes, double required)
-{
-    return static_cast<std::size_t>(
-        std::partition_point(sizes.begin(), sizes.end(),
-                             [&](Count size) {
-                                 return required >
-                                        static_cast<double>(size);
-                             }) -
-        sizes.begin());
-}
-
-/** First index whose L2 size makes the tensor resident (residency is a
- *  suffix of the ascending size list). */
-std::size_t
-firstResident(const std::vector<Count> &sizes, double volume,
-              Count precision_bytes)
-{
-    return static_cast<std::size_t>(
-        std::partition_point(sizes.begin(), sizes.end(),
-                             [&](Count size) {
-                                 return !l2Resident(
-                                     volume, precision_bytes, size);
-                             }) -
-        sizes.begin());
-}
-
 } // namespace
 
 double
@@ -371,11 +349,13 @@ energyFromSums(const CostResult::AccessSums &sums, Count l1_bytes,
     // and the resulting fill scaled to all groups.
     double dram = sums.output_dram_writes;
     dram += sums.groups *
-            (l2Resident(sums.weight_volume, precision_bytes, l2_bytes)
+            (l2Resident(sums.weight_volume, precision_bytes, l2_bytes,
+                        sums.l2_required)
                  ? std::min(sums.weight_fill, sums.weight_volume)
                  : sums.weight_fill);
     dram += sums.groups *
-            (l2Resident(sums.input_volume, precision_bytes, l2_bytes)
+            (l2Resident(sums.input_volume, precision_bytes, l2_bytes,
+                        sums.l2_required)
                  ? std::min(sums.input_fill, sums.input_volume)
                  : sums.input_fill);
     total += dram * energy.dramEnergy();
@@ -723,14 +703,17 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
             std::size_t ibw = 0;
         };
         std::vector<PairRef> pair_refs;
-        std::map<std::pair<std::size_t, std::size_t>, std::size_t>
-            pair_index; // (pes_idx, ibw) -> slot, for frontier decode
+        // (pes_idx, ibw) -> slot, for frontier decode. Flat array: the
+        // decode happens once per Pareto point, but building a node-
+        // based map for every pair showed up in the sweep profile.
+        std::vector<std::size_t> pair_slot(
+            space.pe_counts.size() * nbw,
+            std::numeric_limits<std::size_t>::max());
         for (std::size_t b = 0; b < blocks.size(); ++b) {
             for (std::size_t ibw = 0; ibw < blocks[b].bw_reached;
                  ++ibw) {
-                pair_index.emplace(
-                    std::make_pair(blocks[b].pes_idx, ibw),
-                    pair_refs.size());
+                pair_slot[blocks[b].pes_idx * nbw + ibw] =
+                    pair_refs.size();
                 pair_refs.push_back({b, ibw});
             }
         }
@@ -754,13 +737,19 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
             }
         }
 
-        /** Dataflow binding + reuse + flat nest: depend only on the PE
-         *  count (and support flags), shared across the BW axis. */
+        /** Dataflow binding + reuse + flat nest + one full engine run:
+         *  everything here depends only on the PE count (and support
+         *  flags). The NoC bandwidth enters the model solely through
+         *  the runtime closed form, captured in `profile`, so the
+         *  whole BW axis shares one analysis (the batch-kernel
+         *  restructuring; see src/dse/batch_kernels.hh). */
         struct PeArtifacts
         {
             BoundDataflow bound;
             std::vector<LevelReuse> reuse;
             FlatAnalysis flat;
+            PairScalars scalars;        ///< bw-independent but runtime
+            PerfRuntimeProfile profile; ///< runtime closed-form terms
             bool ok = false;
             std::string error;
         };
@@ -785,6 +774,17 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
                             art.flat =
                                 analyzeFlat(art.bound, art.reuse,
                                             tensors, depthwise, cfg);
+                            const PerformanceResult perf =
+                                analyzePerformance(
+                                    art.bound, art.reuse, art.flat,
+                                    layer, cfg, compute_scale,
+                                    &art.profile);
+                            CostResult cost = analyzeCost(
+                                art.bound, art.reuse, art.flat, perf,
+                                layer, cfg, energy_);
+                            art.scalars =
+                                pairScalars(assembleLayerAnalysis(
+                                    perf, std::move(cost), layer, cfg));
                             art.ok = true;
                         } catch (const std::exception &e) {
                             art.error = e.what();
@@ -793,112 +793,151 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
                 });
         }
 
-        /** Everything one pair contributes to the merged result. */
+        /** Everything one pair contributes to the merged result. The
+         *  pair's full PairScalars are NOT stored here: they equal the
+         *  block's bw-independent scalars plus this runtime, and the
+         *  frontier decode rebuilds them on demand — keeping the slot
+         *  array (one per pair) small enough that its construction
+         *  doesn't show in the sweep profile. */
         struct PairOutcome
         {
             std::string error;
             double evaluated = 0.0;
             double valid = 0.0;
-            PairScalars scalars;
+            double runtime = 0.0;
             bool has_valid = false;
             DesignPoint cand_energy; ///< pair's (energy, order) lex-min
             DesignPoint cand_edp;    ///< pair's (edp, order) lex-min
             std::uint64_t energy_order = 0;
             std::uint64_t edp_order = 0;
         };
-        const std::vector<PairOutcome> outcomes =
-            shardedFill<PairOutcome>(
-            options.num_threads, pair_refs.size(),
-            [&](std::size_t begin, std::size_t end,
-                std::vector<PairOutcome> &slots) {
+        // ---- Sweep-level SoA invariants for the batch kernels. ----
+        const double groups_d = static_cast<double>(layer.groupsVal());
+        std::vector<double> l1_sizes_d(n1), l2_sizes_d(n2);
+        for (std::size_t i = 0; i < n1; ++i)
+            l1_sizes_d[i] = static_cast<double>(space.l1_sizes[i]);
+        for (std::size_t i = 0; i < n2; ++i)
+            l2_sizes_d[i] = static_cast<double>(space.l2_sizes[i]);
+        std::vector<double> bus_area(nbw), bus_power(nbw);
+        batchBusTerms(space.noc_bandwidths.data(), nbw,
+                      co.bus_area_per_lane, co.bus_power_per_lane,
+                      base_.clock_ghz, bus_area.data(),
+                      bus_power.data());
+        // L2 contributions of the affine budget model, split off so the
+        // feasibility kernel probes (area_l1 + fixed) + term[i2] — the
+        // exact parse-tree association of areaAtL2/powerAtL2.
+        std::vector<double> area_l2_term(n2), power_l2_term(n2);
+        for (std::size_t i2 = 0; i2 < n2; ++i2) {
+            const double l2_kib = kibOf(space.l2_sizes[i2]);
+            area_l2_term[i2] = co.sram_area_per_kib * l2_kib;
+            power_l2_term[i2] =
+                (co.sram_power_fixed + co.sram_power_per_kib * l2_kib) *
+                base_.clock_ghz;
+        }
+
+        // Pair slots of one block are contiguous (pair_refs was built
+        // block-major), so sharding over blocks lets each worker write
+        // a disjoint contiguous slot range; the serial merge below
+        // still consumes the slots in pair order, keeping the result
+        // byte-identical for any thread count.
+        std::vector<std::size_t> block_offset(blocks.size() + 1, 0);
+        for (std::size_t b = 0; b < blocks.size(); ++b)
+            block_offset[b + 1] =
+                block_offset[b] + blocks[b].bw_reached;
+
+        std::vector<PairOutcome> outcomes(pair_refs.size());
+        ThreadPool::runChunked(
+            options.num_threads, blocks.size(),
+            [&](std::size_t bbegin, std::size_t bend) {
                 obs::ScopedSpan span(pairsSite());
-                span.arg("begin", begin);
-                span.arg("end", end);
-                for (std::size_t pi = begin; pi < end; ++pi) {
-                    const PairRef &ref = pair_refs[pi];
-                    const PeBlock &blk = blocks[ref.block];
-                    const double bw = space.noc_bandwidths[ref.ibw];
-                    PairOutcome &out = slots[pi];
+                span.arg("begin", bbegin);
+                span.arg("end", bend);
+                // SoA scratch rows, reused across the shard's blocks.
+                std::vector<double> area_l1_fixed(n1), power_l1_row(n1);
+                std::vector<double> hi2_lo1(nbw);
+                std::vector<double> evaluated(nbw), valid(nbw);
+                std::vector<double> runtimes(nbw);
+                for (std::size_t b = bbegin; b < bend; ++b) {
+                    const PeBlock &blk = blocks[b];
+                    const PeArtifacts &art = artifacts[b];
+                    PairOutcome *outs =
+                        outcomes.data() + block_offset[b];
+                    const std::size_t nb = blk.bw_reached;
 
                     // Per-pair error sequence mirrors the serial
                     // walk: config validation, then the layer-level
-                    // stages, then binding, then perf/cost.
-                    try {
-                        makeConfig(blk.pes, bw).validate();
-                    } catch (const std::exception &e) {
-                        out.error = e.what();
-                        continue;
+                    // stages, then the block's bind/perf/cost outcome
+                    // (deterministic and shared by every bandwidth of
+                    // the block).
+                    bool block_ok = false;
+                    for (std::size_t ib = 0; ib < nb; ++ib) {
+                        PairOutcome &out = outs[ib];
+                        try {
+                            makeConfig(blk.pes,
+                                       space.noc_bandwidths[ib])
+                                .validate();
+                        } catch (const std::exception &e) {
+                            out.error = e.what();
+                            continue;
+                        }
+                        if (!layer_ok) {
+                            out.error = layer_error;
+                            continue;
+                        }
+                        if (!art.ok) {
+                            out.error = art.error;
+                            continue;
+                        }
+                        block_ok = true;
                     }
-                    if (!layer_ok) {
-                        out.error = layer_error;
+                    if (!block_ok)
                         continue;
-                    }
-                    const PeArtifacts &art = artifacts[ref.block];
-                    if (!art.ok) {
-                        out.error = art.error;
-                        continue;
-                    }
-                    try {
-                        const AcceleratorConfig cfg =
-                            makeConfig(blk.pes, bw);
-                        const PerformanceResult perf =
-                            analyzePerformance(art.bound, art.reuse,
-                                               art.flat, layer, cfg,
-                                               compute_scale);
-                        CostResult cost = analyzeCost(
-                            art.bound, art.reuse, art.flat, perf, layer,
-                            cfg, energy_);
-                        out.scalars = pairScalars(assembleLayerAnalysis(
-                            perf, std::move(cost), layer, cfg));
-                    } catch (const std::exception &e) {
-                        out.error = e.what();
-                        continue;
-                    }
+
+                    // Runtime closed form over the whole reached BW
+                    // prefix: the engine ran once per block in the
+                    // artifact stage; here one vectorized pass prices
+                    // every bandwidth lane.
+                    batchRuntimes(art.profile,
+                                  space.noc_bandwidths.data(), nb,
+                                  base_.noc.avgLatency(), groups_d,
+                                  runtimes.data());
 
                     // Point accounting: (a)-feasible L1 indices are
                     // [0, a_hi); at each, the (c)-feasible L2 indices
-                    // are a prefix whose length shrinks as L1 grows —
-                    // a two-pointer scan recovers the exact walk's
-                    // counts in O(|L1| + |L2|).
-                    const std::size_t lo1 = firstFeasible(
-                        space.l1_sizes, out.scalars.l1_required);
-                    const std::size_t lo2 = firstFeasible(
-                        space.l2_sizes, out.scalars.l2_required);
-                    std::size_t hi2 = n2;
-                    std::size_t hi2_at_lo1 = 0;
+                    // are a prefix whose length the fused kernel
+                    // recovers for all bandwidth lanes with a
+                    // two-pointer walk — identical to the exact walk's
+                    // exhaustive counts because area and power are
+                    // monotone along the L1, L2, and BW axes (the
+                    // precondition the prefix screening above already
+                    // uses; batchFeasibleRow is the evaluated-per-cell
+                    // reference the kernel tests compare against).
+                    const std::size_t lo1 = scanFirstFeasible(
+                        l1_sizes_d.data(), n1,
+                        art.scalars.l1_required);
+                    const std::size_t lo2 = scanFirstFeasible(
+                        l2_sizes_d.data(), n2,
+                        art.scalars.l2_required);
+                    const double lo2_d = static_cast<double>(lo2);
                     for (std::size_t i1 = 0; i1 < blk.a_hi; ++i1) {
                         const double l1_kib =
                             kibOf(space.l1_sizes[i1]);
-                        const double area_l1 =
-                            areaAtL1(blk.terms, blk.pes, l1_kib, co);
-                        const double power_l1 =
+                        area_l1_fixed[i1] =
+                            areaAtL1(blk.terms, blk.pes, l1_kib, co) +
+                            co.sram_area_fixed;
+                        power_l1_row[i1] =
                             powerAtL1(blk.terms, blk.pes, l1_kib, co,
                                       base_.clock_ghz);
-                        while (hi2 > 0) {
-                            const double l2_kib =
-                                kibOf(space.l2_sizes[hi2 - 1]);
-                            const double area = areaAtBw(
-                                areaAtL2(area_l1, l2_kib, co), bw, co);
-                            const double power = powerAtBw(
-                                powerAtL2(power_l1, l2_kib, co,
-                                          base_.clock_ghz),
-                                bw, co, base_.clock_ghz);
-                            if (area > options.area_budget_mm2 ||
-                                power > options.power_budget_mw) {
-                                --hi2;
-                            } else {
-                                break;
-                            }
-                        }
-                        out.evaluated += static_cast<double>(hi2);
-                        if (i1 == lo1)
-                            hi2_at_lo1 = hi2;
-                        if (i1 >= lo1 && hi2 > lo2)
-                            out.valid +=
-                                static_cast<double>(hi2 - lo2);
                     }
-                    if (out.valid <= 0.0)
-                        continue;
+                    sweepFeasibleCounts(
+                        area_l1_fixed.data(), power_l1_row.data(),
+                        blk.a_hi, area_l2_term.data(),
+                        power_l2_term.data(), n2, bus_area.data(),
+                        bus_power.data(), nb,
+                        options.area_budget_mm2,
+                        options.power_budget_mw, lo1, lo2_d,
+                        evaluated.data(), valid.data(),
+                        hi2_lo1.data());
 
                     // Closed-form interior selection. Runtime (hence
                     // throughput) is constant across the interior;
@@ -908,53 +947,136 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
                     // over the valid window lie at the smallest
                     // feasible L1 crossed with the smallest feasible
                     // L2 or a residency-regime left edge — at most
-                    // three candidates instead of the O(|L1|*|L2|)
-                    // interior.
-                    std::size_t edges[3];
-                    std::size_t num_edges = 0;
-                    auto addEdge = [&](std::size_t edge) {
-                        for (std::size_t k = 0; k < num_edges; ++k) {
-                            if (edges[k] == edge)
-                                return;
-                        }
-                        edges[num_edges++] = edge;
+                    // three candidates, all bandwidth-independent
+                    // (with bandwidth-independent energies), priced
+                    // once per block and selected per lane.
+                    const std::size_t edge_w = scanFirstResident(
+                        l2_sizes_d.data(), n2,
+                        art.scalars.sums.weight_volume,
+                        base_.precision_bytes,
+                        art.scalars.sums.l2_required);
+                    const std::size_t edge_i = scanFirstResident(
+                        l2_sizes_d.data(), n2,
+                        art.scalars.sums.input_volume,
+                        base_.precision_bytes,
+                        art.scalars.sums.l2_required);
+
+                    struct EdgeCand
+                    {
+                        std::size_t i2 = 0;
+                        double energy = 0.0;
+                        double area_l2 = 0.0;
+                        double power_l2 = 0.0;
                     };
-                    addEdge(lo2);
-                    for (const double volume :
-                         {out.scalars.sums.weight_volume,
-                          out.scalars.sums.input_volume}) {
-                        const std::size_t edge = firstResident(
-                            space.l2_sizes, volume,
-                            base_.precision_bytes);
-                        if (edge > lo2 && edge < hi2_at_lo1)
-                            addEdge(edge);
+                    EdgeCand cands[3];
+                    std::size_t num_cands = 0;
+                    double area_l1_lo1 = 0.0, power_l1_lo1 = 0.0;
+                    if (lo1 < blk.a_hi) {
+                        const double l1_kib =
+                            kibOf(space.l1_sizes[lo1]);
+                        area_l1_lo1 =
+                            areaAtL1(blk.terms, blk.pes, l1_kib, co);
+                        power_l1_lo1 =
+                            powerAtL1(blk.terms, blk.pes, l1_kib, co,
+                                      base_.clock_ghz);
                     }
-                    for (std::size_t k = 0; k < num_edges; ++k) {
-                        const std::size_t i2 = edges[k];
-                        const DesignPoint point = buildPoint(
-                            space, blk.pes_idx, lo1, i2, ref.ibw,
-                            out.scalars, co, base_, energy_);
-                        const std::uint64_t order = orderIndex(
-                            blk.pes_idx, lo1, i2, ref.ibw, space);
-                        if (!out.has_valid) {
-                            out.has_valid = true;
-                            out.cand_energy = point;
-                            out.energy_order = order;
-                            out.cand_edp = point;
-                            out.edp_order = order;
+                    // Lazily priced: only reachable from pairs with
+                    // valid > 0, which implies lo1 < a_hi and i2 < n2.
+                    auto candAt =
+                        [&](std::size_t i2) -> const EdgeCand & {
+                        for (std::size_t k = 0; k < num_cands; ++k) {
+                            if (cands[k].i2 == i2)
+                                return cands[k];
+                        }
+                        EdgeCand &c = cands[num_cands++];
+                        c.i2 = i2;
+                        const double l2_kib =
+                            kibOf(space.l2_sizes[i2]);
+                        c.area_l2 = areaAtL2(area_l1_lo1, l2_kib, co);
+                        c.power_l2 =
+                            powerAtL2(power_l1_lo1, l2_kib, co,
+                                      base_.clock_ghz);
+                        c.energy = energyFromSums(
+                            art.scalars.sums, space.l1_sizes[lo1],
+                            space.l2_sizes[i2], base_.precision_bytes,
+                            base_.noc.avgLatency(), energy_);
+                        return c;
+                    };
+
+                    for (std::size_t ib = 0; ib < nb; ++ib) {
+                        PairOutcome &out = outs[ib];
+                        if (!out.error.empty())
                             continue;
+                        out.evaluated = evaluated[ib];
+                        out.valid = valid[ib];
+                        out.runtime = runtimes[ib];
+                        if (out.valid <= 0.0)
+                            continue;
+
+                        // Same <= 3 candidates, same insertion order
+                        // and dedup as the serial walk's addEdge.
+                        std::size_t edges[3];
+                        std::size_t num_edges = 0;
+                        auto addEdge = [&](std::size_t edge) {
+                            for (std::size_t k = 0; k < num_edges;
+                                 ++k) {
+                                if (edges[k] == edge)
+                                    return;
+                            }
+                            edges[num_edges++] = edge;
+                        };
+                        addEdge(lo2);
+                        for (const std::size_t edge :
+                             {edge_w, edge_i}) {
+                            if (edge > lo2 &&
+                                static_cast<double>(edge) <
+                                    hi2_lo1[ib])
+                                addEdge(edge);
                         }
-                        if (point.energy < out.cand_energy.energy ||
-                            (point.energy == out.cand_energy.energy &&
-                             order < out.energy_order)) {
-                            out.cand_energy = point;
-                            out.energy_order = order;
-                        }
-                        if (point.edp < out.cand_edp.edp ||
-                            (point.edp == out.cand_edp.edp &&
-                             order < out.edp_order)) {
-                            out.cand_edp = point;
-                            out.edp_order = order;
+                        for (std::size_t k = 0; k < num_edges; ++k) {
+                            const EdgeCand &c = candAt(edges[k]);
+                            DesignPoint point;
+                            point.num_pes = blk.pes;
+                            point.l1_bytes = space.l1_sizes[lo1];
+                            point.l2_bytes = space.l2_sizes[c.i2];
+                            point.noc_bandwidth =
+                                space.noc_bandwidths[ib];
+                            point.area = c.area_l2 + bus_area[ib];
+                            point.power = c.power_l2 + bus_power[ib];
+                            point.runtime = out.runtime;
+                            point.throughput =
+                                art.scalars.total_macs / out.runtime;
+                            point.energy = c.energy;
+                            point.edp = point.energy * point.runtime;
+                            point.l1_required =
+                                art.scalars.l1_required;
+                            point.l2_required =
+                                art.scalars.l2_required;
+                            point.valid = true;
+                            const std::uint64_t order = orderIndex(
+                                blk.pes_idx, lo1, c.i2, ib, space);
+                            if (!out.has_valid) {
+                                out.has_valid = true;
+                                out.cand_energy = point;
+                                out.energy_order = order;
+                                out.cand_edp = point;
+                                out.edp_order = order;
+                                continue;
+                            }
+                            if (point.energy <
+                                    out.cand_energy.energy ||
+                                (point.energy ==
+                                     out.cand_energy.energy &&
+                                 order < out.energy_order)) {
+                                out.cand_energy = point;
+                                out.energy_order = order;
+                            }
+                            if (point.edp < out.cand_edp.edp ||
+                                (point.edp == out.cand_edp.edp &&
+                                 order < out.edp_order)) {
+                                out.cand_edp = point;
+                                out.edp_order = order;
+                            }
                         }
                     }
                 }
@@ -995,7 +1117,10 @@ Explorer::explore(const Layer &layer, const Dataflow &dataflow,
         result.evaluated_pairs = static_cast<double>(pair_refs.size());
 
         finishFrontier([&](std::size_t pes_idx, std::size_t ibw) {
-            return outcomes[pair_index.at({pes_idx, ibw})].scalars;
+            const std::size_t slot = pair_slot[pes_idx * nbw + ibw];
+            PairScalars s = artifacts[pair_refs[slot].block].scalars;
+            s.runtime = outcomes[slot].runtime;
+            return s;
         });
     }
 

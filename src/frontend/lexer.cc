@@ -81,9 +81,9 @@ tokenize(const std::string &source)
                     ++line;
                 ++i;
             }
-            fatalIf(i + 1 >= n, msg("unterminated block comment "
+            fatalIf(i + 1 >= n, "unterminated block comment "
                                     "starting on line ",
-                                    start_line));
+                                    start_line);
             i += 2;
             continue;
         }
@@ -100,8 +100,8 @@ tokenize(const std::string &source)
                     value, source[i] - '0', &value);
                 ++i;
             }
-            fatalIf(overflow, msg("line ", line,
-                                  ": integer literal too large"));
+            fatalIf(overflow, "line ", line,
+                                  ": integer literal too large");
             Token t;
             t.kind = TokenKind::Integer;
             t.value = value;

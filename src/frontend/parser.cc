@@ -49,8 +49,8 @@ class Cursor
     expect(TokenKind kind, const std::string &what)
     {
         const Token t = next();
-        fatalIf(t.kind != kind, msg("line ", t.line, ": expected ", what,
-                                    ", found ", t.describe()));
+        fatalIf(t.kind != kind, "line ", t.line, ": expected ", what,
+                                    ", found ", t.describe());
         return t;
     }
 
@@ -107,20 +107,19 @@ parseSizeExpr(Cursor &cur)
                 __builtin_mul_overflow(sign, t.value, &term);
             overflow |= __builtin_add_overflow(expr.constant, term,
                                                &expr.constant);
-            fatalIf(overflow, msg("line ", t.line,
-                                  ": size expression overflows"));
+            fatalIf(overflow, "line ", t.line,
+                                  ": size expression overflows");
         } else if (t.kind == TokenKind::Identifier && t.text == "Sz") {
             cur.next();
             cur.expect(TokenKind::LParen, "'(' after Sz");
             const std::string dim =
                 cur.expectIdentifier("dimension name");
             cur.expect(TokenKind::RParen, "')' after Sz dimension");
-            fatalIf(sign < 0, msg("line ", t.line,
+            fatalIf(sign < 0, "line ", t.line,
                                   ": negative Sz() terms are not "
-                                  "supported"));
-            fatalIf(expr.dim.has_value(),
-                    msg("line ", t.line,
-                        ": at most one Sz() reference per expression"));
+                                  "supported");
+            fatalIf(expr.dim.has_value(), "line ", t.line,
+                        ": at most one Sz() reference per expression");
             expr.dim = parseDim(dim);
         } else {
             throw Error(msg("line ", t.line,
@@ -244,8 +243,7 @@ parseAccelerator(Cursor &cur)
         cur.expect(TokenKind::Colon, "':'");
         auto bool_value = [&]() {
             const std::string v = cur.expectIdentifier("true/false");
-            fatalIf(v != "true" && v != "false",
-                    msg("line ", head.line, ": expected true or false"));
+            fatalIf(v != "true" && v != "false", "line ", head.line, ": expected true or false");
             return v == "true";
         };
         if (key == "NumPEs") {
@@ -307,9 +305,9 @@ parseString(const std::string &source)
             while (!cur.accept(TokenKind::RBrace)) {
                 const Token lt = cur.peek();
                 const std::string kw = cur.expectIdentifier("Layer");
-                fatalIf(kw != "Layer", msg("line ", lt.line,
+                fatalIf(kw != "Layer", "line ", lt.line,
                                            ": expected Layer, found '",
-                                           kw, "'"));
+                                           kw, "'");
                 parseLayer(cur, net, out.layer_dataflows);
             }
             out.networks.push_back(std::move(net));
@@ -319,8 +317,7 @@ parseString(const std::string &source)
             cur.expect(TokenKind::LBrace, "'{'");
             Dataflow df(name, parseDirectives(cur));
             df.validate();
-            fatalIf(out.dataflows.count(name) > 0,
-                    msg("duplicate dataflow '", name, "'"));
+            fatalIf(out.dataflows.count(name) > 0, "duplicate dataflow '", name, "'");
             out.dataflows.emplace(name, std::move(df));
         } else if (keyword == "Accelerator") {
             fatalIf(out.accelerator.has_value(),
@@ -338,7 +335,7 @@ ParsedFile
 parseFile(const std::string &path)
 {
     std::ifstream in(path);
-    fatalIf(!in, msg("cannot open '", path, "'"));
+    fatalIf(!in, "cannot open '", path, "'");
     std::ostringstream buffer;
     buffer << in.rdbuf();
     return parseString(buffer.str());

@@ -185,24 +185,20 @@ void
 Layer::validate() const
 {
     for (Dim d : kAllDims) {
-        fatalIf(dims_[d] <= 0, msg("layer ", name_, ": dimension ",
+        fatalIf(dims_[d] <= 0, "layer ", name_, ": dimension ",
                                    dimName(d), " must be positive, got ",
-                                   dims_[d]));
+                                   dims_[d]);
     }
-    fatalIf(stride_ <= 0, msg("layer ", name_, ": stride must be positive"));
-    fatalIf(pad_ < 0, msg("layer ", name_, ": padding must be >= 0"));
-    fatalIf(groups_ <= 0, msg("layer ", name_, ": groups must be positive"));
-    fatalIf(input_density_ <= 0.0 || input_density_ > 1.0,
-            msg("layer ", name_, ": input density must be in (0, 1]"));
-    fatalIf(weight_density_ <= 0.0 || weight_density_ > 1.0,
-            msg("layer ", name_, ": weight density must be in (0, 1]"));
+    fatalIf(stride_ <= 0, "layer ", name_, ": stride must be positive");
+    fatalIf(pad_ < 0, "layer ", name_, ": padding must be >= 0");
+    fatalIf(groups_ <= 0, "layer ", name_, ": groups must be positive");
+    fatalIf(input_density_ <= 0.0 || input_density_ > 1.0, "layer ", name_, ": input density must be in (0, 1]");
+    fatalIf(weight_density_ <= 0.0 || weight_density_ > 1.0, "layer ", name_, ": weight density must be in (0, 1]");
     fatalIf(effectiveDim(Dim::Y) < dims_[Dim::R] ||
-                effectiveDim(Dim::X) < dims_[Dim::S],
-            msg("layer ", name_,
-                ": filter does not fit in the padded input"));
+                effectiveDim(Dim::X) < dims_[Dim::S], "layer ", name_,
+                ": filter does not fit in the padded input");
     if (type_ == OpType::PointwiseConv) {
-        fatalIf(dims_[Dim::R] != 1 || dims_[Dim::S] != 1,
-                msg("layer ", name_, ": point-wise layer requires R=S=1"));
+        fatalIf(dims_[Dim::R] != 1 || dims_[Dim::S] != 1, "layer ", name_, ": point-wise layer requires R=S=1");
     }
 }
 

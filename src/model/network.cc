@@ -15,9 +15,8 @@ Network::addLayer(Layer layer)
 {
     layer.validate();
     for (const auto &existing : layers_) {
-        fatalIf(existing.name() == layer.name(),
-                msg("network ", name_, ": duplicate layer name '",
-                    layer.name(), "'"));
+        fatalIf(existing.name() == layer.name(), "network ", name_, ": duplicate layer name '",
+                    layer.name(), "'");
     }
     layers_.push_back(std::move(layer));
     return layers_.size() - 1;
@@ -26,11 +25,9 @@ Network::addLayer(Layer layer)
 void
 Network::addResidualLink(std::size_t from, std::size_t to)
 {
-    fatalIf(from >= layers_.size() || to >= layers_.size(),
-            msg("network ", name_, ": residual link index out of range"));
-    fatalIf(from >= to,
-            msg("network ", name_,
-                ": residual link must go forward (from < to)"));
+    fatalIf(from >= layers_.size() || to >= layers_.size(), "network ", name_, ": residual link index out of range");
+    fatalIf(from >= to, "network ", name_,
+                ": residual link must go forward (from < to)");
     links_.push_back({from, to});
 }
 

@@ -33,9 +33,8 @@ paramDouble(const QueryParams &params, const std::string &key,
     double out = 0.0;
     const auto res =
         std::from_chars(v.data(), v.data() + v.size(), out);
-    fatalIf(res.ec != std::errc() || res.ptr != v.data() + v.size(),
-            msg("query parameter '", key, "': '", v,
-                "' is not a number"));
+    fatalIf(res.ec != std::errc() || res.ptr != v.data() + v.size(), "query parameter '", key, "': '", v,
+                "' is not a number");
     return out;
 }
 
@@ -59,9 +58,8 @@ singleLayer(const RequestInputs &in, const char *endpoint)
 {
     if (in.layer_name)
         return in.network.layer(*in.layer_name);
-    fatalIf(in.network.layers().size() != 1,
-            msg(endpoint, " needs ?layer=NAME when the network has ",
-                in.network.layers().size(), " layers"));
+    fatalIf(in.network.layers().size() != 1, endpoint, " needs ?layer=NAME when the network has ",
+                in.network.layers().size(), " layers");
     return in.network.layers().front();
 }
 
@@ -114,9 +112,8 @@ paramCount(const QueryParams &params, const std::string &key,
     const double v = paramDouble(params, key,
                                  static_cast<double>(fallback));
     fatalIf(v < 1.0 || v != static_cast<double>(
-                                static_cast<std::size_t>(v)),
-            msg("query parameter '", key, "' must be a positive "
-                "integer"));
+                                static_cast<std::size_t>(v)), "query parameter '", key, "' must be a positive "
+                "integer");
     return static_cast<std::size_t>(v);
 }
 
@@ -137,10 +134,9 @@ paramCountList(const QueryParams &params, const std::string &key,
         const auto res = std::from_chars(v.data() + pos,
                                          v.data() + comma, entry);
         fatalIf(res.ec != std::errc() || res.ptr != v.data() + comma ||
-                    entry < 1,
-                msg("query parameter '", key, "': '", v,
+                    entry < 1, "query parameter '", key, "': '", v,
                     "' is not a comma-separated list of positive "
-                    "integers"));
+                    "integers");
         out.push_back(entry);
         pos = comma + 1;
     }
@@ -297,10 +293,9 @@ dseJson(const RequestInputs &inputs, const QueryParams &params,
         const std::shared_ptr<AnalysisPipeline> &pipeline,
         const EnergyModel &energy)
 {
-    fatalIf(inputs.dataflows.size() != 1,
-            msg("dse needs exactly one dataflow, got ",
+    fatalIf(inputs.dataflows.size() != 1, "dse needs exactly one dataflow, got ",
                 inputs.dataflows.size(),
-                " (name one with ?dataflow=NAME)"));
+                " (name one with ?dataflow=NAME)");
     const Layer &layer = singleLayer(inputs, "dse");
 
     dse::DseOptions options;
@@ -346,16 +341,14 @@ tuneJson(const RequestInputs &inputs, const QueryParams &params,
     else if (obj == "edp")
         objective = mapper::Objective::Edp;
     else
-        fatalIf(obj != "runtime",
-                msg("objective must be runtime, energy, or edp; got '",
-                    obj, "'"));
+        fatalIf(obj != "runtime", "objective must be runtime, energy, or edp; got '",
+                    obj, "'");
 
     const auto mode_it = params.find("mode");
     const std::string mode =
         mode_it == params.end() ? "layer" : mode_it->second;
-    fatalIf(mode != "layer" && mode != "network" && mode != "joint",
-            msg("mode must be layer, network, or joint; got '", mode,
-                "'"));
+    fatalIf(mode != "layer" && mode != "network" && mode != "joint", "mode must be layer, network, or joint; got '", mode,
+                "'");
 
     const mapper::MapperOptions options =
         mapperOptions(params, worker_threads);

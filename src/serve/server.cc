@@ -121,11 +121,10 @@ AnalysisServer::start()
 {
     if (listen_fd_ >= 0)
         return;
-    fatalIf(::pipe(wake_pipe_) != 0,
-            msg("pipe: ", std::strerror(errno)));
+    fatalIf(::pipe(wake_pipe_) != 0, "pipe: ", std::strerror(errno));
 
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    fatalIf(fd < 0, msg("socket: ", std::strerror(errno)));
+    fatalIf(fd < 0, "socket: ", std::strerror(errno));
     const int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 

@@ -101,7 +101,11 @@ struct CrossvalGate
     double mean_cycles_pct = 12.0;
     double tail_cycles_fraction = 0.08;
     double mean_l2_pct = 25.0;
-    double mean_dram_pct = 25.0;
+    /** DRAM fill is bounded by mean AND tail (like cycles): the
+     *  residency-aware fill model tracks the simulator closely, so a
+     *  regression shows up as outliers long before the mean moves. */
+    double mean_dram_pct = 5.0;
+    double tail_dram_fraction = 0.02;
 };
 
 /** Aggregated crossval run result. */

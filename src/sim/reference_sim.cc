@@ -7,6 +7,9 @@
 #include <vector>
 
 #include "src/common/error.hh"
+#include "src/core/cost_analysis.hh"
+#include "src/core/reuse_analysis.hh"
+#include "src/core/tensor_analysis.hh"
 #include "src/sim/step_classes.hh"
 #include "src/sim/step_model.hh"
 
@@ -91,11 +94,10 @@ exactLeaves(const sim::StepEngine &engine, const BoundDataflow &bound,
             it->second.count = 1.0;
             it->second.c = c;
         } else {
-            fatalIf(it->second.c != c,
-                    msg("sim step-class invariant violated at position ",
+            fatalIf(it->second.c != c, "sim step-class invariant violated at position ",
                         describePosition(nest.positions()),
                         ": contribution differs from the class "
-                        "representative"));
+                        "representative");
             it->second.count += 1.0;
         }
         first = false;
@@ -159,18 +161,27 @@ simulateLayer(const Layer &layer, const Dataflow &dataflow,
     std::vector<LeafTally> leaves;
     if (options.exact) {
         sim::Nest nest(bound);
-        fatalIf(nest.totalSteps() > options.max_steps,
-                msg("simulation nest has ", nest.totalSteps(),
+        fatalIf(nest.totalSteps() > options.max_steps, "simulation nest has ", nest.totalSteps(),
                     " steps, exceeding the guard of ",
-                    options.max_steps));
+                    options.max_steps);
         leaves = exactLeaves(engine, bound, nest);
     } else {
         leaves = fastLeaves(engine, bound, options.max_steps);
     }
     SimResult result = combineLeaves(leaves);
 
-    // L2 capacity correction: a tensor resident in half the L2 is
-    // fetched from DRAM exactly once.
+    // L2 capacity correction: a tensor the L2 can pin alongside the
+    // schedule's streaming working set is fetched from DRAM exactly
+    // once. The walker itself tracks only the previous level-0 rect
+    // (no capacity), so cyclic revisits of a pinnable tensor surface
+    // as organic refetches; the clamp removes them under the same
+    // residency bound the analytical model uses (l2ResidencyBytes).
+    const double l2_resident_bytes = l2ResidencyBytes(
+        static_cast<double>(config.l2_bytes),
+        l2BytesRequired(bound,
+                        analyzeReuse(bound, analyzeTensors(layer),
+                                     depthwise),
+                        config.precision_bytes));
     for (TensorKind t : {TensorKind::Weight, TensorKind::Input}) {
         const double volume =
             static_cast<double>(layer.tensorVolume(t)) *
@@ -178,7 +189,7 @@ simulateLayer(const Layer &layer, const Dataflow &dataflow,
                                     : layer.weightDensityVal());
         const bool resident =
             volume * static_cast<double>(config.precision_bytes) <=
-            0.5 * static_cast<double>(config.l2_bytes);
+            l2_resident_bytes;
         if (resident)
             result.dram_fill[t] = std::min(result.dram_fill[t], volume);
         result.dram_busy +=

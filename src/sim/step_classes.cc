@@ -207,9 +207,8 @@ ClassTree::enumerateFrom(
         const double c = count * node.part.countOf(g);
         if (loop_index + 1 == n) {
             classes += 1.0;
-            fatalIf(classes > max_classes,
-                    msg("simulation nest has more than ", max_classes,
-                        " step classes, exceeding the guard"));
+            fatalIf(classes > max_classes, "simulation nest has more than ", max_classes,
+                        " step classes, exceeding the guard");
             visit(rep, c);
         } else {
             enumerateFrom(childOf(node, loop_index, g), loop_index + 1,
@@ -226,9 +225,8 @@ ClassTree::enumerate(
 {
     const std::size_t n = scratch_.loops().size();
     if (n == 0) {
-        fatalIf(max_classes < 1.0,
-                msg("simulation nest has more than ", max_classes,
-                    " step classes, exceeding the guard"));
+        fatalIf(max_classes < 1.0, "simulation nest has more than ", max_classes,
+                    " step classes, exceeding the guard");
         visit({}, 1.0);
         return;
     }

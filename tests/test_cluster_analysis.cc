@@ -179,6 +179,23 @@ TEST(ClusterAnalysis, SlidingWindowSteps)
     EXPECT_EQ(x.steps, 28); // 224 outputs / 8 per chunk
 }
 
+TEST(ClusterAnalysis, StrideClampsOutputSpaceSlide)
+{
+    // YX-P's X directive is Map(Sz(S)+7, 8): at stride 2 a 10-wide
+    // chunk produces only convOutputs(10, 3, 2) = 4 output columns,
+    // so the 8-output slide must clamp to 4 or half the columns are
+    // never scheduled (ROADMAP item 6).
+    const BoundDataflow bound = bindDataflow(
+        dataflows::yxPartitioned(), conv(64, 64, 224, 3, 2, 1), 256);
+    const BoundDirective &x = find(bound.levels[0], Dim::X);
+    EXPECT_TRUE(x.out_space);
+    EXPECT_EQ(x.size, 10);      // 8+Sz(S)-1 inputs
+    EXPECT_EQ(x.offset_out, 4); // clamped from 8 to chunk outputs
+    EXPECT_EQ(x.offset_in, 8);  // output slide x stride
+    // 226 padded inputs -> 112 output columns, 4 per chunk.
+    EXPECT_EQ(x.steps, 28);
+}
+
 TEST(ClusterAnalysis, ClusterClampsToArray)
 {
     // Cluster(64) on a 32-PE array degrades to one 32-PE cluster.

@@ -118,17 +118,22 @@ struct NetworkGolden
     double total_macs;
 };
 
+// Refreshed when the DRAM residency bound gained the
+// `l2 - l2_required` arm (see l2ResidencyBytes): tensors the L2 can
+// pin alongside the streaming working set stopped refetching, which
+// lowers DRAM and L2-fill energy and the off-chip fill delay on the
+// networks below (cross-validated against the reference simulator).
 const NetworkGolden kNetworkGoldens[] = {
-    {"vgg16", "KC-P", 74255839.093321458, 299348371491.5199,
-     126560625891.51997, 15470264320},
-    {"resnet50", "KC-P", 36236777.806189723, 48625546132.160019,
-     35673653332.160019, 3498311680},
-    {"resnet50", "YR-P", 145013295.86325768, 90459833287.680023,
-     72369918087.680038, 3498311680},
+    {"vgg16", "KC-P", 74255812.275943965, 212929334921.91995,
+     119207496521.91998, 15470264320},
+    {"resnet50", "KC-P", 36236775.931189723, 43360678804.160034,
+     35225682004.160019, 3498311680},
+    {"resnet50", "YR-P", 145013292.47263268, 79579107476.480042,
+     71444110676.480026, 3498311680},
     {"mobilenetv2", "YR-P", 21947049.687538862, 13821108446.719994,
      10171743646.719997, 300774272},
-    {"resnext50", "KC-P", 52600673.739271626, 64403112954.559998,
-     45042004154.559982, 3408396288},
+    {"resnext50", "KC-P", 52600671.801771626, 53522387143.359993,
+     44116196743.359985, 3408396288},
 };
 
 AcceleratorConfig

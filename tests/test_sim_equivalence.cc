@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/error.hh"
+#include "src/core/analyzer.hh"
 #include "src/dataflows/catalog.hh"
 #include "src/sim/crossval.hh"
 #include "src/sim/reference_sim.hh"
@@ -111,6 +112,8 @@ TEST(SimEquivalence, HandpickedEdgeCases)
     t.stride = 2; // stride phases + clamped right edge
     t.y = t.x = 17;
     specs.push_back(t);
+    t.dataflow = "YX-P"; // stride-2 output-slide clamp (ROADMAP 6)
+    specs.push_back(t);
 
     t = crossval::TripleSpec();
     t.op = OpType::DepthwiseConv;
@@ -152,6 +155,30 @@ TEST(SimEquivalence, HandpickedEdgeCases)
             ++checked;
     }
     EXPECT_GE(checked, static_cast<int>(specs.size()) - 2);
+}
+
+TEST(SimEquivalence, StridedYxPCoversAllOutputs)
+{
+    // Before the binding clamp, YX-P's 8-output slide skipped every
+    // other output column at stride 2: the simulator faithfully
+    // reported half the MACs while the analytical count stayed
+    // algorithmic. With the clamp, both sides must agree exactly at
+    // any stride (which also lets the crossval sampler roam strided
+    // YX-P triples again).
+    crossval::TripleSpec t;
+    t.k = 8;
+    t.c = 8;
+    t.y = t.x = 17;
+    t.r = t.s = 3;
+    t.stride = 2;
+    t.pad = 1;
+    t.dataflow = "YX-P";
+    const Layer layer = t.layer();
+    const Dataflow df = dataflows::byName(t.dataflow);
+    const AcceleratorConfig cfg = t.config();
+    const SimResult sim = simulateLayer(layer, df, cfg);
+    const LayerAnalysis la = Analyzer(cfg).analyzeLayer(layer, df);
+    EXPECT_EQ(sim.macs, la.total_macs);
 }
 
 TEST(SimEquivalence, FastPathCollapsesSteadyState)
