@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Serve throughput benchmark: requests/second through the HTTP
+ * daemon at --workers 1 vs --workers 2 (SO_REUSEPORT shared-nothing
+ * processes), driven by keep-alive loopback clients cycling a mix of
+ * tiny analyze/simulate payloads. After warmup the mix is resident
+ * in each worker's result cache, so the figure isolates the serving
+ * path itself — accept, parse, dispatch, render — which is exactly
+ * what scale-out multiplies.
+ *
+ * Emits one machine-readable line prefixed "MAESTRO_BENCH_JSON "
+ * (captured copy checked in as BENCH_serve.json). The speedup figure
+ * is only meaningful when hw_threads exceeds 1: on a single
+ * hardware thread two processes time-slice one core and the honest
+ * expectation is ~1.0x.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json.hh"
+#include "src/serve/server.hh"
+#include "src/serve/workers.hh"
+
+namespace
+{
+
+using namespace maestro;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kClients = 8;
+constexpr int kWarmupMs = 400;
+constexpr int kMeasureMs = 1500;
+
+/** Opens a blocking loopback connection; -1 on failure. */
+int
+connectLoopback(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off, 0);
+        if (n <= 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Reads one HTTP/1.1 response (Content-Length framing, which the
+ * server always uses). Returns false on connection loss.
+ */
+bool
+readResponse(int fd)
+{
+    std::string buf;
+    std::size_t header_end = std::string::npos;
+    char chunk[4096];
+    while (true) {
+        if (header_end == std::string::npos) {
+            header_end = buf.find("\r\n\r\n");
+            if (header_end != std::string::npos)
+                header_end += 4;
+        }
+        if (header_end != std::string::npos) {
+            const std::string lower = [&] {
+                std::string h = buf.substr(0, header_end);
+                for (char &c : h)
+                    c = static_cast<char>(std::tolower(c));
+                return h;
+            }();
+            const std::size_t pos = lower.find("content-length:");
+            std::size_t body_len = 0;
+            if (pos != std::string::npos)
+                body_len = static_cast<std::size_t>(
+                    std::strtoul(lower.c_str() + pos + 15, nullptr,
+                                 10));
+            if (buf.size() >= header_end + body_len)
+                return true;
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return false;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+std::string
+postRequest(const std::string &target, const std::string &body)
+{
+    return "POST " + target +
+           " HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+/** Single-conv network; shape varies with `k`. */
+std::string
+tinyNetwork(int k)
+{
+    return "Network tiny" + std::to_string(k) +
+           " {\n  Layer conv {\n    Type: CONV;\n"
+           "    Dimensions { K: " +
+           std::to_string(k) +
+           "; C: 4; R: 3; S: 3; Y: 16; X: 16; }\n  }\n}\n";
+}
+
+/** The request mix every client cycles through. */
+std::vector<std::string>
+requestMix()
+{
+    std::vector<std::string> mix;
+    for (int k = 4; k <= 16; k += 4) {
+        mix.push_back(
+            postRequest("/analyze?dataflow=C-P", tinyNetwork(k)));
+        mix.push_back(
+            postRequest("/simulate?dataflow=KC-P", tinyNetwork(k)));
+    }
+    return mix;
+}
+
+/** Polls /healthz until a worker answers 200 (or ~5s elapse). */
+bool
+waitReady(std::uint16_t port)
+{
+    const std::string probe =
+        "GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n";
+    for (int attempt = 0; attempt < 500; ++attempt) {
+        const int fd = connectLoopback(port);
+        if (fd >= 0) {
+            const bool ok = sendAll(fd, probe) && readResponse(fd);
+            ::close(fd);
+            if (ok)
+                return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+}
+
+/**
+ * Forks `workers` serve processes on one shared port, drives them
+ * with keep-alive clients, and returns measured requests/second.
+ */
+double
+measureWorkers(std::size_t workers)
+{
+    serve::ServeOptions options;
+    options.host = "127.0.0.1";
+    options.port = 0;
+    options.worker_threads = 2;
+    const int placeholder = serve::openPortPlaceholder(options);
+    const std::uint16_t port = options.port;
+
+    std::vector<pid_t> pids;
+    for (std::size_t i = 0; i < workers; ++i)
+        pids.push_back(serve::spawnWorker(options));
+    if (!waitReady(port)) {
+        std::fprintf(stderr, "serve_speed: workers never ready\n");
+        for (const pid_t pid : pids)
+            ::kill(pid, SIGKILL);
+        ::close(placeholder);
+        return 0.0;
+    }
+
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    const std::vector<std::string> mix = requestMix();
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            int fd = connectLoopback(port);
+            std::size_t i = static_cast<std::size_t>(c);
+            while (!stop.load(std::memory_order_relaxed)) {
+                if (fd < 0) {
+                    fd = connectLoopback(port);
+                    continue;
+                }
+                const std::string &raw = mix[i++ % mix.size()];
+                if (!sendAll(fd, raw) || !readResponse(fd)) {
+                    ::close(fd);
+                    fd = connectLoopback(port);
+                    continue;
+                }
+                completed.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (fd >= 0)
+                ::close(fd);
+        });
+    }
+
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(kWarmupMs));
+    const std::uint64_t c0 = completed.load();
+    const Clock::time_point t0 = Clock::now();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(kMeasureMs));
+    const std::uint64_t c1 = completed.load();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    stop.store(true);
+    for (std::thread &t : clients)
+        t.join();
+
+    // Graceful drain: SIGTERM each worker and require clean exits.
+    for (const pid_t pid : pids)
+        ::kill(pid, SIGTERM);
+    for (const pid_t pid : pids) {
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            std::fprintf(stderr,
+                         "serve_speed: worker %d exited dirty\n",
+                         static_cast<int>(pid));
+    }
+    ::close(placeholder);
+    return static_cast<double>(c1 - c0) / seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double rps_1 = measureWorkers(1);
+    const double rps_2 = measureWorkers(2);
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("bench").value("serve_speed");
+    w.key("clients").value(std::int64_t(kClients));
+    w.key("warmup_ms").value(std::int64_t(kWarmupMs));
+    w.key("measure_ms").value(std::int64_t(kMeasureMs));
+    w.key("rps_workers_1").fixed(rps_1, 1);
+    w.key("rps_workers_2").fixed(rps_2, 1);
+    w.key("speedup").fixed(rps_1 > 0.0 ? rps_2 / rps_1 : 0.0, 2);
+    w.key("hw_threads").value(std::uint64_t(
+        std::thread::hardware_concurrency()));
+    w.endObject();
+    std::printf("MAESTRO_BENCH_JSON %s\n", w.str().c_str());
+    return rps_1 > 0.0 && rps_2 > 0.0 ? 0 : 1;
+}

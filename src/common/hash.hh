@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic content hashing (FNV-1a, 64-bit).
+ *
+ * The serve layer derives job ids and result-cache keys from request
+ * bytes, so the hash must be a pure function of its input — stable
+ * across processes, platforms, and runs (never seeded, never
+ * randomized). FNV-1a is small, allocation-free, and good enough for
+ * content addressing behind an equality check (the job store and
+ * result cache both compare the full canonical key on lookup, so a
+ * collision degrades to an explicit error, not a wrong answer).
+ */
+
+#ifndef MAESTRO_COMMON_HASH_HH
+#define MAESTRO_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace maestro
+{
+
+/** FNV-1a offset basis / prime (64-bit variant). */
+inline constexpr std::uint64_t kFnvOffsetBasis =
+    0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** Hashes `data`, continuing from `seed` (chainable). */
+constexpr std::uint64_t
+hashBytes(std::string_view data, std::uint64_t seed = kFnvOffsetBasis)
+{
+    std::uint64_t h = seed;
+    for (const char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Folds an integer into a running hash (length prefixes, counts). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (value >> (i * 8)) & 0xffu;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Renders a hash as 16 lowercase hex digits (fixed width). */
+inline std::string
+hashHex(std::uint64_t h)
+{
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[h & 0xfu];
+        h >>= 4;
+    }
+    return out;
+}
+
+} // namespace maestro
+
+#endif // MAESTRO_COMMON_HASH_HH

@@ -11,6 +11,7 @@
 #include "src/mapper/mapper.hh"
 #include "src/frontend/parser.hh"
 #include "src/obs/metrics.hh"
+#include "src/sim/crossval.hh"
 #include "src/sim/reference_sim.hh"
 
 namespace maestro
@@ -494,11 +495,34 @@ simulateJson(const RequestInputs &inputs, const QueryParams &params,
 }
 
 std::string
-healthzJson()
+crossvalRunJson(const QueryParams &params,
+                std::size_t worker_threads)
+{
+    crossval::CrossvalOptions options;
+    options.seed = static_cast<std::uint64_t>(
+        paramCount(params, "seed", static_cast<Count>(options.seed)));
+    options.triples = static_cast<std::uint64_t>(
+        paramCount(params, "triples", 100));
+    // The report is byte-identical at any thread count, so capping
+    // by the server's worker budget never changes response bytes.
+    const std::size_t budget = std::max<std::size_t>(1, worker_threads);
+    options.threads = std::min<std::size_t>(
+        budget, static_cast<std::size_t>(
+                    paramCount(params, "threads", 1)));
+    options.max_steps =
+        paramDouble(params, "max_steps", options.max_steps);
+    fatalIf(options.triples == 0, "crossval needs triples >= 1");
+    const crossval::CrossvalReport report =
+        crossval::runCrossval(options);
+    return crossval::crossvalJson(options, report);
+}
+
+std::string
+healthzJson(bool draining)
 {
     JsonWriter w;
     w.beginObject();
-    w.key("status").value("ok");
+    w.key("status").value(draining ? "draining" : "ok");
     w.key("version").value(kVersion);
     w.endObject();
     return w.str();
@@ -508,7 +532,9 @@ std::string
 statsJson(const PipelineStats &pipeline,
           const AdmissionController &admission,
           const RequestCounters &counters,
-          const LatencyHistogram &latency, std::uint64_t uptime_us)
+          const LatencyHistogram &latency, std::uint64_t uptime_us,
+          const ResultCacheStats &result_cache,
+          const JobStoreStats &jobs)
 {
     const auto load = [](const std::atomic<std::uint64_t> &a) {
         return a.load(std::memory_order_relaxed);
@@ -524,6 +550,8 @@ statsJson(const PipelineStats &pipeline,
     w.key("dse").value(load(counters.dse));
     w.key("tune").value(load(counters.tune));
     w.key("simulate").value(load(counters.simulate));
+    w.key("crossval").value(load(counters.crossval));
+    w.key("jobs").value(load(counters.jobs));
     w.key("healthz").value(load(counters.healthz));
     w.key("stats").value(load(counters.stats));
     w.key("metrics").value(load(counters.metrics));
@@ -534,6 +562,7 @@ statsJson(const PipelineStats &pipeline,
     w.key("4xx").value(load(counters.client_err_4xx));
     w.key("5xx").value(load(counters.server_err_5xx));
     w.key("deadline_408").value(load(counters.deadline_408));
+    w.key("throttled_429").value(load(counters.throttled_429));
     w.key("rejected_503").value(load(counters.rejected_503));
     w.endObject();
 
@@ -544,6 +573,40 @@ statsJson(const PipelineStats &pipeline,
     w.key("peak_depth")
         .value(static_cast<std::uint64_t>(admission.peakDepth()));
     w.key("rejected").value(admission.rejected());
+    w.key("client_share")
+        .value(static_cast<std::uint64_t>(admission.clientShare()));
+    w.key("active_clients")
+        .value(static_cast<std::uint64_t>(admission.activeClients()));
+    w.key("rejected_client").value(admission.rejectedClient());
+    w.endObject();
+
+    w.key("result_cache").beginObject();
+    w.key("hits").value(result_cache.hits);
+    w.key("misses").value(result_cache.misses);
+    w.key("evictions").value(result_cache.evictions);
+    w.key("inserted").value(result_cache.inserted);
+    w.key("entries")
+        .value(static_cast<std::uint64_t>(result_cache.entries));
+    w.key("bytes")
+        .value(static_cast<std::uint64_t>(result_cache.bytes));
+    w.key("served_bytes").value(result_cache.served_bytes);
+    w.endObject();
+
+    w.key("jobs").beginObject();
+    w.key("submitted").value(jobs.submitted);
+    w.key("resubmitted").value(jobs.resubmitted);
+    w.key("completed").value(jobs.completed);
+    w.key("failed").value(jobs.failed);
+    w.key("cancelled").value(jobs.cancelled);
+    w.key("evicted").value(jobs.evicted);
+    w.key("rejected_capacity").value(jobs.rejected_capacity);
+    w.key("rejected_client").value(jobs.rejected_client);
+    w.key("queued").value(static_cast<std::uint64_t>(jobs.queued));
+    w.key("running").value(static_cast<std::uint64_t>(jobs.running));
+    w.key("resident")
+        .value(static_cast<std::uint64_t>(jobs.resident));
+    w.key("capacity")
+        .value(static_cast<std::uint64_t>(jobs.capacity));
     w.endObject();
 
     w.key("latency_us").beginObject();
@@ -586,7 +649,9 @@ std::string
 metricsText(const PipelineStats &pipeline,
             const AdmissionController &admission,
             const RequestCounters &counters,
-            const LatencyHistogram &latency, std::uint64_t uptime_us)
+            const LatencyHistogram &latency, std::uint64_t uptime_us,
+            const ResultCacheStats &result_cache,
+            const JobStoreStats &jobs)
 {
     const auto load = [](const std::atomic<std::uint64_t> &a) {
         return a.load(std::memory_order_relaxed);
@@ -611,8 +676,10 @@ metricsText(const PipelineStats &pipeline,
                             "Requests routed, by endpoint", "counter");
     const std::pair<const char *, std::uint64_t> endpoints[] = {
         {"analyze", load(counters.analyze)},
+        {"crossval", load(counters.crossval)},
         {"dse", load(counters.dse)},
         {"healthz", load(counters.healthz)},
+        {"jobs", load(counters.jobs)},
         {"metrics", load(counters.metrics)},
         {"simulate", load(counters.simulate)},
         {"stats", load(counters.stats)},
@@ -662,6 +729,81 @@ metricsText(const PipelineStats &pipeline,
     obs::appendSample(
         out, "maestro_queue_peak_depth", "",
         static_cast<std::uint64_t>(admission.peakDepth()));
+
+    obs::appendFamilyHeader(
+        out, "maestro_client_rejected_total",
+        "Requests rejected 429 by a per-client budget", "counter");
+    obs::appendSample(out, "maestro_client_rejected_total", "",
+                      admission.rejectedClient());
+    obs::appendFamilyHeader(out, "maestro_active_clients",
+                            "Clients with in-flight requests",
+                            "gauge");
+    obs::appendSample(
+        out, "maestro_active_clients", "",
+        static_cast<std::uint64_t>(admission.activeClients()));
+
+    obs::appendFamilyHeader(
+        out, "maestro_result_cache_requests_total",
+        "Content-addressed result-cache lookups, by outcome",
+        "counter");
+    obs::appendSample(out, "maestro_result_cache_requests_total",
+                      obs::labelString({{"outcome", "hit"}}),
+                      result_cache.hits);
+    obs::appendSample(out, "maestro_result_cache_requests_total",
+                      obs::labelString({{"outcome", "miss"}}),
+                      result_cache.misses);
+    obs::appendFamilyHeader(out,
+                            "maestro_result_cache_evictions_total",
+                            "Result-cache LRU evictions", "counter");
+    obs::appendSample(out, "maestro_result_cache_evictions_total", "",
+                      result_cache.evictions);
+    obs::appendFamilyHeader(out, "maestro_result_cache_entries",
+                            "Result-cache resident entries", "gauge");
+    obs::appendSample(
+        out, "maestro_result_cache_entries", "",
+        static_cast<std::uint64_t>(result_cache.entries));
+    obs::appendFamilyHeader(out, "maestro_result_cache_bytes",
+                            "Result-cache resident body bytes",
+                            "gauge");
+    obs::appendSample(out, "maestro_result_cache_bytes", "",
+                      static_cast<std::uint64_t>(result_cache.bytes));
+    obs::appendFamilyHeader(
+        out, "maestro_result_cache_served_bytes_total",
+        "Body bytes served from result-cache hits", "counter");
+    obs::appendSample(out, "maestro_result_cache_served_bytes_total",
+                      "", result_cache.served_bytes);
+
+    obs::appendFamilyHeader(out, "maestro_jobs_total",
+                            "Async jobs, by lifecycle event",
+                            "counter");
+    const std::pair<const char *, std::uint64_t> job_events[] = {
+        {"cancelled", jobs.cancelled},
+        {"completed", jobs.completed},
+        {"evicted", jobs.evicted},
+        {"failed", jobs.failed},
+        {"rejected_capacity", jobs.rejected_capacity},
+        {"rejected_client", jobs.rejected_client},
+        {"resubmitted", jobs.resubmitted},
+        {"submitted", jobs.submitted},
+    };
+    for (const auto &[name, value] : job_events)
+        obs::appendSample(out, "maestro_jobs_total",
+                          obs::labelString({{"event", name}}), value);
+    obs::appendFamilyHeader(out, "maestro_jobs_resident",
+                            "Resident jobs, by state", "gauge");
+    obs::appendSample(out, "maestro_jobs_resident",
+                      obs::labelString({{"state", "queued"}}),
+                      static_cast<std::uint64_t>(jobs.queued));
+    obs::appendSample(out, "maestro_jobs_resident",
+                      obs::labelString({{"state", "running"}}),
+                      static_cast<std::uint64_t>(jobs.running));
+    obs::appendSample(out, "maestro_jobs_resident",
+                      obs::labelString({{"state", "total"}}),
+                      static_cast<std::uint64_t>(jobs.resident));
+    obs::appendFamilyHeader(out, "maestro_jobs_capacity",
+                            "Resident job bound", "gauge");
+    obs::appendSample(out, "maestro_jobs_capacity", "",
+                      static_cast<std::uint64_t>(jobs.capacity));
 
     obs::appendFamilyHeader(
         out, "maestro_request_latency_us",

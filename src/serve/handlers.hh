@@ -25,6 +25,8 @@
 #include "src/core/analyzer.hh"
 #include "src/serve/admission.hh"
 #include "src/serve/http.hh"
+#include "src/serve/jobs.hh"
+#include "src/serve/result_cache.hh"
 
 namespace maestro
 {
@@ -133,33 +135,55 @@ simulateJson(const RequestInputs &inputs, const QueryParams &params,
              const std::shared_ptr<AnalysisPipeline> &pipeline,
              const EnergyModel &energy);
 
-/** GET /healthz body ({"status","version"}). */
-std::string healthzJson();
+/**
+ * POST /crossval: the randomized analytical-vs-simulator
+ * cross-validation sweep (src/sim/crossval). The body is ignored;
+ * everything rides on the query: ?triples=N (default 100), ?seed=N
+ * (default 7), ?threads=N (capped by the server's worker budget),
+ * ?max_steps=N. The report is byte-identical at any thread count
+ * and carries no wall-clock fields.
+ *
+ * @throws Error on bad parameters.
+ */
+std::string crossvalRunJson(const QueryParams &params,
+                            std::size_t worker_threads);
+
+/**
+ * GET /healthz body ({"status","version"}). During a graceful drain
+ * the status flips to "draining" (and the server answers 503) so
+ * load balancers stop routing to a stopping worker.
+ */
+std::string healthzJson(bool draining = false);
 
 /**
  * GET /stats body: per-stage and aggregate cache counters, queue
- * state, request counters, and the latency histogram (bucket counts
- * plus explicit `le_us` upper bounds, null for the catch-all).
+ * state, request counters, result-cache and job-store counters, and
+ * the latency histogram (bucket counts plus explicit `le_us` upper
+ * bounds, null for the catch-all).
  */
 std::string statsJson(const PipelineStats &pipeline,
                       const AdmissionController &admission,
                       const RequestCounters &counters,
                       const LatencyHistogram &latency,
-                      std::uint64_t uptime_us);
+                      std::uint64_t uptime_us,
+                      const ResultCacheStats &result_cache,
+                      const JobStoreStats &jobs);
 
 /**
  * GET /metrics body: Prometheus text exposition (v0.0.4) of the
  * per-server state (request/response counters, admission queue,
- * request-latency histogram, pipeline cache stats, build info)
- * followed by every instrument in the process-wide obs registry.
- * Wall-clock data is allowed here — /metrics is an observability
- * surface, not an analysis result.
+ * result cache, job store, request-latency histogram, pipeline
+ * cache stats, build info) followed by every instrument in the
+ * process-wide obs registry. Wall-clock data is allowed here —
+ * /metrics is an observability surface, not an analysis result.
  */
 std::string metricsText(const PipelineStats &pipeline,
                         const AdmissionController &admission,
                         const RequestCounters &counters,
                         const LatencyHistogram &latency,
-                        std::uint64_t uptime_us);
+                        std::uint64_t uptime_us,
+                        const ResultCacheStats &result_cache,
+                        const JobStoreStats &jobs);
 
 /** {"error": message} body for failure responses. */
 std::string errorJson(std::string_view message);

@@ -274,6 +274,8 @@ statusReason(int status)
     switch (status) {
       case 200:
         return "OK";
+      case 202:
+        return "Accepted";
       case 400:
         return "Bad Request";
       case 404:
@@ -282,6 +284,10 @@ statusReason(int status)
         return "Method Not Allowed";
       case 408:
         return "Request Timeout";
+      case 409:
+        return "Conflict";
+      case 429:
+        return "Too Many Requests";
       case 413:
         return "Payload Too Large";
       case 431:

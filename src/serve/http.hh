@@ -97,6 +97,19 @@ class HttpParser
 
     State state() const { return state_; }
 
+    /**
+     * True once any byte of the current request has arrived — the
+     * point from which the server's read deadline counts (a sender
+     * that starts a request must finish it in time; an idle
+     * keep-alive connection is governed by the idle timeout
+     * instead).
+     */
+    bool
+    started() const
+    {
+        return state_ != State::Headers || !buffer_.empty();
+    }
+
     /** The parsed request (valid once state() == Complete). */
     const HttpRequest &request() const { return request_; }
 

@@ -1,0 +1,109 @@
+#include "src/serve/result_cache.hh"
+
+namespace maestro
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Appends a length-prefixed component: "<len>:<bytes>". */
+void
+appendComponent(std::string &out, std::string_view s)
+{
+    out += std::to_string(s.size());
+    out += ':';
+    out.append(s.data(), s.size());
+}
+
+} // namespace
+
+std::string
+ResultCache::canonicalKey(std::string_view endpoint,
+                          const QueryParams &params,
+                          std::string_view body)
+{
+    std::string key;
+    key.reserve(endpoint.size() + body.size() + 32);
+    appendComponent(key, endpoint);
+    for (const auto &[name, value] : params) {
+        appendComponent(key, name);
+        appendComponent(key, value);
+    }
+    key += '|';
+    key.append(body.data(), body.size());
+    return key;
+}
+
+std::shared_ptr<const std::string>
+ResultCache::get(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    stats_.served_bytes += it->second->body->size();
+    return it->second->body;
+}
+
+void
+ResultCache::put(const std::string &key,
+                 std::shared_ptr<const std::string> body)
+{
+    if (max_entries_ == 0 || !body || body->size() > max_bytes_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Concurrent compute of the same request: both renders are
+        // byte-identical, keep the resident one.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{key, std::move(body)});
+    index_[key] = lru_.begin();
+    stats_.bytes += lru_.front().body->size();
+    ++stats_.inserted;
+    evictLocked();
+    stats_.entries = index_.size();
+}
+
+void
+ResultCache::evictLocked()
+{
+    while (!lru_.empty() && (index_.size() > max_entries_ ||
+                             stats_.bytes > max_bytes_)) {
+        const Entry &victim = lru_.back();
+        stats_.bytes -= victim.body->size();
+        index_.erase(victim.key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ResultCacheStats out = stats_;
+    out.entries = index_.size();
+    return out;
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+    stats_.entries = 0;
+    stats_.bytes = 0;
+}
+
+} // namespace serve
+} // namespace maestro

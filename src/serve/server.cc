@@ -1,8 +1,10 @@
 #include "src/serve/server.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <future>
+#include <optional>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -12,6 +14,7 @@
 #include <unistd.h>
 
 #include "src/common/error.hh"
+#include "src/common/hash.hh"
 #include "src/obs/metrics.hh"
 #include "src/obs/obs.hh"
 
@@ -51,12 +54,20 @@ sendAll(int fd, std::string_view data)
     return true;
 }
 
-/** Outcome of one analysis job executed on the pool. */
-struct JobState
+/** Outcome of one sync request executed on the pool. */
+struct SyncState
 {
     std::atomic<bool> cancelled{false};
     std::promise<std::pair<int, std::string>> promise;
 };
+
+/** Valid POST /jobs/<endpoint> suffixes. */
+bool
+isJobEndpoint(const std::string &name)
+{
+    return name == "analyze" || name == "dse" || name == "tune" ||
+           name == "simulate" || name == "crossval";
+}
 
 /** Per-endpoint request-dispatch instrumentation site. */
 const obs::Site &
@@ -76,6 +87,9 @@ requestSite(const std::string &path)
     static const obs::Site tune = make("http.tune", "tune");
     static const obs::Site simulate =
         make("http.simulate", "simulate");
+    static const obs::Site crossval =
+        make("http.crossval", "crossval");
+    static const obs::Site jobs = make("http.jobs", "jobs");
     static const obs::Site healthz = make("http.healthz", "healthz");
     static const obs::Site stats = make("http.stats", "stats");
     static const obs::Site metrics = make("http.metrics", "metrics");
@@ -88,6 +102,10 @@ requestSite(const std::string &path)
         return tune;
     if (path == "/simulate")
         return simulate;
+    if (path == "/crossval")
+        return crossval;
+    if (path == "/jobs" || path.rfind("/jobs/", 0) == 0)
+        return jobs;
     if (path == "/healthz")
         return healthz;
     if (path == "/stats")
@@ -102,7 +120,10 @@ requestSite(const std::string &path)
 AnalysisServer::AnalysisServer(ServeContext context,
                                ServeOptions options)
     : context_(std::move(context)), options_(std::move(options)),
-      admission_(options_.queue_capacity)
+      result_cache_(options_.result_cache_entries,
+                    options_.result_cache_bytes),
+      admission_(options_.queue_capacity, options_.client_share,
+                 options_.client_weights)
 {
     panicIf(!context_.pipeline, "server needs a pipeline");
 }
@@ -127,6 +148,8 @@ AnalysisServer::start()
     fatalIf(fd < 0, "socket: ", std::strerror(errno));
     const int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (options_.reuse_port)
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -156,6 +179,14 @@ AnalysisServer::start()
 
     listen_fd_ = fd;
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+    jobs_ = std::make_unique<JobStore>(
+        pool_.get(),
+        [this](const JobRequest &request) {
+            return evaluateCached(request);
+        },
+        options_.job_capacity, options_.jobs_per_client,
+        std::max<std::size_t>(1, options_.worker_threads),
+        options_.client_weights);
     start_time_ = std::chrono::steady_clock::now();
     if (options_.enable_timing)
         obs::enableMode(obs::kTiming);
@@ -211,10 +242,19 @@ AnalysisServer::run()
         reapConnections(false);
         if (rc == 0 || !(fds[0].revents & POLLIN))
             continue;
-        const int client =
-            ::accept(listen_fd_, nullptr, nullptr);
+        sockaddr_in peer_addr{};
+        socklen_t peer_len = sizeof(peer_addr);
+        const int client = ::accept(
+            listen_fd_, reinterpret_cast<sockaddr *>(&peer_addr),
+            &peer_len);
         if (client < 0)
             continue;
+        // The default client key for quotas/fairness: the peer IP
+        // (an X-Client-Id header overrides it per request).
+        char peer_buf[INET_ADDRSTRLEN] = "unknown";
+        ::inet_ntop(AF_INET, &peer_addr.sin_addr, peer_buf,
+                    sizeof(peer_buf));
+        std::string peer(peer_buf);
 
         std::size_t active = 0;
         {
@@ -236,50 +276,83 @@ AnalysisServer::run()
             std::lock_guard<std::mutex> lock(connections_mutex_);
             connections_.push_back(std::move(conn));
         }
-        slot->thread = std::thread(
-            [this, client, slot] { serveConnection(client, slot); });
+        slot->thread =
+            std::thread([this, client, slot,
+                         peer = std::move(peer)]() mutable {
+                serveConnection(client, slot, std::move(peer));
+            });
     }
-    // Graceful drain: stop accepting, let connection threads finish
-    // their in-flight request (bounded by the deadline), join them.
+    // Graceful drain: stop accepting; open connections get a short
+    // linger window for one last request (Connection: close), then
+    // queued jobs are cancelled and running work finishes.
     closeFd(listen_fd_);
     reapConnections(true);
+    if (jobs_)
+        jobs_->shutdown();
 }
 
 void
-AnalysisServer::serveConnection(int fd, Connection *slot)
+AnalysisServer::serveConnection(int fd, Connection *slot,
+                                std::string peer)
 {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
+    using Clock = std::chrono::steady_clock;
     HttpParser parser(options_.max_header_bytes,
                       options_.max_body_bytes);
     std::string pending; // pipelined bytes beyond the parsed request
     bool keep = true;
-    auto last_activity = std::chrono::steady_clock::now();
+    auto last_activity = Clock::now();
 
-    while (keep && !stopping_.load(std::memory_order_acquire)) {
+    while (keep) {
         // Assemble one request: replay pipelined bytes, then recv.
         if (!pending.empty()) {
             const std::size_t used = parser.feed(pending);
             pending.erase(0, used);
         }
         bool closed = false;
+        bool read_expired = false;
+        // Slow-loris defense: once the first byte of a request has
+        // arrived, the whole request must arrive within the request
+        // deadline — a stalled sender gets 408 and frees its slot.
+        std::optional<Clock::time_point> read_deadline;
+        // Drain linger: an idle keep-alive connection observed
+        // during a drain gets drain_linger_ms to start one last
+        // request before the server closes it.
+        std::optional<Clock::time_point> drain_seen;
         while (parser.state() == HttpParser::State::Headers ||
                parser.state() == HttpParser::State::Body) {
-            if (stopping_.load(std::memory_order_acquire)) {
-                closed = true;
+            const auto now = Clock::now();
+            if (parser.started() && !read_deadline)
+                read_deadline =
+                    now +
+                    std::chrono::milliseconds(options_.deadline_ms);
+            if (read_deadline && now > *read_deadline) {
+                read_expired = true;
                 break;
             }
+            if (!parser.started() &&
+                stopping_.load(std::memory_order_acquire)) {
+                if (!drain_seen)
+                    drain_seen = now;
+                if (now - *drain_seen >
+                    std::chrono::milliseconds(
+                        options_.drain_linger_ms)) {
+                    closed = true;
+                    break;
+                }
+            }
             pollfd pfd{fd, POLLIN, 0};
-            const int rc = ::poll(&pfd, 1, 100);
+            const int rc = ::poll(&pfd, 1, 50);
             if (rc < 0 && errno != EINTR) {
                 closed = true;
                 break;
             }
             if (rc <= 0) {
-                const auto idle =
-                    std::chrono::steady_clock::now() - last_activity;
-                if (idle > std::chrono::milliseconds(
+                const auto idle = Clock::now() - last_activity;
+                if (!parser.started() &&
+                    idle > std::chrono::milliseconds(
                                options_.idle_timeout_ms)) {
                     closed = true;
                     break;
@@ -292,13 +365,24 @@ AnalysisServer::serveConnection(int fd, Connection *slot)
                 closed = true;
                 break;
             }
-            last_activity = std::chrono::steady_clock::now();
+            last_activity = Clock::now();
             const std::string_view chunk(buf,
                                          static_cast<std::size_t>(n));
             const std::size_t used = parser.feed(chunk);
             pending.append(chunk.substr(used));
         }
 
+        if (read_expired) {
+            counters_.total.fetch_add(1, std::memory_order_relaxed);
+            counters_.countStatus(408);
+            sendAll(fd,
+                    serializeResponse(
+                        408,
+                        errorJson(msg("request not received within ",
+                                      options_.deadline_ms, " ms")),
+                        "application/json", false));
+            break;
+        }
         if (parser.state() == HttpParser::State::Error) {
             counters_.total.fetch_add(1, std::memory_order_relaxed);
             counters_.countStatus(parser.errorStatus());
@@ -333,7 +417,7 @@ AnalysisServer::serveConnection(int fd, Connection *slot)
         {
             obs::ScopedSpan span(requestSite(request.path()));
             span.arg("trace_seq", trace_seq);
-            reply = dispatch(request);
+            reply = dispatch(request, peer);
         }
         const auto elapsed =
             std::chrono::steady_clock::now() - t0;
@@ -359,15 +443,27 @@ AnalysisServer::serveConnection(int fd, Connection *slot)
 }
 
 AnalysisServer::Reply
-AnalysisServer::dispatch(const HttpRequest &request)
+AnalysisServer::dispatch(const HttpRequest &request,
+                         const std::string &peer)
 {
     counters_.total.fetch_add(1, std::memory_order_relaxed);
     const std::string path = request.path();
+
+    // The client key for quotas and fair dequeue: an explicit
+    // X-Client-Id header wins, else the peer address.
+    std::string client = peer;
+    const auto id_it = request.headers.find("x-client-id");
+    if (id_it != request.headers.end() && !id_it->second.empty())
+        client = id_it->second;
 
     if (path == "/healthz") {
         counters_.healthz.fetch_add(1, std::memory_order_relaxed);
         if (request.method != "GET")
             return {405, errorJson("use GET /healthz"), {}};
+        // 503 during a graceful drain so load balancers stop
+        // routing to a stopping worker before the listener closes.
+        if (stopping_.load(std::memory_order_acquire))
+            return {503, healthzJson(true), {"Retry-After: 1"}};
         return {200, healthzJson(), {}};
     }
     if (path == "/stats") {
@@ -383,7 +479,9 @@ AnalysisServer::dispatch(const HttpRequest &request)
                     static_cast<std::uint64_t>(
                         std::chrono::duration_cast<
                             std::chrono::microseconds>(uptime)
-                            .count())),
+                            .count()),
+                    result_cache_.stats(),
+                    jobs_ ? jobs_->stats() : JobStoreStats()),
                 {}};
     }
     if (path == "/metrics") {
@@ -399,90 +497,203 @@ AnalysisServer::dispatch(const HttpRequest &request)
             static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::microseconds>(
                     uptime)
-                    .count()));
+                    .count()),
+            result_cache_.stats(),
+            jobs_ ? jobs_->stats() : JobStoreStats());
         reply.content_type = "text/plain; version=0.0.4; charset=utf-8";
         return reply;
     }
+    if (path == "/jobs" || path.rfind("/jobs/", 0) == 0) {
+        counters_.jobs.fetch_add(1, std::memory_order_relaxed);
+        return dispatchJobs(request, client);
+    }
     if (path == "/analyze" || path == "/dse" || path == "/tune" ||
-        path == "/simulate") {
+        path == "/simulate" || path == "/crossval") {
         if (path == "/analyze")
             counters_.analyze.fetch_add(1, std::memory_order_relaxed);
         else if (path == "/dse")
             counters_.dse.fetch_add(1, std::memory_order_relaxed);
         else if (path == "/simulate")
             counters_.simulate.fetch_add(1, std::memory_order_relaxed);
+        else if (path == "/crossval")
+            counters_.crossval.fetch_add(1, std::memory_order_relaxed);
         else
             counters_.tune.fetch_add(1, std::memory_order_relaxed);
         if (request.method != "POST")
             return {405, errorJson(msg("use POST ", path)), {}};
-        return dispatchAnalysis(request);
+        return dispatchAnalysis(request, client);
     }
     return {404, errorJson(msg("no such endpoint '", path, "'")), {}};
 }
 
-AnalysisServer::Reply
-AnalysisServer::dispatchAnalysis(const HttpRequest &request)
+JobOutcome
+AnalysisServer::evaluateRequest(const std::string &path,
+                                const QueryParams &params,
+                                const std::string &body)
 {
-    if (!admission_.tryAdmit()) {
-        return {503, errorJson("request queue full, retry later"),
-                {"Retry-After: 1"}};
+    try {
+        if (path == "/crossval")
+            return {200, crossvalRunJson(params,
+                                         options_.worker_threads)};
+        const RequestInputs inputs =
+            resolveRequest(body, params, context_.default_config);
+        std::string json;
+        if (path == "/analyze")
+            json = analyzeJson(inputs, context_.pipeline,
+                               context_.energy);
+        else if (path == "/dse")
+            json = dseJson(inputs, params, context_.pipeline,
+                           context_.energy);
+        else if (path == "/simulate")
+            json = simulateJson(inputs, params, context_.pipeline,
+                                context_.energy);
+        else
+            json = tuneJson(inputs, params, context_.pipeline,
+                            context_.energy, options_.worker_threads);
+        return {200, std::move(json)};
+    } catch (const Error &e) {
+        return {400, errorJson(e.what())};
+    } catch (const std::exception &e) {
+        return {500, errorJson(e.what())};
+    }
+}
+
+JobOutcome
+AnalysisServer::evaluateCached(const JobRequest &request)
+{
+    if (const auto hit = result_cache_.get(request.canonical))
+        return {200, *hit};
+    return evaluateAndStore(request);
+}
+
+JobOutcome
+AnalysisServer::evaluateAndStore(const JobRequest &request)
+{
+    JobOutcome outcome = evaluateRequest(request.path, request.params,
+                                         request.body);
+    if (outcome.first == 200)
+        result_cache_.put(request.canonical,
+                          std::make_shared<const std::string>(
+                              outcome.second));
+    return outcome;
+}
+
+AnalysisServer::Reply
+AnalysisServer::dispatchJobs(const HttpRequest &request,
+                             const std::string &client)
+{
+    const std::string path = request.path();
+    if (path == "/jobs") {
+        if (request.method != "GET")
+            return {405,
+                    errorJson("use GET /jobs, POST /jobs/<endpoint>, "
+                              "or GET/DELETE /jobs/<id>"),
+                    {}};
+        return {200, jobs_->listJson(), {}};
     }
 
-    // The job owns everything the worker reads: the connection
+    const std::string tail = path.substr(6);
+    if (request.method == "POST") {
+        if (!isJobEndpoint(tail))
+            return {404,
+                    errorJson(msg(
+                        "no such job endpoint '", tail,
+                        "'; POST /jobs/{analyze|dse|tune|simulate|"
+                        "crossval}")),
+                    {}};
+        JobRequest job;
+        job.path = "/" + tail;
+        job.params = request.query();
+        job.body = request.body;
+        job.canonical = ResultCache::canonicalKey(job.path, job.params,
+                                                  job.body);
+        // Content-addressed id: identical requests share one job.
+        const std::string id = "j" + hashHex(hashBytes(job.canonical));
+        const JobReply r = jobs_->submit(client, id, std::move(job));
+        Reply reply{r.status, r.body, {}};
+        if (r.retry_after)
+            reply.extra_headers.push_back("Retry-After: 1");
+        return reply;
+    }
+    if (request.method == "GET" || request.method == "DELETE") {
+        const JobReply r = request.method == "GET"
+                               ? jobs_->poll(tail)
+                               : jobs_->cancel(tail);
+        Reply reply{r.status, r.body, {}};
+        if (r.retry_after)
+            reply.extra_headers.push_back("Retry-After: 1");
+        return reply;
+    }
+    return {405, errorJson("use POST, GET, or DELETE under /jobs"),
+            {}};
+}
+
+AnalysisServer::Reply
+AnalysisServer::dispatchAnalysis(const HttpRequest &request,
+                                 const std::string &client)
+{
+    const std::string path = request.path();
+    const QueryParams params = request.query();
+    const std::string canonical =
+        ResultCache::canonicalKey(path, params, request.body);
+
+    // A resident result costs no evaluation slot: serve it inline,
+    // bypassing admission (hits are the cheap, common case the
+    // cache exists for). Bodies are byte-identical either way; only
+    // the X-Result-Cache header tells the paths apart.
+    if (const auto hit = result_cache_.get(canonical))
+        return {200, *hit, {"X-Result-Cache: hit"}};
+
+    switch (admission_.admit(client)) {
+      case AdmissionController::Admit::FullClient:
+        return {429,
+                errorJson(msg("client '", client,
+                              "' is over its request budget, "
+                              "retry later")),
+                {"Retry-After: 1"}};
+      case AdmissionController::Admit::FullGlobal:
+        return {503, errorJson("request queue full, retry later"),
+                {"Retry-After: 1"}};
+      case AdmissionController::Admit::Ok:
+        break;
+    }
+
+    // The state owns everything the worker reads: the connection
     // thread may abandon the future on deadline expiry while the
     // worker is still evaluating.
-    auto job = std::make_shared<JobState>();
-    auto future = job->promise.get_future();
-    const std::string path = request.path();
-    const std::string body = request.body;
-    const QueryParams params = request.query();
+    auto state = std::make_shared<SyncState>();
+    auto future = state->promise.get_future();
+    JobRequest job;
+    job.path = path;
+    job.params = params;
+    job.body = request.body;
+    job.canonical = canonical;
 
-    pool_->submit([this, job, path, body, params] {
-        if (job->cancelled.load(std::memory_order_acquire)) {
+    pool_->submit([this, state, job = std::move(job), client] {
+        if (state->cancelled.load(std::memory_order_acquire)) {
             // Expired while queued: skip the evaluation entirely.
-            admission_.release();
+            admission_.release(client);
             return;
         }
-        std::pair<int, std::string> outcome;
-        try {
-            const RequestInputs inputs = resolveRequest(
-                body, params, context_.default_config);
-            std::string json;
-            if (path == "/analyze")
-                json = analyzeJson(inputs, context_.pipeline,
-                                   context_.energy);
-            else if (path == "/dse")
-                json = dseJson(inputs, params, context_.pipeline,
-                               context_.energy);
-            else if (path == "/simulate")
-                json = simulateJson(inputs, params, context_.pipeline,
-                                    context_.energy);
-            else
-                json = tuneJson(inputs, params, context_.pipeline,
-                                context_.energy,
-                                options_.worker_threads);
-            outcome = {200, std::move(json)};
-        } catch (const Error &e) {
-            outcome = {400, errorJson(e.what())};
-        } catch (const std::exception &e) {
-            outcome = {500, errorJson(e.what())};
-        }
-        admission_.release();
-        job->promise.set_value(std::move(outcome));
+        // The inline probe above already missed: evaluate without a
+        // second probe so each logical miss counts once in stats.
+        JobOutcome outcome = evaluateAndStore(job);
+        admission_.release(client);
+        state->promise.set_value(std::move(outcome));
     });
 
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(options_.deadline_ms);
     if (future.wait_until(deadline) != std::future_status::ready) {
-        job->cancelled.store(true, std::memory_order_release);
+        state->cancelled.store(true, std::memory_order_release);
         return {408,
                 errorJson(msg("deadline of ", options_.deadline_ms,
                               " ms expired")),
                 {}};
     }
     auto [status, json] = future.get();
-    return {status, std::move(json), {}};
+    return {status, std::move(json), {"X-Result-Cache: miss"}};
 }
 
 } // namespace serve

@@ -4,12 +4,18 @@
  *
  * One process serves many clients over keep-alive HTTP/1.1:
  *
- *   POST /analyze   MAESTRO DSL body -> per-layer analysis JSON
- *   POST /dse       DSL body -> design-space exploration JSON
- *   POST /tune      DSL body -> dataflow auto-tuning JSON
- *   GET  /healthz   liveness probe (carries the build version)
- *   GET  /stats     cache/queue/latency observability surface
- *   GET  /metrics   Prometheus text exposition (server + process)
+ *   POST /analyze    MAESTRO DSL body -> per-layer analysis JSON
+ *   POST /dse        DSL body -> design-space exploration JSON
+ *   POST /tune       DSL body -> dataflow auto-tuning JSON
+ *   POST /simulate   DSL body -> reference-simulator cross-check
+ *   POST /crossval   randomized analytical-vs-sim validation sweep
+ *   POST /jobs/<ep>  submit any of the above as an async job
+ *   GET  /jobs/<id>  job state; done/failed -> the response verbatim
+ *   DELETE /jobs/<id> cancel queued / remove terminal work
+ *   GET  /jobs       resident jobs in submission order
+ *   GET  /healthz    liveness probe (503 "draining" during drain)
+ *   GET  /stats      cache/queue/jobs/latency observability surface
+ *   GET  /metrics    Prometheus text exposition (server + process)
  *
  * Every response carries an X-Trace-Id header — the client-sent
  * x-trace-id echoed back, else a deterministic per-server sequence
@@ -24,14 +30,27 @@
  * analysis work is dispatched through the shared ThreadPool behind
  * an AdmissionController — when the in-flight bound is hit the
  * connection answers 503 + Retry-After immediately (backpressure),
- * and a per-request wall-clock deadline turns into 408 without
- * blocking the connection on a stuck evaluation.
+ * a per-client budget violation answers 429, and a per-request
+ * wall-clock deadline turns into 408 without blocking the
+ * connection on a stuck evaluation. The same deadline governs
+ * header/body reads, so a slow-loris sender gets 408 and frees its
+ * connection slot instead of pinning it.
  *
  * Every request evaluates through ONE shared AnalysisPipeline, so
  * stage caches stay warm across requests and clients: the second
- * identical query is served from the layer cache. requestStop() is
- * async-signal-safe; the CLI wires it to SIGINT/SIGTERM for a
- * graceful drain (stop accepting, finish in-flight work, exit 0).
+ * identical query is served from the layer cache. Above the stage
+ * caches sits a content-addressed ResultCache (canonical request ->
+ * rendered response bytes) shared by the sync endpoints and the
+ * async JobStore, so repeated requests skip evaluation entirely and
+ * still serve byte-identical responses (X-Result-Cache: hit|miss).
+ *
+ * requestStop() is async-signal-safe; the CLI wires it to
+ * SIGINT/SIGTERM for a graceful drain: /healthz flips to 503
+ * "draining", open keep-alive connections get a short linger window
+ * to finish one last request (answered with Connection: close),
+ * queued jobs are cancelled, running work finishes, exit 0. For
+ * multi-process scale-out (`--workers N`, SO_REUSEPORT) see
+ * src/serve/workers.hh.
  */
 
 #ifndef MAESTRO_SERVE_SERVER_HH
@@ -40,6 +59,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -48,6 +68,8 @@
 
 #include "src/common/thread_pool.hh"
 #include "src/serve/handlers.hh"
+#include "src/serve/jobs.hh"
+#include "src/serve/result_cache.hh"
 
 namespace maestro
 {
@@ -83,6 +105,39 @@ struct ServeOptions
     /** HTTP parser caps (hostile-input bounds). */
     std::size_t max_header_bytes = 16 * 1024;
     std::size_t max_body_bytes = 1024 * 1024;
+
+    /**
+     * Grace window during a drain in which an already-open
+     * keep-alive connection may still submit one request (answered
+     * with Connection: close); idle connections close when it ends.
+     */
+    int drain_linger_ms = 150;
+
+    /**
+     * Binds with SO_REUSEPORT so several shared-nothing server
+     * processes can share one port (the `--workers N` scale-out
+     * path; the kernel load-balances accepts across processes).
+     */
+    bool reuse_port = false;
+
+    /** Resident async job bound (FIFO eviction of completed jobs). */
+    std::size_t job_capacity = 256;
+
+    /** Active (queued+running) jobs per client; 0 = unbounded. */
+    std::size_t jobs_per_client = 16;
+
+    /**
+     * Per-client in-flight SYNC request slots at weight 1 (429 when
+     * exhausted); 0 disables per-client sync budgets.
+     */
+    std::size_t client_share = 0;
+
+    /** Fair-dequeue / budget weights by client key (default 1). */
+    std::map<std::string, std::uint32_t> client_weights;
+
+    /** Content-addressed result-cache bounds (0 entries disables). */
+    std::size_t result_cache_entries = 1024;
+    std::size_t result_cache_bytes = 64 * 1024 * 1024;
 
     /**
      * Enables the process-wide obs timing mode on start() (latency
@@ -138,6 +193,12 @@ class AnalysisServer
 
     const ServeOptions &options() const { return options_; }
 
+    /** The job store (created by start(); stats for /stats). */
+    const JobStore *jobStore() const { return jobs_.get(); }
+
+    /** The content-addressed result cache (stats for tests). */
+    const ResultCache &resultCache() const { return result_cache_; }
+
   private:
     /** One tracked connection thread. */
     struct Connection
@@ -147,7 +208,7 @@ class AnalysisServer
     };
 
     /** Connection thread body: read -> parse -> respond loop. */
-    void serveConnection(int fd, Connection *slot);
+    void serveConnection(int fd, Connection *slot, std::string peer);
 
     /** Routes one parsed request to a handler (+ admission). */
     struct Reply
@@ -158,16 +219,47 @@ class AnalysisServer
         /** Last so brace-inits of the fields above stay valid. */
         std::string content_type = "application/json";
     };
-    Reply dispatch(const HttpRequest &request);
+    Reply dispatch(const HttpRequest &request,
+                   const std::string &peer);
 
-    /** Runs a POST endpoint through the pool with deadline/503. */
-    Reply dispatchAnalysis(const HttpRequest &request);
+    /** Runs a sync POST endpoint through the pool (503/429/408). */
+    Reply dispatchAnalysis(const HttpRequest &request,
+                           const std::string &client);
+
+    /** Routes /jobs and /jobs/<suffix> to the job store. */
+    Reply dispatchJobs(const HttpRequest &request,
+                       const std::string &client);
+
+    /**
+     * Evaluates one captured request to a rendered response —
+     * shared by the sync path and the job executor, consulting and
+     * filling the result cache (a pure function of the request, so
+     * sync and async bodies are byte-identical by construction).
+     */
+    JobOutcome evaluateCached(const JobRequest &request);
+
+    /**
+     * evaluateCached minus the probe: evaluates and stores a 200.
+     * For callers that already probed and missed (the sync worker),
+     * so one logical miss counts once in the cache stats.
+     */
+    JobOutcome evaluateAndStore(const JobRequest &request);
+
+    /** The raw evaluation under evaluateCached (no cache). */
+    JobOutcome evaluateRequest(const std::string &path,
+                               const QueryParams &params,
+                               const std::string &body);
 
     /** Joins finished connection threads; joins all when `all`. */
     void reapConnections(bool all);
 
     ServeContext context_;
     ServeOptions options_;
+
+    /** Outlives pool_ (declared before it): late pool tasks may
+     *  still read the cache and the job store while draining. */
+    ResultCache result_cache_;
+    std::unique_ptr<JobStore> jobs_;
 
     int listen_fd_ = -1;
     int wake_pipe_[2] = {-1, -1};

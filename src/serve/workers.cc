@@ -1,0 +1,206 @@
+#include "src/serve/workers.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/common/error.hh"
+
+namespace maestro
+{
+namespace serve
+{
+
+namespace
+{
+
+/**
+ * Supervisor signal-forwarding state. Signal handlers may only touch
+ * async-signal-safe primitives, so the child pid table is a fixed
+ * array of atomics published before the handlers are installed.
+ */
+constexpr std::size_t kMaxWorkers = 64;
+volatile sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_worker_count = 0;
+volatile pid_t g_worker_pids[kMaxWorkers] = {};
+
+extern "C" void
+forwardStopSignal(int signum)
+{
+    g_stop_requested = 1;
+    for (std::sig_atomic_t i = 0; i < g_worker_count; ++i) {
+        const pid_t pid = g_worker_pids[i];
+        if (pid > 0)
+            ::kill(pid, signum); // async-signal-safe
+    }
+}
+
+/** The worker process's server, for its own drain handler. */
+AnalysisServer *g_worker_server = nullptr;
+
+extern "C" void
+workerStopSignal(int)
+{
+    if (g_worker_server)
+        g_worker_server->requestStop(); // async-signal-safe
+}
+
+} // namespace
+
+int
+openPortPlaceholder(ServeOptions &options)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(fd < 0, "socket: ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) !=
+        1) {
+        ::close(fd);
+        throw Error(msg("bad bind address '", options.host, "'"));
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw Error(msg("cannot bind ", options.host, ":",
+                        options.port, ": ", std::strerror(err)));
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len);
+    options.port = ntohs(bound.sin_port);
+    return fd;
+}
+
+pid_t
+spawnWorker(const ServeOptions &options)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+
+    // Worker process: shared-nothing server on the common port.
+    // _exit (not exit) on failure so the parent's stdio buffers and
+    // atexit handlers never run twice.
+    try {
+        ServeOptions worker_options = options;
+        worker_options.reuse_port = true;
+        AnalysisServer server(ServeContext{}, worker_options);
+        server.start();
+        g_worker_server = &server;
+        std::signal(SIGTERM, workerStopSignal);
+        std::signal(SIGINT, workerStopSignal);
+        std::fprintf(stderr,
+                     "maestro serve: worker %d listening on "
+                     "http://%s:%u\n",
+                     static_cast<int>(::getpid()),
+                     worker_options.host.c_str(),
+                     static_cast<unsigned>(server.port()));
+        server.run();
+        g_worker_server = nullptr;
+        std::fprintf(stderr, "maestro serve: worker %d drained\n",
+                     static_cast<int>(::getpid()));
+        std::fflush(stderr);
+        ::_exit(0);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "maestro serve: worker %d failed: %s\n",
+                     static_cast<int>(::getpid()), e.what());
+        std::fflush(stderr);
+        ::_exit(1);
+    }
+}
+
+int
+runWorkers(ServeOptions options, std::size_t workers)
+{
+    fatalIf(workers < 2, "runWorkers needs at least 2 workers");
+    fatalIf(workers > kMaxWorkers,
+            msg("--workers is capped at ", kMaxWorkers));
+
+    // Resolve an ephemeral port once so every worker binds the SAME
+    // port; the placeholder never listens, so it steals no
+    // connections while it pins the port.
+    const int placeholder = openPortPlaceholder(options);
+
+    g_stop_requested = 0;
+    g_worker_count = 0;
+    std::vector<pid_t> pids;
+    for (std::size_t i = 0; i < workers; ++i) {
+        const pid_t pid = spawnWorker(options);
+        if (pid < 0) {
+            std::fprintf(stderr, "maestro serve: fork: %s\n",
+                         std::strerror(errno));
+            for (const pid_t child : pids)
+                ::kill(child, SIGTERM);
+            for (const pid_t child : pids)
+                ::waitpid(child, nullptr, 0);
+            ::close(placeholder);
+            return 1;
+        }
+        g_worker_pids[i] = pid;
+        pids.push_back(pid);
+    }
+    // Publish the pid table before installing the forwarders: a
+    // signal arriving mid-spawn must not read unset slots.
+    g_worker_count = static_cast<std::sig_atomic_t>(pids.size());
+    std::signal(SIGTERM, forwardStopSignal);
+    std::signal(SIGINT, forwardStopSignal);
+    ::close(placeholder);
+    std::fprintf(stderr,
+                 "maestro serve: %zu workers on http://%s:%u "
+                 "(SO_REUSEPORT)\n",
+                 workers, options.host.c_str(),
+                 static_cast<unsigned>(options.port));
+
+    // Reap workers as they exit. A worker dying WITHOUT a requested
+    // stop is an unexpected failure: drain the rest and report it,
+    // rather than limping along at partial capacity.
+    int exit_code = 0;
+    std::size_t live = pids.size();
+    while (live > 0) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        --live;
+        const bool clean =
+            WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (!clean)
+            exit_code = 1;
+        if (!g_stop_requested) {
+            // Unexpected death: tear the group down.
+            exit_code = 1;
+            g_stop_requested = 1;
+            for (const pid_t child : pids) {
+                if (child != pid)
+                    ::kill(child, SIGTERM);
+            }
+        }
+    }
+    g_worker_count = 0;
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    std::fprintf(stderr, "maestro serve: all workers drained\n");
+    return exit_code;
+}
+
+} // namespace serve
+} // namespace maestro

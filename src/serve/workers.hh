@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Multi-process scale-out for `maestro serve --workers N`.
+ *
+ * N shared-nothing worker processes each bind their own listening
+ * socket with SO_REUSEPORT on the same port; the kernel load-
+ * balances incoming connections across them. Workers share NOTHING
+ * — each owns its pipeline, caches, job store, and thread pool — so
+ * there is no cross-process locking and scaling is bounded only by
+ * cores (proven by bench/serve_speed + BENCH_serve.json). Responses
+ * stay byte-identical across processes because every response body
+ * is a pure function of the request.
+ *
+ * The parent is a supervisor: it forks the workers, forwards
+ * SIGTERM/SIGINT to them (graceful drain propagates to every
+ * child), and reaps them, exiting 0 only when every worker drained
+ * cleanly. If a worker dies unexpectedly the supervisor tears the
+ * group down and reports failure — half-capacity serving is an
+ * outage that monitoring must see.
+ *
+ * Ephemeral ports compose with SO_REUSEPORT via a placeholder
+ * socket: the parent binds port 0 first (never listening, so it
+ * receives no connections), reads back the chosen port, and keeps
+ * the socket open so every child binds the same resolved port.
+ */
+
+#ifndef MAESTRO_SERVE_WORKERS_HH
+#define MAESTRO_SERVE_WORKERS_HH
+
+#include <sys/types.h>
+
+#include "src/serve/server.hh"
+
+namespace maestro
+{
+namespace serve
+{
+
+/**
+ * Resolves `options.port` for a SO_REUSEPORT worker group.
+ *
+ * Binds a placeholder socket (SO_REUSEPORT, never listening) to the
+ * requested port; when the port was 0, writes the kernel-chosen
+ * port back into `options`. The caller must keep the returned fd
+ * open while workers bind (and close it afterwards).
+ *
+ * @return The placeholder socket fd.
+ * @throws Error when the address cannot be bound.
+ */
+int openPortPlaceholder(ServeOptions &options);
+
+/**
+ * Forks one worker process serving `options` (reuse_port forced on).
+ *
+ * The child installs SIGTERM/SIGINT handlers wired to a graceful
+ * drain, serves until stopped, and exits 0 — it NEVER returns. The
+ * parent returns the child pid (negative on fork failure).
+ */
+pid_t spawnWorker(const ServeOptions &options);
+
+/**
+ * Runs an N-process SO_REUSEPORT worker group until terminated.
+ *
+ * Forks `workers` children, forwards SIGTERM/SIGINT to all of them,
+ * and waits. Returns the aggregate exit code: 0 when every worker
+ * exited cleanly after a requested shutdown, 1 otherwise.
+ */
+int runWorkers(ServeOptions options, std::size_t workers);
+
+} // namespace serve
+} // namespace maestro
+
+#endif // MAESTRO_SERVE_WORKERS_HH

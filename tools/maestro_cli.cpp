@@ -65,6 +65,7 @@
 #include "src/obs/metrics.hh"
 #include "src/obs/obs.hh"
 #include "src/serve/server.hh"
+#include "src/serve/workers.hh"
 #include "src/sim/crossval.hh"
 #include "src/sim/reference_sim.hh"
 
@@ -107,6 +108,14 @@ const char *const kUsage =
     "against)\n"
     "  serve     [--port P] [--host ADDR] [--threads N] "
     "[--queue N] [--deadline-ms N]\n"
+    "            [--workers N] [--jobs N] [--jobs-per-client N] "
+    "[--client-share N]\n"
+    "            [--client-weights a=4,b=1] [--cache-entries N] "
+    "[--cache-bytes N]\n"
+    "            [--drain-linger-ms N]\n"
+    "            (--workers > 1 forks N shared-nothing SO_REUSEPORT "
+    "processes;\n"
+    "             SIGTERM drains every worker gracefully)\n"
     "shared: [--threads N] [--stats on] [--trace OUT.json] "
     "[--profile]\n"
     "  maestro --version prints the build version\n";
@@ -817,6 +826,39 @@ cmdTune(const Args &args, const Inputs &in)
     return 0;
 }
 
+/** Parses --client-weights "alice=4,bob=1" into the weights map. */
+std::map<std::string, std::uint32_t>
+parseClientWeights(const std::string &spec)
+{
+    std::map<std::string, std::uint32_t> weights;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string item = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        const std::string digits =
+            eq == std::string::npos ? "" : item.substr(eq + 1);
+        fatalIf(eq == std::string::npos || eq == 0 ||
+                    digits.empty() || digits.size() > 9 ||
+                    digits.find_first_not_of("0123456789") !=
+                        std::string::npos,
+                msg("--client-weights expects name=weight entries, "
+                    "found '", item, "'"));
+        const long long weight = std::stoll(digits);
+        fatalIf(weight < 1, msg("--client-weights weight for '",
+                                item.substr(0, eq),
+                                "' must be >= 1"));
+        weights[item.substr(0, eq)] =
+            static_cast<std::uint32_t>(weight);
+    }
+    return weights;
+}
+
 /** The running server, for the signal handlers' graceful drain. */
 serve::AnalysisServer *g_server = nullptr;
 
@@ -842,6 +884,26 @@ cmdServe(const Args &args)
         "deadline-ms", static_cast<Count>(opts.deadline_ms)));
     opts.max_connections = static_cast<std::size_t>(args.getInt(
         "max-connections", static_cast<Count>(opts.max_connections)));
+    opts.job_capacity = static_cast<std::size_t>(
+        args.getInt("jobs", static_cast<Count>(opts.job_capacity)));
+    opts.jobs_per_client = static_cast<std::size_t>(args.getInt(
+        "jobs-per-client", static_cast<Count>(opts.jobs_per_client)));
+    opts.client_share = static_cast<std::size_t>(args.getInt(
+        "client-share", static_cast<Count>(opts.client_share)));
+    opts.result_cache_entries = static_cast<std::size_t>(args.getInt(
+        "cache-entries",
+        static_cast<Count>(opts.result_cache_entries)));
+    opts.result_cache_bytes = static_cast<std::size_t>(args.getInt(
+        "cache-bytes", static_cast<Count>(opts.result_cache_bytes)));
+    opts.drain_linger_ms = static_cast<int>(args.getInt(
+        "drain-linger-ms", static_cast<Count>(opts.drain_linger_ms)));
+    opts.client_weights = parseClientWeights(args.get("client-weights"));
+
+    const auto workers = static_cast<std::size_t>(
+        args.getInt("workers", 1));
+    if (workers > 1)
+        return serve::runWorkers(opts, workers) == 0 ? kExitOk
+                                                     : kExitError;
 
     serve::AnalysisServer server(serve::ServeContext{}, opts);
     server.start();
