@@ -20,11 +20,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "src/common/json.hh"
 #include "src/core/analyzer.hh"
 #include "src/obs/obs.hh"
+#include "src/obs/shared_metrics.hh"
+#include "src/serve/fleet.hh"
 #include "src/dataflows/catalog.hh"
 #include "src/dataflows/tuner.hh"
 #include "src/dse/explorer.hh"
@@ -98,6 +101,18 @@ BENCHMARK_CAPTURE(BM_SimulateLayer, conv11_yrp, "CONV11", "YR-P")
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
+/**
+ * MAESTRO_BENCH_FAST=1 shrinks reps/passes and skips the slow sweep
+ * studies — the CI overhead gate wants the pipeline study's
+ * instrumentation figures in seconds, not minutes.
+ */
+bool
+benchFast()
+{
+    const char *v = std::getenv("MAESTRO_BENCH_FAST");
+    return v != nullptr && *v != '\0' && *v != '0';
+}
+
 /** Wall-clock seconds of one call, best of `reps` runs. */
 template <typename Fn>
 double
@@ -138,12 +153,27 @@ pipelineStudy()
     // Each timed rep makes `passes` full sweeps so the region is long
     // enough to time stably on a slow machine; best-of-`reps` drops
     // scheduler noise.
-    const std::size_t reps = 7;
-    const std::size_t passes = 4;
+    const bool fast = benchFast();
+    const std::size_t reps = fast ? 3 : 7;
+    const std::size_t passes = fast ? 2 : 4;
     const auto layer_count = static_cast<double>(net.layers().size());
     const double layers = layer_count * static_cast<double>(passes);
 
-    const double nocache_s = bestSeconds(reps, [&] {
+    // Untimed warm-up sweep: page faults, allocator growth, and
+    // frequency ramp otherwise land on whichever variant is measured
+    // first and skew the overhead ratios below.
+    for (const Layer &layer : net.layers()) {
+        const Analyzer analyzer(cfg);
+        benchmark::DoNotOptimize(analyzer.analyzeLayer(layer, df));
+    }
+
+    // The instrumentation ratios compare sub-ms regions, so they get
+    // more best-of reps than the throughput figures: the minimum of
+    // many short runs converges on the true cost even on a loaded
+    // machine, where 3-7 reps still carry scheduler noise.
+    const std::size_t timing_reps = fast ? 31 : 25;
+
+    const double nocache_s = bestSeconds(timing_reps, [&] {
         for (std::size_t p = 0; p < passes; ++p) {
             for (const Layer &layer : net.layers()) {
                 const Analyzer analyzer(cfg);
@@ -171,19 +201,73 @@ pipelineStudy()
         }
     });
 
-    // The no-cache workload again with the tracer live: every stage
-    // miss records a span plus a histogram sample, so the ratio to
-    // nocache_s bounds the per-evaluation instrumentation cost. Runs
-    // after the disabled-path measurements so those stay comparable
-    // across builds; tracing is torn down before the DSE timings.
-    obs::Tracer::instance().start();
-    const double traced_s = bestSeconds(reps, [&] {
+    // The no-cache workload with the fleet metrics segment live and
+    // tracing still OFF. The serve layer accounts once per HTTP
+    // request, and one analyze request evaluates a whole network —
+    // so each pass replays one request's accounting (endpoint/status
+    // counters, latency histograms, a per-client series: a handful
+    // of relaxed atomics on the lane plus one short mutex hold).
+    // This is the daemon's tracing-off hot path; CI gates
+    // segment_overhead_pct below 1%.
+    auto segment = obs::SharedMetrics::create(1);
+    serve::fleet::FleetLane lane(segment, 0, 64);
+    const std::string bench_client = "bench";
+    auto countOne = [&](std::chrono::steady_clock::time_point t0) {
+        const auto us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        lane.countRequest("analyze");
+        lane.countStatus(200);
+        lane.recordLatency(us);
+        lane.recordEndpointLatency("analyze", "miss", us);
+        lane.clientRequest(bench_client);
+    };
+    const double segment_s = bestSeconds(timing_reps, [&] {
         for (std::size_t p = 0; p < passes; ++p) {
+            const auto t0 = std::chrono::steady_clock::now();
             for (const Layer &layer : net.layers()) {
                 const Analyzer analyzer(cfg);
                 benchmark::DoNotOptimize(
                     analyzer.analyzeLayer(layer, df));
             }
+            countOne(t0);
+        }
+    });
+
+    // The gated overhead figure measures the accounting cost
+    // DIRECTLY (a tight loop, long enough for scheduler noise to
+    // average out) and divides by the best-of request time: an A/B
+    // wall-clock comparison of sub-millisecond regions cannot
+    // resolve a sub-1% delta on a shared machine, this ratio can.
+    const std::size_t account_iters = 20000;
+    const auto acc0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < account_iters; ++i)
+        countOne(acc0);
+    const double account_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - acc0)
+            .count() /
+        static_cast<double>(account_iters);
+    const double request_s =
+        nocache_s / static_cast<double>(passes);
+
+    // The same workload again with the tracer ALSO live: every stage
+    // miss records a span plus a histogram sample, so the ratio to
+    // nocache_s bounds the full instrumentation cost (segment +
+    // tracer). Runs after the disabled-path measurements so those
+    // stay comparable across builds; tracing is torn down before the
+    // DSE timings.
+    obs::Tracer::instance().start();
+    const double traced_s = bestSeconds(timing_reps, [&] {
+        for (std::size_t p = 0; p < passes; ++p) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (const Layer &layer : net.layers()) {
+                const Analyzer analyzer(cfg);
+                benchmark::DoNotOptimize(
+                    analyzer.analyzeLayer(layer, df));
+            }
+            countOne(t0);
         }
     });
     obs::Tracer::instance().stop();
@@ -229,6 +313,10 @@ pipelineStudy()
     w.key("nocache_layers_per_sec").fixed(layers / nocache_s, 1);
     w.key("cold_layers_per_sec").fixed(layers / cold_s, 1);
     w.key("warm_layers_per_sec").fixed(layers / warm_s, 1);
+    w.key("segment_layers_per_sec").fixed(layers / segment_s, 1);
+    w.key("segment_account_ns").fixed(account_s * 1e9, 1);
+    w.key("segment_overhead_pct")
+        .fixed(account_s / request_s * 100.0, 3);
     w.key("traced_layers_per_sec").fixed(layers / traced_s, 1);
     w.key("tracing_overhead_pct")
         .fixed((traced_s - nocache_s) / nocache_s * 100.0, 2);
@@ -544,6 +632,10 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     pipelineStudy();
+    // Fast mode stops here: the CI overhead gate only needs the
+    // pipeline study's instrumentation figures.
+    if (benchFast())
+        return 0;
     dseSweepStudy();
     mapperSweepStudy();
     crossvalStudy();

@@ -53,6 +53,22 @@ class LatencyHistogram
         return i + 1 == kBuckets;
     }
 
+    /**
+     * The bucket a sample of `micros` lands in. Exposed so external
+     * bucket storage (the shared-memory metrics segment aggregating
+     * per-worker lanes) uses the exact same bucketing convention and
+     * cross-source merges stay element-wise exact.
+     */
+    static constexpr std::size_t
+    bucketIndex(std::uint64_t micros)
+    {
+        std::size_t bucket = 0;
+        while ((std::uint64_t{1} << (bucket + 1)) <= micros &&
+               bucket + 1 < kBuckets)
+            ++bucket;
+        return bucket;
+    }
+
     /** Plain-value copy of one histogram's counters. */
     struct Snapshot
     {
@@ -79,11 +95,8 @@ class LatencyHistogram
     void
     record(std::uint64_t micros)
     {
-        std::size_t bucket = 0;
-        while ((std::uint64_t{1} << (bucket + 1)) <= micros &&
-               bucket + 1 < kBuckets)
-            ++bucket;
-        buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+        buckets_[bucketIndex(micros)].fetch_add(
+            1, std::memory_order_relaxed);
         count_.fetch_add(1, std::memory_order_relaxed);
         total_us_.fetch_add(micros, std::memory_order_relaxed);
         std::uint64_t max = max_us_.load(std::memory_order_relaxed);

@@ -1,0 +1,237 @@
+#include "src/obs/event_log.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "src/common/json.hh"
+
+namespace maestro
+{
+namespace obs
+{
+
+namespace
+{
+
+std::uint64_t
+wallMicros()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+int
+openAppend(const std::string &path)
+{
+    return ::open(path.c_str(),
+                  O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+}
+
+} // namespace
+
+EventLog::EventLog(EventLogOptions options)
+    : options_(std::move(options))
+{
+    if (!options_.path.empty())
+        fd_ = openAppend(options_.path);
+}
+
+EventLog::~EventLog()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+EventLog::logRequest(const RequestEvent &event)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("type");
+    w.value("request");
+    w.key("ts_us");
+    w.value(wallMicros());
+    w.key("worker");
+    w.value(options_.worker);
+    w.key("method");
+    w.value(event.method);
+    w.key("endpoint");
+    w.value(event.endpoint);
+    w.key("status");
+    w.value(event.status);
+    w.key("latency_us");
+    w.value(event.latency_us);
+    w.key("client");
+    w.value(event.client);
+    w.key("trace");
+    w.value(event.trace);
+    if (event.cache != nullptr) {
+        w.key("cache");
+        w.value(event.cache);
+    }
+    if (event.reject != nullptr) {
+        w.key("reject");
+        w.value(event.reject);
+    }
+    w.endObject();
+    emit(w.str());
+}
+
+void
+EventLog::logJob(const JobEvent &event)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("type");
+    w.value("job");
+    w.key("ts_us");
+    w.value(wallMicros());
+    w.key("worker");
+    w.value(options_.worker);
+    w.key("event");
+    w.value(event.event);
+    w.key("id");
+    w.value(event.id);
+    w.key("client");
+    w.value(event.client);
+    w.key("endpoint");
+    w.value(event.endpoint);
+    w.key("trace");
+    w.value(event.trace);
+    if (event.status != 0) {
+        w.key("status");
+        w.value(event.status);
+    }
+    if (event.has_queue_wait) {
+        w.key("queue_wait_us");
+        w.value(event.queue_wait_us);
+    }
+    if (event.has_run) {
+        w.key("run_us");
+        w.value(event.run_us);
+    }
+    w.endObject();
+    emit(w.str());
+}
+
+void
+EventLog::logWorker(std::string_view event, int pid, int status)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("type");
+    w.value("worker");
+    w.key("ts_us");
+    w.value(wallMicros());
+    w.key("worker");
+    w.value(options_.worker);
+    w.key("event");
+    w.value(event);
+    w.key("pid");
+    w.value(pid);
+    if (status >= 0) {
+        w.key("status");
+        w.value(status);
+    }
+    w.endObject();
+    emit(w.str());
+}
+
+void
+EventLog::emit(std::string line)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.lines;
+
+    if (fd_ >= 0) {
+        maybeRotateLocked();
+        // One write of the whole line: O_APPEND makes concurrent
+        // appends from sibling workers atomic, so the JSONL file
+        // never interleaves partial lines.
+        std::string with_newline = line + '\n';
+        const ssize_t written = ::write(fd_, with_newline.data(),
+                                        with_newline.size());
+        if (written > 0)
+            stats_.bytes += static_cast<std::uint64_t>(written);
+    }
+
+    if (options_.ring > 0) {
+        if (ring_.size() >= options_.ring) {
+            ring_.pop_front();
+            ++stats_.dropped;
+        }
+        ring_.push_back(std::move(line));
+    }
+}
+
+void
+EventLog::maybeRotateLocked()
+{
+    if (options_.max_bytes == 0)
+        return;
+
+    struct stat open_stat;
+    if (::fstat(fd_, &open_stat) != 0)
+        return;
+    if (static_cast<std::size_t>(open_stat.st_size) <
+        options_.max_bytes)
+        return;
+
+    // A sibling worker may have already rotated the shared file: if
+    // the path no longer names our open inode, just reopen and keep
+    // appending to the fresh file — renaming again would clobber the
+    // sibling's freshly rotated history.
+    struct stat path_stat;
+    const bool path_is_ours =
+        ::stat(options_.path.c_str(), &path_stat) == 0 &&
+        path_stat.st_ino == open_stat.st_ino &&
+        path_stat.st_dev == open_stat.st_dev;
+    if (path_is_ours) {
+        const std::string rotated = options_.path + ".1";
+        if (::rename(options_.path.c_str(), rotated.c_str()) != 0)
+            return;
+        ++stats_.rotations;
+    }
+
+    const int fresh = openAppend(options_.path);
+    if (fresh >= 0) {
+        ::close(fd_);
+        fd_ = fresh;
+    }
+}
+
+std::string
+EventLog::tailJson(std::size_t n) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    const std::size_t count = n < ring_.size() ? n : ring_.size();
+    const std::size_t first = ring_.size() - count;
+
+    std::string out = "{\"count\":";
+    out += std::to_string(count);
+    out += ",\"events\":[";
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i > 0)
+            out += ',';
+        out += ring_[first + i];
+    }
+    out += "]}";
+    return out;
+}
+
+EventLogStats
+EventLog::stats() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return stats_;
+}
+
+} // namespace obs
+} // namespace maestro

@@ -242,6 +242,7 @@ struct RequestCounters
     std::atomic<std::uint64_t> healthz{0};
     std::atomic<std::uint64_t> stats{0};
     std::atomic<std::uint64_t> metrics{0};
+    std::atomic<std::uint64_t> events{0};
 
     std::atomic<std::uint64_t> ok_2xx{0};
     std::atomic<std::uint64_t> client_err_4xx{0};

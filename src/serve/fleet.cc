@@ -1,0 +1,759 @@
+#include "src/serve/fleet.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.hh"
+
+namespace maestro
+{
+namespace serve
+{
+namespace fleet
+{
+
+namespace
+{
+
+using obs::SharedMetrics;
+
+/** Routable endpoints, alphabetical (the /metrics label order). */
+constexpr const char *kEndpointNames[] = {
+    "analyze", "crossval", "dse",   "events", "healthz",
+    "jobs",    "metrics",  "simulate", "stats", "tune",
+};
+constexpr std::size_t kEndpointCount =
+    sizeof(kEndpointNames) / sizeof(kEndpointNames[0]);
+
+/** Index used for paths that match no endpoint. */
+constexpr std::size_t kOtherEndpoint = kEndpointCount;
+
+/** Endpoints that run analysis work (admission + result cache). */
+constexpr bool kIsAnalysis[kEndpointCount] = {
+    true, true, true, false, false, false, false, true, false, true,
+};
+
+/** Job lifecycle events, alphabetical (the /metrics label order). */
+constexpr const char *kJobEventNames[] = {
+    "cancelled", "completed",         "evicted",
+    "failed",    "rejected_capacity", "rejected_client",
+    "resubmitted", "submitted",
+};
+constexpr std::size_t kJobEventCount =
+    sizeof(kJobEventNames) / sizeof(kJobEventNames[0]);
+
+std::size_t
+endpointIndex(std::string_view endpoint)
+{
+    for (std::size_t i = 0; i < kEndpointCount; ++i)
+        if (endpoint == kEndpointNames[i])
+            return i;
+    return kOtherEndpoint;
+}
+
+std::size_t
+jobEventIndex(std::string_view event)
+{
+    for (std::size_t i = 0; i < kJobEventCount; ++i)
+        if (event == kJobEventNames[i])
+            return i;
+    return SharedMetrics::kNoSlot;
+}
+
+/** `family{key="value"}` for label values that need no escaping. */
+std::string
+series(std::string_view family, std::string_view key,
+       std::string_view value)
+{
+    std::string out(family);
+    out += '{';
+    out += key;
+    out += "=\"";
+    out += value;
+    out += "\"}";
+    return out;
+}
+
+/** `family{client="..."}` with Prometheus label escaping. */
+std::string
+clientSeries(std::string_view family, const std::string &client)
+{
+    std::string out(family);
+    out += obs::labelString({{"client", client}});
+    return out;
+}
+
+/** Inserts a pre-rendered `k="v"[,...]` run into a label string. */
+std::string
+withExtraLabels(std::string_view base, std::string_view extra)
+{
+    if (base.empty()) {
+        std::string out = "{";
+        out += extra;
+        out += '}';
+        return out;
+    }
+    std::string out(base);
+    out.insert(out.size() - 1, "," + std::string(extra));
+    return out;
+}
+
+std::string
+workerLabel(std::size_t lane)
+{
+    return "worker=\"" + std::to_string(lane) + "\"";
+}
+
+/** Emits one histogram series (buckets/+Inf/_sum/_count). `base` is
+ *  the slot's pre-rendered label string, `worker` an optional
+ *  `worker="i"` run appended after le. */
+void
+emitHistogramSeries(std::string &out, std::string_view family,
+                    std::string_view base, std::string_view worker,
+                    const LatencyHistogram::Snapshot &snapshot)
+{
+    const std::string bucket_name = std::string(family) + "_bucket";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        cumulative += snapshot.buckets[i];
+        std::string extra = "le=\"";
+        extra += LatencyHistogram::isOverflowBucket(i)
+                     ? "+Inf"
+                     : std::to_string(
+                           LatencyHistogram::upperBoundMicros(i));
+        extra += '"';
+        if (!worker.empty()) {
+            extra += ',';
+            extra += worker;
+        }
+        obs::appendSample(out, bucket_name,
+                          withExtraLabels(base, extra), cumulative);
+    }
+    const std::string tail_labels =
+        worker.empty() ? std::string(base)
+                       : withExtraLabels(base, worker);
+    obs::appendSample(out, std::string(family) + "_sum", tail_labels,
+                      snapshot.total_us);
+    obs::appendSample(out, std::string(family) + "_count",
+                      tail_labels, snapshot.count);
+}
+
+/** True when `name` is `family` or `family{...}`. */
+bool
+matchesFamily(std::string_view name, std::string_view family)
+{
+    if (name.size() < family.size() ||
+        name.substr(0, family.size()) != family)
+        return false;
+    return name.size() == family.size() ||
+           name[family.size()] == '{';
+}
+
+/** The age an AgeGauge cell renders: now - stored, 0 when unset. */
+std::uint64_t
+tickAge(std::int64_t stored, std::uint64_t now)
+{
+    if (stored <= 0)
+        return 0;
+    const std::uint64_t tick = static_cast<std::uint64_t>(stored);
+    return tick < now ? now - tick : 0;
+}
+
+} // namespace
+
+std::uint64_t
+steadyTickMicros()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Every statically-known slot, resolved once per process. */
+struct FleetLane::StaticSlots
+{
+    std::size_t requests[kEndpointCount + 1];
+    std::size_t resp_2xx, resp_4xx, resp_5xx, deadline;
+    std::size_t queue_rejected, client_rejected;
+    std::size_t cache_hit, cache_miss, cache_evictions, cache_served;
+    std::size_t jobs_events[kJobEventCount];
+    std::size_t queue_depth, active_clients;
+    std::size_t cache_entries, cache_bytes;
+    std::size_t jobs_queued, jobs_running, jobs_resident;
+    std::size_t jobs_oldest;
+    std::size_t latency;
+    /** [endpoint][0]=miss/plain, [endpoint][1]=hit. */
+    std::size_t endpoint_hist[kEndpointCount + 1][2];
+    std::size_t queue_wait[kEndpointCount + 1];
+    std::size_t run[kEndpointCount + 1];
+    ClientSlots other;
+
+    static StaticSlots resolve(SharedMetrics &m);
+};
+
+FleetLane::StaticSlots
+FleetLane::StaticSlots::resolve(SharedMetrics &m)
+{
+    StaticSlots s{};
+
+    for (std::size_t i = 0; i < kEndpointCount; ++i)
+        s.requests[i] = m.counter(series("maestro_requests_total",
+                                         "endpoint",
+                                         kEndpointNames[i]));
+    // Unroutable paths still mirror into the request family so the
+    // fleet total matches the local `total`-minus-known arithmetic.
+    s.requests[kOtherEndpoint] = m.counter(
+        series("maestro_requests_total", "endpoint", "other"));
+
+    s.resp_2xx =
+        m.counter(series("maestro_responses_total", "class", "2xx"));
+    s.resp_4xx =
+        m.counter(series("maestro_responses_total", "class", "4xx"));
+    s.resp_5xx =
+        m.counter(series("maestro_responses_total", "class", "5xx"));
+    s.deadline = m.counter("maestro_deadline_expirations_total");
+    s.queue_rejected = m.counter("maestro_queue_rejected_total");
+    s.client_rejected = m.counter("maestro_client_rejected_total");
+
+    s.cache_hit = m.counter(series(
+        "maestro_result_cache_requests_total", "outcome", "hit"));
+    s.cache_miss = m.counter(series(
+        "maestro_result_cache_requests_total", "outcome", "miss"));
+    s.cache_evictions =
+        m.counter("maestro_result_cache_evictions_total");
+    s.cache_served =
+        m.counter("maestro_result_cache_served_bytes_total");
+
+    for (std::size_t i = 0; i < kJobEventCount; ++i)
+        s.jobs_events[i] = m.counter(series(
+            "maestro_jobs_total", "event", kJobEventNames[i]));
+
+    s.queue_depth = m.gauge("maestro_queue_depth");
+    s.active_clients = m.gauge("maestro_active_clients");
+    s.cache_entries = m.gauge("maestro_result_cache_entries");
+    s.cache_bytes = m.gauge("maestro_result_cache_bytes");
+    s.jobs_queued =
+        m.gauge(series("maestro_jobs_resident", "state", "queued"));
+    s.jobs_running =
+        m.gauge(series("maestro_jobs_resident", "state", "running"));
+    s.jobs_resident =
+        m.gauge(series("maestro_jobs_resident", "state", "total"));
+    s.jobs_oldest = m.gauge("maestro_jobs_oldest_queued_age_us");
+
+    s.latency = m.histogram("maestro_request_latency_us");
+
+    for (std::size_t i = 0; i <= kEndpointCount; ++i) {
+        const char *name =
+            i == kOtherEndpoint ? "other" : kEndpointNames[i];
+        if (i != kOtherEndpoint && kIsAnalysis[i]) {
+            // Sorted-label convention (cache < endpoint), matching
+            // obs::labelString output.
+            std::string miss = "maestro_endpoint_latency_us{cache=\""
+                               "miss\",endpoint=\"";
+            miss += name;
+            miss += "\"}";
+            std::string hit = "maestro_endpoint_latency_us{cache=\""
+                              "hit\",endpoint=\"";
+            hit += name;
+            hit += "\"}";
+            s.endpoint_hist[i][0] = m.histogram(miss);
+            s.endpoint_hist[i][1] = m.histogram(hit);
+            s.queue_wait[i] = m.histogram(
+                series("maestro_queue_wait_us", "endpoint", name));
+            s.run[i] = m.histogram(
+                series("maestro_run_us", "endpoint", name));
+        } else {
+            const std::size_t plain = m.histogram(series(
+                "maestro_endpoint_latency_us", "endpoint", name));
+            s.endpoint_hist[i][0] = plain;
+            s.endpoint_hist[i][1] = plain;
+            s.queue_wait[i] = SharedMetrics::kNoSlot;
+            s.run[i] = SharedMetrics::kNoSlot;
+        }
+    }
+
+    s.other.requests = m.counter(
+        clientSeries("maestro_client_requests_total", "other"));
+    s.other.throttled = m.counter(
+        clientSeries("maestro_client_throttled_total", "other"));
+    s.other.cache_hits = m.counter(
+        clientSeries("maestro_client_cache_hits_total", "other"));
+    s.other.inflight =
+        m.gauge(clientSeries("maestro_client_inflight", "other"));
+    return s;
+}
+
+void
+registerSlots(SharedMetrics &m)
+{
+    FleetLane::StaticSlots::resolve(m);
+}
+
+FleetLane::FleetLane(std::shared_ptr<SharedMetrics> segment,
+                     std::size_t lane, std::size_t max_clients)
+    : segment_(std::move(segment)), lane_(lane),
+      max_clients_(max_clients),
+      slots_(std::make_shared<const StaticSlots>(
+          StaticSlots::resolve(*segment_)))
+{
+}
+
+void
+FleetLane::countRequest(std::string_view endpoint)
+{
+    segment_->addCounter(slots_->requests[endpointIndex(endpoint)],
+                         lane_);
+}
+
+void
+FleetLane::countStatus(int status)
+{
+    // Mirrors RequestCounters::countStatus class arithmetic (429/503
+    // totals come from the admission mirrors, not from here).
+    if (status == 408)
+        segment_->addCounter(slots_->deadline, lane_);
+    if (status >= 200 && status < 300)
+        segment_->addCounter(slots_->resp_2xx, lane_);
+    else if (status >= 400 && status < 500)
+        segment_->addCounter(slots_->resp_4xx, lane_);
+    else if (status >= 500)
+        segment_->addCounter(slots_->resp_5xx, lane_);
+}
+
+void
+FleetLane::countQueueRejected()
+{
+    segment_->addCounter(slots_->queue_rejected, lane_);
+}
+
+void
+FleetLane::countClientRejected()
+{
+    segment_->addCounter(slots_->client_rejected, lane_);
+}
+
+void
+FleetLane::countResultCache(bool hit)
+{
+    segment_->addCounter(hit ? slots_->cache_hit : slots_->cache_miss,
+                         lane_);
+}
+
+void
+FleetLane::addServedBytes(std::uint64_t bytes)
+{
+    segment_->addCounter(slots_->cache_served, lane_, bytes);
+}
+
+void
+FleetLane::addCacheEvictions(std::uint64_t n)
+{
+    if (n > 0)
+        segment_->addCounter(slots_->cache_evictions, lane_, n);
+}
+
+void
+FleetLane::setCacheGauges(std::size_t entries, std::size_t bytes)
+{
+    segment_->setGauge(slots_->cache_entries, lane_,
+                       static_cast<std::int64_t>(entries));
+    segment_->setGauge(slots_->cache_bytes, lane_,
+                       static_cast<std::int64_t>(bytes));
+}
+
+void
+FleetLane::countJobEvent(std::string_view event)
+{
+    const std::size_t i = jobEventIndex(event);
+    if (i != SharedMetrics::kNoSlot)
+        segment_->addCounter(slots_->jobs_events[i], lane_);
+}
+
+void
+FleetLane::setJobGauges(std::size_t queued, std::size_t running,
+                        std::size_t resident,
+                        std::uint64_t oldest_tick_us)
+{
+    segment_->setGauge(slots_->jobs_queued, lane_,
+                       static_cast<std::int64_t>(queued));
+    segment_->setGauge(slots_->jobs_running, lane_,
+                       static_cast<std::int64_t>(running));
+    segment_->setGauge(slots_->jobs_resident, lane_,
+                       static_cast<std::int64_t>(resident));
+    segment_->setGauge(slots_->jobs_oldest, lane_,
+                       static_cast<std::int64_t>(oldest_tick_us));
+}
+
+void
+FleetLane::recordLatency(std::uint64_t us)
+{
+    segment_->recordHistogram(slots_->latency, lane_, us);
+}
+
+void
+FleetLane::addQueueDepth(std::int64_t delta)
+{
+    segment_->addGauge(slots_->queue_depth, lane_, delta);
+}
+
+void
+FleetLane::setActiveClients(std::int64_t n)
+{
+    segment_->setGauge(slots_->active_clients, lane_, n);
+}
+
+void
+FleetLane::recordEndpointLatency(std::string_view endpoint,
+                                 const char *cache, std::uint64_t us)
+{
+    const std::size_t e = endpointIndex(endpoint);
+    const bool hit =
+        cache != nullptr && std::string_view(cache) == "hit";
+    segment_->recordHistogram(slots_->endpoint_hist[e][hit ? 1 : 0],
+                              lane_, us);
+}
+
+void
+FleetLane::recordQueueWait(std::string_view endpoint,
+                           std::uint64_t us)
+{
+    const std::size_t slot = slots_->queue_wait[endpointIndex(
+        endpoint)];
+    if (slot != SharedMetrics::kNoSlot)
+        segment_->recordHistogram(slot, lane_, us);
+}
+
+void
+FleetLane::recordRun(std::string_view endpoint, std::uint64_t us)
+{
+    const std::size_t slot = slots_->run[endpointIndex(endpoint)];
+    if (slot != SharedMetrics::kNoSlot)
+        segment_->recordHistogram(slot, lane_, us);
+}
+
+FleetLane::ClientSlots
+FleetLane::resolveClient(const std::string &client)
+{
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    const auto it = clients_.find(client);
+    if (it != clients_.end())
+        return it->second;
+
+    ClientSlots slots = slots_->other;
+    const std::string requests_name =
+        clientSeries("maestro_client_requests_total", client);
+
+    // A client another worker already registered is always reused —
+    // the cap bounds NEW series, never splits one client across
+    // per-worker identities.
+    bool admit = segment_->findCounter(requests_name) !=
+                 SharedMetrics::kNoSlot;
+    if (!admit) {
+        // +1: the pre-registered client="other" fold series.
+        admit = segment_->countersWithPrefix(
+                    "maestro_client_requests_total{") <
+                max_clients_ + 1;
+    }
+    if (admit) {
+        const std::size_t requests =
+            segment_->counter(requests_name);
+        const std::size_t throttled = segment_->counter(
+            clientSeries("maestro_client_throttled_total", client));
+        const std::size_t cache_hits = segment_->counter(
+            clientSeries("maestro_client_cache_hits_total", client));
+        const std::size_t inflight = segment_->gauge(
+            clientSeries("maestro_client_inflight", client));
+        if (requests != SharedMetrics::kNoSlot &&
+            throttled != SharedMetrics::kNoSlot &&
+            cache_hits != SharedMetrics::kNoSlot &&
+            inflight != SharedMetrics::kNoSlot)
+            slots = ClientSlots{requests, throttled, cache_hits,
+                                inflight};
+    }
+    clients_.emplace(client, slots);
+    return slots;
+}
+
+void
+FleetLane::clientRequest(const std::string &client)
+{
+    segment_->addCounter(resolveClient(client).requests, lane_);
+}
+
+void
+FleetLane::clientThrottled(const std::string &client)
+{
+    segment_->addCounter(resolveClient(client).throttled, lane_);
+}
+
+void
+FleetLane::clientCacheHit(const std::string &client)
+{
+    segment_->addCounter(resolveClient(client).cache_hits, lane_);
+}
+
+void
+FleetLane::clientInflight(const std::string &client,
+                          std::int64_t delta)
+{
+    segment_->addGauge(resolveClient(client).inflight, lane_, delta);
+}
+
+void
+appendSegmentFamily(std::string &out, const SharedMetrics &m,
+                    std::string_view family, std::string_view help,
+                    FamilyKind kind, bool worker_labels)
+{
+    const char *type = kind == FamilyKind::Counter ? "counter"
+                       : kind == FamilyKind::Histogram
+                           ? "histogram"
+                           : "gauge";
+    obs::appendFamilyHeader(out, family, help, type);
+
+    const bool histograms = kind == FamilyKind::Histogram;
+    const bool counters = kind == FamilyKind::Counter;
+    const std::size_t n = histograms  ? m.histogramCount()
+                          : counters ? m.counterCount()
+                                     : m.gaugeCount();
+    std::vector<std::pair<std::string_view, std::size_t>> slots;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string_view name = histograms ? m.histogramName(i)
+                                      : counters ? m.counterName(i)
+                                                 : m.gaugeName(i);
+        if (matchesFamily(name, family))
+            slots.emplace_back(name, i);
+    }
+    std::sort(slots.begin(), slots.end());
+
+    const std::size_t lanes = m.lanes();
+    const std::uint64_t now = steadyTickMicros();
+
+    for (const auto &[name, slot] : slots) {
+        const std::string_view base = name.substr(family.size());
+        switch (kind) {
+        case FamilyKind::Counter:
+            if (!worker_labels) {
+                obs::appendSample(out, family, base,
+                                  m.counterTotal(slot));
+                break;
+            }
+            for (std::size_t lane = 0; lane < lanes; ++lane)
+                obs::appendSample(
+                    out, family,
+                    withExtraLabels(base, workerLabel(lane)),
+                    m.counterLane(slot, lane));
+            obs::appendSample(out, family,
+                              withExtraLabels(base, "worker=\"all\""),
+                              m.counterTotal(slot));
+            break;
+        case FamilyKind::Gauge:
+            if (!worker_labels) {
+                obs::appendSample(
+                    out, family, base,
+                    static_cast<double>(m.gaugeTotal(slot)));
+                break;
+            }
+            for (std::size_t lane = 0; lane < lanes; ++lane)
+                obs::appendSample(
+                    out, family,
+                    withExtraLabels(base, workerLabel(lane)),
+                    static_cast<double>(m.gaugeLane(slot, lane)));
+            obs::appendSample(
+                out, family,
+                withExtraLabels(base, "worker=\"all\""),
+                static_cast<double>(m.gaugeTotal(slot)));
+            break;
+        case FamilyKind::AgeGauge: {
+            std::uint64_t max_age = 0;
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+                const std::uint64_t age =
+                    tickAge(m.gaugeLane(slot, lane), now);
+                if (age > max_age)
+                    max_age = age;
+                if (worker_labels)
+                    obs::appendSample(
+                        out, family,
+                        withExtraLabels(base, workerLabel(lane)),
+                        age);
+            }
+            if (worker_labels)
+                obs::appendSample(
+                    out, family,
+                    withExtraLabels(base, "worker=\"all\""),
+                    max_age);
+            else
+                obs::appendSample(out, family, base, max_age);
+            break;
+        }
+        case FamilyKind::Histogram:
+            if (!worker_labels) {
+                emitHistogramSeries(out, family, base, "",
+                                    m.histogramTotal(slot));
+                break;
+            }
+            for (std::size_t lane = 0; lane < lanes; ++lane)
+                emitHistogramSeries(out, family, base,
+                                    workerLabel(lane),
+                                    m.histogramLane(slot, lane));
+            emitHistogramSeries(out, family, base, "worker=\"all\"",
+                                m.histogramTotal(slot));
+            break;
+        }
+    }
+}
+
+void
+appendFleetOnlyFamilies(std::string &out, const SharedMetrics &m,
+                        bool worker_labels)
+{
+    appendSegmentFamily(
+        out, m, "maestro_jobs_oldest_queued_age_us",
+        "Age of the oldest queued async job in microseconds (0 when "
+        "no job is queued)",
+        FamilyKind::AgeGauge, worker_labels);
+    appendSegmentFamily(
+        out, m, "maestro_endpoint_latency_us",
+        "Request latency by endpoint in microseconds (analysis "
+        "endpoints split by result-cache outcome)",
+        FamilyKind::Histogram, worker_labels);
+    appendSegmentFamily(
+        out, m, "maestro_queue_wait_us",
+        "Admission-to-execution queue wait of analysis requests in "
+        "microseconds",
+        FamilyKind::Histogram, worker_labels);
+    appendSegmentFamily(
+        out, m, "maestro_run_us",
+        "Handler execution time of analysis requests in microseconds",
+        FamilyKind::Histogram, worker_labels);
+    appendSegmentFamily(
+        out, m, "maestro_client_requests_total",
+        "Requests, by client id (cardinality-capped; excess clients "
+        "fold into client=\"other\")",
+        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m, "maestro_client_throttled_total",
+                        "Per-client budget rejections (429s), by "
+                        "client id",
+                        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m, "maestro_client_cache_hits_total",
+                        "Result-cache hits, by client id",
+                        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m, "maestro_client_inflight",
+                        "In-flight requests right now, by client id",
+                        FamilyKind::Gauge, worker_labels);
+}
+
+void
+appendMirroredFamilies(std::string &out, const SharedMetrics &m,
+                       bool worker_labels)
+{
+    appendSegmentFamily(out, m, "maestro_requests_total",
+                        "Requests routed, by endpoint",
+                        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m, "maestro_responses_total",
+                        "Responses sent, by status class",
+                        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m, "maestro_deadline_expirations_total",
+                        "Requests answered 408 (deadline expired)",
+                        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m, "maestro_queue_rejected_total",
+                        "Requests rejected 503 by admission control",
+                        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m, "maestro_queue_depth",
+                        "In-flight requests right now",
+                        FamilyKind::Gauge, worker_labels);
+    appendSegmentFamily(
+        out, m, "maestro_client_rejected_total",
+        "Requests rejected 429 by a per-client budget",
+        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m, "maestro_active_clients",
+                        "Clients with in-flight requests",
+                        FamilyKind::Gauge, worker_labels);
+    appendSegmentFamily(
+        out, m, "maestro_result_cache_requests_total",
+        "Content-addressed result-cache lookups, by outcome",
+        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m,
+                        "maestro_result_cache_evictions_total",
+                        "Result-cache LRU evictions",
+                        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m, "maestro_result_cache_entries",
+                        "Result-cache resident entries",
+                        FamilyKind::Gauge, worker_labels);
+    appendSegmentFamily(out, m, "maestro_result_cache_bytes",
+                        "Result-cache resident body bytes",
+                        FamilyKind::Gauge, worker_labels);
+    appendSegmentFamily(out, m,
+                        "maestro_result_cache_served_bytes_total",
+                        "Body bytes served from result-cache hits",
+                        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m, "maestro_jobs_total",
+                        "Async jobs, by lifecycle event",
+                        FamilyKind::Counter, worker_labels);
+    appendSegmentFamily(out, m, "maestro_jobs_resident",
+                        "Resident jobs, by state", FamilyKind::Gauge,
+                        worker_labels);
+    appendSegmentFamily(
+        out, m, "maestro_request_latency_us",
+        "Dispatch latency of served requests in microseconds",
+        FamilyKind::Histogram, worker_labels);
+}
+
+void
+writeFleetStats(JsonWriter &w, const SharedMetrics &m,
+                std::size_t lane)
+{
+    const std::size_t lanes = m.lanes();
+
+    // Per-lane routed-request totals: every maestro_requests_total
+    // endpoint slot summed.
+    std::vector<std::uint64_t> requests(lanes, 0);
+    const std::size_t n = m.counterCount();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!matchesFamily(m.counterName(i),
+                           "maestro_requests_total"))
+            continue;
+        for (std::size_t l = 0; l < lanes; ++l)
+            requests[l] += m.counterLane(i, l);
+    }
+
+    const std::size_t ok_slot = m.findCounter(
+        "maestro_responses_total{class=\"2xx\"}");
+
+    w.key("fleet").beginObject();
+    w.key("workers").value(static_cast<std::uint64_t>(lanes));
+    w.key("lane").value(static_cast<std::uint64_t>(lane));
+
+    std::uint64_t all = 0;
+    for (const std::uint64_t v : requests)
+        all += v;
+    w.key("requests").beginObject();
+    w.key("all").value(all);
+    w.key("per_worker").beginArray();
+    for (const std::uint64_t v : requests)
+        w.value(v);
+    w.endArray();
+    w.endObject();
+
+    w.key("responses_2xx").beginObject();
+    if (ok_slot != SharedMetrics::kNoSlot) {
+        w.key("all").value(m.counterTotal(ok_slot));
+        w.key("per_worker").beginArray();
+        for (std::size_t l = 0; l < lanes; ++l)
+            w.value(m.counterLane(ok_slot, l));
+        w.endArray();
+    } else {
+        w.key("all").value(std::uint64_t{0});
+        w.key("per_worker").beginArray();
+        w.endArray();
+    }
+    w.endObject();
+
+    w.endObject();
+}
+
+} // namespace fleet
+} // namespace serve
+} // namespace maestro

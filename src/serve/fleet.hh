@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The serve layer's view of the shared-memory metrics segment.
+ *
+ * obs::SharedMetrics is a generic slot arena; this unit gives it the
+ * server's vocabulary. Slot names are pre-rendered Prometheus series
+ * (`family{label="x"}`), so the segment doubles as its own schema:
+ * the renderers here group slots by family prefix and emit fleet
+ * totals with per-worker breakdown labels (`worker="0..N-1"`,
+ * `worker="all"`) without any side tables.
+ *
+ * Three roles:
+ *  - registerSlots(): the static slot matrix, registered by the
+ *    supervisor BEFORE fork() so every worker resolves identical
+ *    indices.
+ *  - FleetLane: a worker's write handle — one relaxed fetch_add per
+ *    event into its own lane, mirroring the server's local counters
+ *    one-for-one (the local structs stay the source of truth for the
+ *    single-process render; the lanes make the same numbers visible
+ *    fleet-wide).
+ *  - appendSegmentFamily()/appendFleetOnlyFamilies()/
+ *    writeFleetStats(): the read side backing GET /metrics,
+ *    GET /stats, and the supervisor status port.
+ *
+ * Per-client label cardinality is capped (--metrics-max-clients):
+ * the first `cap` distinct client ids get their own series, the rest
+ * fold into `client="other"`. The cap is enforced against the live
+ * series count in the segment, so it holds fleet-wide (a racing
+ * registration in two workers can overshoot by at most the worker
+ * count — bounded, and far below an unbounded-label blowup).
+ */
+
+#ifndef MAESTRO_SERVE_FLEET_HH
+#define MAESTRO_SERVE_FLEET_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/common/json.hh"
+#include "src/obs/shared_metrics.hh"
+
+namespace maestro
+{
+namespace serve
+{
+namespace fleet
+{
+
+/**
+ * Steady-clock µs tick. CLOCK_MONOTONIC is system-wide on Linux, so
+ * ticks recorded by one worker compare meaningfully in another (job
+ * queue-age rendering spans processes).
+ */
+std::uint64_t steadyTickMicros();
+
+/** How one segment family renders. */
+enum class FamilyKind : std::uint8_t
+{
+    Counter,
+    Gauge,
+    /** Gauge storing a steadyTickMicros(); renders now - stored
+     *  (age), 0 when unset; worker="all" is the max age. */
+    AgeGauge,
+    Histogram,
+};
+
+/**
+ * Registers every static fleet slot (idempotent). The supervisor
+ * calls this pre-fork; FleetLane re-resolves the same names.
+ */
+void registerSlots(obs::SharedMetrics &m);
+
+/**
+ * Appends one family (header + every matching slot) rendered from
+ * the segment. With `worker_labels`, each slot emits one sample per
+ * lane (`worker="i"`) plus the `worker="all"` fleet total; without,
+ * each slot emits its fleet total unlabelled (the lanes==1 path).
+ */
+void appendSegmentFamily(std::string &out, const obs::SharedMetrics &m,
+                         std::string_view family, std::string_view help,
+                         FamilyKind kind, bool worker_labels);
+
+/**
+ * Appends every family that exists ONLY in the segment (per-endpoint
+ * latency/queue-wait/run histograms, per-client series, job queue
+ * age) in a fixed order.
+ */
+void appendFleetOnlyFamilies(std::string &out,
+                             const obs::SharedMetrics &m,
+                             bool worker_labels);
+
+/**
+ * Appends every MIRRORED family (the ones GET /metrics also renders
+ * from local counters when single-lane) from the segment, in the
+ * worker's family order and with the worker's help strings. The
+ * supervisor status port uses this: it has no local counters, so the
+ * segment is its only source.
+ */
+void appendMirroredFamilies(std::string &out,
+                            const obs::SharedMetrics &m,
+                            bool worker_labels);
+
+/**
+ * Writes the GET /stats "fleet" object: worker count, this worker's
+ * lane, and request/2xx totals broken down per worker.
+ */
+void writeFleetStats(JsonWriter &w, const obs::SharedMetrics &m,
+                     std::size_t lane);
+
+/**
+ * One worker's write handle to the segment: pre-resolved slot
+ * indices plus the per-client registration cache. Thread-safe; every
+ * count is a relaxed atomic on the worker's own lane.
+ */
+class FleetLane
+{
+  public:
+    /**
+     * @param segment The shared arena (slots resolved here).
+     * @param lane This worker's lane index.
+     * @param max_clients Distinct client ids before folding into
+     *        `client="other"` (0 = fold everyone).
+     */
+    FleetLane(std::shared_ptr<obs::SharedMetrics> segment,
+              std::size_t lane, std::size_t max_clients);
+
+    obs::SharedMetrics &segment() const { return *segment_; }
+    std::size_t lane() const { return lane_; }
+
+    // ---- mirrors of the server's local counters ----
+
+    void countRequest(std::string_view endpoint);
+    void countStatus(int status);
+    void countQueueRejected();
+    void countClientRejected();
+    void countResultCache(bool hit);
+    void addServedBytes(std::uint64_t bytes);
+    void addCacheEvictions(std::uint64_t n);
+    void setCacheGauges(std::size_t entries, std::size_t bytes);
+    void countJobEvent(std::string_view event);
+    void setJobGauges(std::size_t queued, std::size_t running,
+                      std::size_t resident,
+                      std::uint64_t oldest_tick_us);
+    void recordLatency(std::uint64_t us);
+    void addQueueDepth(std::int64_t delta);
+    void setActiveClients(std::int64_t n);
+
+    // ---- fleet-only telemetry ----
+
+    /** `cache` is "hit"/"miss" for analysis endpoints, else null. */
+    void recordEndpointLatency(std::string_view endpoint,
+                               const char *cache, std::uint64_t us);
+    void recordQueueWait(std::string_view endpoint, std::uint64_t us);
+    void recordRun(std::string_view endpoint, std::uint64_t us);
+
+    void clientRequest(const std::string &client);
+    void clientThrottled(const std::string &client);
+    void clientCacheHit(const std::string &client);
+    void clientInflight(const std::string &client,
+                        std::int64_t delta);
+
+  private:
+    /** Slot indices of one client's four series. */
+    struct ClientSlots
+    {
+        std::size_t requests;
+        std::size_t throttled;
+        std::size_t cache_hits;
+        std::size_t inflight;
+    };
+
+    /** Finds/registers `client`'s slots, folding past the cap. */
+    ClientSlots resolveClient(const std::string &client);
+
+    std::shared_ptr<obs::SharedMetrics> segment_;
+    std::size_t lane_;
+    std::size_t max_clients_;
+
+    /** Static slots live in the impl's table; see fleet.cc. */
+    struct StaticSlots;
+    friend void registerSlots(obs::SharedMetrics &);
+    std::shared_ptr<const StaticSlots> slots_;
+
+    mutable std::mutex clients_mutex_;
+    std::map<std::string, ClientSlots> clients_;
+};
+
+} // namespace fleet
+} // namespace serve
+} // namespace maestro
+
+#endif // MAESTRO_SERVE_FLEET_HH

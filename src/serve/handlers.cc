@@ -11,6 +11,7 @@
 #include "src/mapper/mapper.hh"
 #include "src/frontend/parser.hh"
 #include "src/obs/metrics.hh"
+#include "src/serve/fleet.hh"
 #include "src/sim/crossval.hh"
 #include "src/sim/reference_sim.hh"
 
@@ -534,7 +535,8 @@ statsJson(const PipelineStats &pipeline,
           const RequestCounters &counters,
           const LatencyHistogram &latency, std::uint64_t uptime_us,
           const ResultCacheStats &result_cache,
-          const JobStoreStats &jobs)
+          const JobStoreStats &jobs, const obs::EventLogStats *events,
+          const obs::SharedMetrics *fleet, std::size_t lane)
 {
     const auto load = [](const std::atomic<std::uint64_t> &a) {
         return a.load(std::memory_order_relaxed);
@@ -555,6 +557,7 @@ statsJson(const PipelineStats &pipeline,
     w.key("healthz").value(load(counters.healthz));
     w.key("stats").value(load(counters.stats));
     w.key("metrics").value(load(counters.metrics));
+    w.key("events").value(load(counters.events));
     w.endObject();
 
     w.key("responses").beginObject();
@@ -641,6 +644,20 @@ statsJson(const PipelineStats &pipeline,
     writeCacheStats(w, "aggregate", pipeline.aggregate());
     w.endObject();
 
+    if (events) {
+        w.key("events").beginObject();
+        w.key("lines").value(events->lines);
+        w.key("bytes").value(events->bytes);
+        w.key("rotations").value(events->rotations);
+        w.key("dropped").value(events->dropped);
+        w.endObject();
+    }
+
+    // The fleet breakdown only exists when there IS a fleet: a
+    // single-lane segment would just repeat the local numbers.
+    if (fleet && fleet->lanes() > 1)
+        fleet::writeFleetStats(w, *fleet, lane);
+
     w.endObject();
     return w.str();
 }
@@ -651,11 +668,20 @@ metricsText(const PipelineStats &pipeline,
             const RequestCounters &counters,
             const LatencyHistogram &latency, std::uint64_t uptime_us,
             const ResultCacheStats &result_cache,
-            const JobStoreStats &jobs)
+            const JobStoreStats &jobs,
+            const obs::SharedMetrics *fleet,
+            const obs::EventLogStats *events)
 {
     const auto load = [](const std::atomic<std::uint64_t> &a) {
         return a.load(std::memory_order_relaxed);
     };
+
+    // Single lane: the historical single-process exposition renders
+    // from the LOCAL counters (byte-compatible with the pre-fleet
+    // server). Multi lane: the mirrored families render FROM the
+    // shared segment instead — one sample per worker plus the
+    // summed worker="all" fleet total, identical from any worker.
+    const bool multi = fleet && fleet->lanes() > 1;
 
     std::string out;
     out.reserve(16 * 1024);
@@ -672,57 +698,87 @@ metricsText(const PipelineStats &pipeline,
                             "Server uptime in microseconds", "gauge");
     obs::appendSample(out, "maestro_uptime_us", "", uptime_us);
 
-    obs::appendFamilyHeader(out, "maestro_requests_total",
-                            "Requests routed, by endpoint", "counter");
-    const std::pair<const char *, std::uint64_t> endpoints[] = {
-        {"analyze", load(counters.analyze)},
-        {"crossval", load(counters.crossval)},
-        {"dse", load(counters.dse)},
-        {"healthz", load(counters.healthz)},
-        {"jobs", load(counters.jobs)},
-        {"metrics", load(counters.metrics)},
-        {"simulate", load(counters.simulate)},
-        {"stats", load(counters.stats)},
-        {"tune", load(counters.tune)},
-    };
-    for (const auto &[name, value] : endpoints)
-        obs::appendSample(out, "maestro_requests_total",
-                          obs::labelString({{"endpoint", name}}),
-                          value);
+    if (!multi) {
+        obs::appendFamilyHeader(out, "maestro_requests_total",
+                                "Requests routed, by endpoint",
+                                "counter");
+        const std::pair<const char *, std::uint64_t> endpoints[] = {
+            {"analyze", load(counters.analyze)},
+            {"crossval", load(counters.crossval)},
+            {"dse", load(counters.dse)},
+            {"events", load(counters.events)},
+            {"healthz", load(counters.healthz)},
+            {"jobs", load(counters.jobs)},
+            {"metrics", load(counters.metrics)},
+            {"simulate", load(counters.simulate)},
+            {"stats", load(counters.stats)},
+            {"tune", load(counters.tune)},
+        };
+        for (const auto &[name, value] : endpoints)
+            obs::appendSample(out, "maestro_requests_total",
+                              obs::labelString({{"endpoint", name}}),
+                              value);
 
-    obs::appendFamilyHeader(out, "maestro_responses_total",
-                            "Responses sent, by status class",
-                            "counter");
-    const std::pair<const char *, std::uint64_t> classes[] = {
-        {"2xx", load(counters.ok_2xx)},
-        {"4xx", load(counters.client_err_4xx)},
-        {"5xx", load(counters.server_err_5xx)},
-    };
-    for (const auto &[name, value] : classes)
-        obs::appendSample(out, "maestro_responses_total",
-                          obs::labelString({{"class", name}}), value);
+        obs::appendFamilyHeader(out, "maestro_responses_total",
+                                "Responses sent, by status class",
+                                "counter");
+        const std::pair<const char *, std::uint64_t> classes[] = {
+            {"2xx", load(counters.ok_2xx)},
+            {"4xx", load(counters.client_err_4xx)},
+            {"5xx", load(counters.server_err_5xx)},
+        };
+        for (const auto &[name, value] : classes)
+            obs::appendSample(out, "maestro_responses_total",
+                              obs::labelString({{"class", name}}),
+                              value);
 
-    obs::appendFamilyHeader(out, "maestro_deadline_expirations_total",
-                            "Requests answered 408 (deadline expired)",
-                            "counter");
-    obs::appendSample(out, "maestro_deadline_expirations_total", "",
-                      load(counters.deadline_408));
+        obs::appendFamilyHeader(
+            out, "maestro_deadline_expirations_total",
+            "Requests answered 408 (deadline expired)", "counter");
+        obs::appendSample(out, "maestro_deadline_expirations_total",
+                          "", load(counters.deadline_408));
 
-    obs::appendFamilyHeader(
-        out, "maestro_queue_rejected_total",
-        "Requests rejected 503 by admission control", "counter");
-    obs::appendSample(out, "maestro_queue_rejected_total", "",
-                      admission.rejected());
+        obs::appendFamilyHeader(
+            out, "maestro_queue_rejected_total",
+            "Requests rejected 503 by admission control", "counter");
+        obs::appendSample(out, "maestro_queue_rejected_total", "",
+                          admission.rejected());
+    } else {
+        fleet::appendSegmentFamily(out, *fleet,
+                                   "maestro_requests_total",
+                                   "Requests routed, by endpoint",
+                                   fleet::FamilyKind::Counter, true);
+        fleet::appendSegmentFamily(out, *fleet,
+                                   "maestro_responses_total",
+                                   "Responses sent, by status class",
+                                   fleet::FamilyKind::Counter, true);
+        fleet::appendSegmentFamily(
+            out, *fleet, "maestro_deadline_expirations_total",
+            "Requests answered 408 (deadline expired)",
+            fleet::FamilyKind::Counter, true);
+        fleet::appendSegmentFamily(
+            out, *fleet, "maestro_queue_rejected_total",
+            "Requests rejected 503 by admission control",
+            fleet::FamilyKind::Counter, true);
+    }
 
     obs::appendFamilyHeader(out, "maestro_queue_capacity",
                             "In-flight request bound", "gauge");
     obs::appendSample(
         out, "maestro_queue_capacity", "",
         static_cast<std::uint64_t>(admission.capacity()));
-    obs::appendFamilyHeader(out, "maestro_queue_depth",
-                            "In-flight requests right now", "gauge");
-    obs::appendSample(out, "maestro_queue_depth", "",
-                      static_cast<std::uint64_t>(admission.depth()));
+    if (!multi) {
+        obs::appendFamilyHeader(out, "maestro_queue_depth",
+                                "In-flight requests right now",
+                                "gauge");
+        obs::appendSample(
+            out, "maestro_queue_depth", "",
+            static_cast<std::uint64_t>(admission.depth()));
+    } else {
+        fleet::appendSegmentFamily(out, *fleet, "maestro_queue_depth",
+                                   "In-flight requests right now",
+                                   fleet::FamilyKind::Gauge, true);
+    }
     obs::appendFamilyHeader(out, "maestro_queue_peak_depth",
                             "Highest in-flight depth observed",
                             "gauge");
@@ -730,87 +786,137 @@ metricsText(const PipelineStats &pipeline,
         out, "maestro_queue_peak_depth", "",
         static_cast<std::uint64_t>(admission.peakDepth()));
 
-    obs::appendFamilyHeader(
-        out, "maestro_client_rejected_total",
-        "Requests rejected 429 by a per-client budget", "counter");
-    obs::appendSample(out, "maestro_client_rejected_total", "",
-                      admission.rejectedClient());
-    obs::appendFamilyHeader(out, "maestro_active_clients",
-                            "Clients with in-flight requests",
-                            "gauge");
-    obs::appendSample(
-        out, "maestro_active_clients", "",
-        static_cast<std::uint64_t>(admission.activeClients()));
+    if (!multi) {
+        obs::appendFamilyHeader(
+            out, "maestro_client_rejected_total",
+            "Requests rejected 429 by a per-client budget",
+            "counter");
+        obs::appendSample(out, "maestro_client_rejected_total", "",
+                          admission.rejectedClient());
+        obs::appendFamilyHeader(out, "maestro_active_clients",
+                                "Clients with in-flight requests",
+                                "gauge");
+        obs::appendSample(
+            out, "maestro_active_clients", "",
+            static_cast<std::uint64_t>(admission.activeClients()));
 
-    obs::appendFamilyHeader(
-        out, "maestro_result_cache_requests_total",
-        "Content-addressed result-cache lookups, by outcome",
-        "counter");
-    obs::appendSample(out, "maestro_result_cache_requests_total",
-                      obs::labelString({{"outcome", "hit"}}),
-                      result_cache.hits);
-    obs::appendSample(out, "maestro_result_cache_requests_total",
-                      obs::labelString({{"outcome", "miss"}}),
-                      result_cache.misses);
-    obs::appendFamilyHeader(out,
-                            "maestro_result_cache_evictions_total",
-                            "Result-cache LRU evictions", "counter");
-    obs::appendSample(out, "maestro_result_cache_evictions_total", "",
-                      result_cache.evictions);
-    obs::appendFamilyHeader(out, "maestro_result_cache_entries",
-                            "Result-cache resident entries", "gauge");
-    obs::appendSample(
-        out, "maestro_result_cache_entries", "",
-        static_cast<std::uint64_t>(result_cache.entries));
-    obs::appendFamilyHeader(out, "maestro_result_cache_bytes",
-                            "Result-cache resident body bytes",
-                            "gauge");
-    obs::appendSample(out, "maestro_result_cache_bytes", "",
-                      static_cast<std::uint64_t>(result_cache.bytes));
-    obs::appendFamilyHeader(
-        out, "maestro_result_cache_served_bytes_total",
-        "Body bytes served from result-cache hits", "counter");
-    obs::appendSample(out, "maestro_result_cache_served_bytes_total",
-                      "", result_cache.served_bytes);
+        obs::appendFamilyHeader(
+            out, "maestro_result_cache_requests_total",
+            "Content-addressed result-cache lookups, by outcome",
+            "counter");
+        obs::appendSample(out, "maestro_result_cache_requests_total",
+                          obs::labelString({{"outcome", "hit"}}),
+                          result_cache.hits);
+        obs::appendSample(out, "maestro_result_cache_requests_total",
+                          obs::labelString({{"outcome", "miss"}}),
+                          result_cache.misses);
+        obs::appendFamilyHeader(
+            out, "maestro_result_cache_evictions_total",
+            "Result-cache LRU evictions", "counter");
+        obs::appendSample(out, "maestro_result_cache_evictions_total",
+                          "", result_cache.evictions);
+        obs::appendFamilyHeader(out, "maestro_result_cache_entries",
+                                "Result-cache resident entries",
+                                "gauge");
+        obs::appendSample(
+            out, "maestro_result_cache_entries", "",
+            static_cast<std::uint64_t>(result_cache.entries));
+        obs::appendFamilyHeader(out, "maestro_result_cache_bytes",
+                                "Result-cache resident body bytes",
+                                "gauge");
+        obs::appendSample(
+            out, "maestro_result_cache_bytes", "",
+            static_cast<std::uint64_t>(result_cache.bytes));
+        obs::appendFamilyHeader(
+            out, "maestro_result_cache_served_bytes_total",
+            "Body bytes served from result-cache hits", "counter");
+        obs::appendSample(out,
+                          "maestro_result_cache_served_bytes_total",
+                          "", result_cache.served_bytes);
 
-    obs::appendFamilyHeader(out, "maestro_jobs_total",
-                            "Async jobs, by lifecycle event",
-                            "counter");
-    const std::pair<const char *, std::uint64_t> job_events[] = {
-        {"cancelled", jobs.cancelled},
-        {"completed", jobs.completed},
-        {"evicted", jobs.evicted},
-        {"failed", jobs.failed},
-        {"rejected_capacity", jobs.rejected_capacity},
-        {"rejected_client", jobs.rejected_client},
-        {"resubmitted", jobs.resubmitted},
-        {"submitted", jobs.submitted},
-    };
-    for (const auto &[name, value] : job_events)
-        obs::appendSample(out, "maestro_jobs_total",
-                          obs::labelString({{"event", name}}), value);
-    obs::appendFamilyHeader(out, "maestro_jobs_resident",
-                            "Resident jobs, by state", "gauge");
-    obs::appendSample(out, "maestro_jobs_resident",
-                      obs::labelString({{"state", "queued"}}),
-                      static_cast<std::uint64_t>(jobs.queued));
-    obs::appendSample(out, "maestro_jobs_resident",
-                      obs::labelString({{"state", "running"}}),
-                      static_cast<std::uint64_t>(jobs.running));
-    obs::appendSample(out, "maestro_jobs_resident",
-                      obs::labelString({{"state", "total"}}),
-                      static_cast<std::uint64_t>(jobs.resident));
+        obs::appendFamilyHeader(out, "maestro_jobs_total",
+                                "Async jobs, by lifecycle event",
+                                "counter");
+        const std::pair<const char *, std::uint64_t> job_events[] = {
+            {"cancelled", jobs.cancelled},
+            {"completed", jobs.completed},
+            {"evicted", jobs.evicted},
+            {"failed", jobs.failed},
+            {"rejected_capacity", jobs.rejected_capacity},
+            {"rejected_client", jobs.rejected_client},
+            {"resubmitted", jobs.resubmitted},
+            {"submitted", jobs.submitted},
+        };
+        for (const auto &[name, value] : job_events)
+            obs::appendSample(out, "maestro_jobs_total",
+                              obs::labelString({{"event", name}}),
+                              value);
+        obs::appendFamilyHeader(out, "maestro_jobs_resident",
+                                "Resident jobs, by state", "gauge");
+        obs::appendSample(out, "maestro_jobs_resident",
+                          obs::labelString({{"state", "queued"}}),
+                          static_cast<std::uint64_t>(jobs.queued));
+        obs::appendSample(out, "maestro_jobs_resident",
+                          obs::labelString({{"state", "running"}}),
+                          static_cast<std::uint64_t>(jobs.running));
+        obs::appendSample(out, "maestro_jobs_resident",
+                          obs::labelString({{"state", "total"}}),
+                          static_cast<std::uint64_t>(jobs.resident));
+    } else {
+        fleet::appendSegmentFamily(
+            out, *fleet, "maestro_client_rejected_total",
+            "Requests rejected 429 by a per-client budget",
+            fleet::FamilyKind::Counter, true);
+        fleet::appendSegmentFamily(out, *fleet,
+                                   "maestro_active_clients",
+                                   "Clients with in-flight requests",
+                                   fleet::FamilyKind::Gauge, true);
+        fleet::appendSegmentFamily(
+            out, *fleet, "maestro_result_cache_requests_total",
+            "Content-addressed result-cache lookups, by outcome",
+            fleet::FamilyKind::Counter, true);
+        fleet::appendSegmentFamily(
+            out, *fleet, "maestro_result_cache_evictions_total",
+            "Result-cache LRU evictions",
+            fleet::FamilyKind::Counter, true);
+        fleet::appendSegmentFamily(out, *fleet,
+                                   "maestro_result_cache_entries",
+                                   "Result-cache resident entries",
+                                   fleet::FamilyKind::Gauge, true);
+        fleet::appendSegmentFamily(out, *fleet,
+                                   "maestro_result_cache_bytes",
+                                   "Result-cache resident body bytes",
+                                   fleet::FamilyKind::Gauge, true);
+        fleet::appendSegmentFamily(
+            out, *fleet, "maestro_result_cache_served_bytes_total",
+            "Body bytes served from result-cache hits",
+            fleet::FamilyKind::Counter, true);
+        fleet::appendSegmentFamily(out, *fleet, "maestro_jobs_total",
+                                   "Async jobs, by lifecycle event",
+                                   fleet::FamilyKind::Counter, true);
+        fleet::appendSegmentFamily(out, *fleet,
+                                   "maestro_jobs_resident",
+                                   "Resident jobs, by state",
+                                   fleet::FamilyKind::Gauge, true);
+    }
     obs::appendFamilyHeader(out, "maestro_jobs_capacity",
                             "Resident job bound", "gauge");
     obs::appendSample(out, "maestro_jobs_capacity", "",
                       static_cast<std::uint64_t>(jobs.capacity));
 
-    obs::appendFamilyHeader(
-        out, "maestro_request_latency_us",
-        "Dispatch latency of served requests in microseconds",
-        "histogram");
-    obs::appendHistogram(out, "maestro_request_latency_us", {},
-                         latency.snapshot());
+    if (!multi) {
+        obs::appendFamilyHeader(
+            out, "maestro_request_latency_us",
+            "Dispatch latency of served requests in microseconds",
+            "histogram");
+        obs::appendHistogram(out, "maestro_request_latency_us", {},
+                             latency.snapshot());
+    } else {
+        fleet::appendSegmentFamily(
+            out, *fleet, "maestro_request_latency_us",
+            "Dispatch latency of served requests in microseconds",
+            fleet::FamilyKind::Histogram, true);
+    }
 
     obs::appendFamilyHeader(out, "maestro_pipeline_evaluations_total",
                             "analyzeLayer calls served by the shared "
@@ -859,6 +965,36 @@ metricsText(const PipelineStats &pipeline,
             out, "maestro_pipeline_cache_entries",
             obs::labelString({{"stage", name}}),
             static_cast<std::uint64_t>(stageStats(cs).entries));
+
+    // Families that exist only in the fleet segment: per-endpoint
+    // latency/queue-wait/run histograms, per-client series, and the
+    // job-queue age gauge. Rendered even with one lane (no worker
+    // labels there) — they have no local mirror.
+    if (fleet)
+        fleet::appendFleetOnlyFamilies(out, *fleet, multi);
+
+    if (events) {
+        obs::appendFamilyHeader(out, "maestro_events_logged_total",
+                                "Structured event-log lines emitted",
+                                "counter");
+        obs::appendSample(out, "maestro_events_logged_total", "",
+                          events->lines);
+        obs::appendFamilyHeader(out, "maestro_events_bytes_total",
+                                "Bytes appended to the access log",
+                                "counter");
+        obs::appendSample(out, "maestro_events_bytes_total", "",
+                          events->bytes);
+        obs::appendFamilyHeader(out, "maestro_events_rotations_total",
+                                "Access-log rotations performed",
+                                "counter");
+        obs::appendSample(out, "maestro_events_rotations_total", "",
+                          events->rotations);
+        obs::appendFamilyHeader(out, "maestro_events_dropped_total",
+                                "Event-ring entries overwritten",
+                                "counter");
+        obs::appendSample(out, "maestro_events_dropped_total", "",
+                          events->dropped);
+    }
 
     // Process-wide instruments (pipeline stage-miss latencies, pool
     // queue-wait, DSE sweep counters, ...) share the document.

@@ -5,6 +5,7 @@
 
 #include "src/common/error.hh"
 #include "src/common/json.hh"
+#include "src/serve/fleet.hh"
 #include "src/serve/handlers.hh"
 
 namespace maestro
@@ -57,13 +58,55 @@ JobStore::statusBody(const std::string &id, const char *state)
     return w.str();
 }
 
+void
+JobStore::setObservers(EventObserver events, GaugeObserver gauges)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    event_observer_ = std::move(events);
+    gauge_observer_ = std::move(gauges);
+}
+
+void
+JobStore::emitEventLocked(const Job &job, std::string_view event,
+                          int status, bool has_queue_wait,
+                          std::uint64_t queue_wait_us, bool has_run,
+                          std::uint64_t run_us) const
+{
+    if (!event_observer_)
+        return;
+    JobEventInfo info;
+    info.event = event;
+    info.id = job.id;
+    info.client = job.client;
+    info.endpoint = job.request.path;
+    if (!info.endpoint.empty() && info.endpoint.front() == '/')
+        info.endpoint.remove_prefix(1);
+    info.trace = job.trace_id;
+    info.status = status;
+    info.has_queue_wait = has_queue_wait;
+    info.queue_wait_us = queue_wait_us;
+    info.has_run = has_run;
+    info.run_us = run_us;
+    event_observer_(info);
+}
+
+void
+JobStore::notifyGaugesLocked() const
+{
+    if (!gauge_observer_)
+        return;
+    const std::uint64_t oldest_tick =
+        queued_by_seq_.empty() ? 0 : queued_by_seq_.begin()->second;
+    gauge_observer_(queued_, running_, jobs_.size(), oldest_tick);
+}
+
 JobReply
 JobStore::submit(const std::string &client, const std::string &id,
-                 JobRequest request)
+                 JobRequest request, const std::string &trace_id)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_)
-        return {503, errorJson("job store is draining"), true};
+        return {503, errorJson("job store is draining"), true, ""};
 
     const auto it = jobs_.find(id);
     if (it != jobs_.end()) {
@@ -73,37 +116,55 @@ JobStore::submit(const std::string &client, const std::string &id,
         if (it->second.request.canonical != request.canonical)
             return {500, errorJson("job id collision; vary the "
                                    "request and retry"),
-                    false};
+                    false, ""};
         ++stats_.resubmitted;
+        emitEventLocked(it->second, "resubmitted");
         return {200, statusBody(id, stateName(it->second.state)),
-                false};
+                false, it->second.trace_id};
     }
 
     if (per_client_active_ > 0) {
         const auto ac = active_.find(client);
         if (ac != active_.end() && ac->second >= per_client_active_) {
             ++stats_.rejected_client;
+            Job rejected;
+            rejected.id = id;
+            rejected.client = client;
+            rejected.trace_id = trace_id;
+            rejected.request = std::move(request);
+            emitEventLocked(rejected, "rejected_client");
             return {429,
                     errorJson(msg("client '", client, "' has ",
                                   ac->second, " active jobs (limit ",
                                   per_client_active_, ")")),
-                    true};
+                    true, ""};
         }
     }
 
     while (jobs_.size() >= capacity_) {
         if (terminal_by_seq_.empty()) {
             ++stats_.rejected_capacity;
+            Job rejected;
+            rejected.id = id;
+            rejected.client = client;
+            rejected.trace_id = trace_id;
+            rejected.request = std::move(request);
+            emitEventLocked(rejected, "rejected_capacity");
             return {503,
                     errorJson(msg("job store full (", jobs_.size(),
                                   " active jobs)")),
-                    true};
+                    true, ""};
         }
         // FIFO eviction of completed jobs: oldest SUBMITTED terminal
         // job first — submission order is deterministic where
         // completion order is not.
         const auto victim = terminal_by_seq_.begin();
-        jobs_.erase(victim->second);
+        const auto vit = jobs_.find(victim->second);
+        if (vit != jobs_.end()) {
+            emitEventLocked(vit->second, "evicted",
+                            vit->second.status);
+            jobs_.erase(vit);
+        }
         terminal_by_seq_.erase(victim);
         ++stats_.evicted;
     }
@@ -111,9 +172,13 @@ JobStore::submit(const std::string &client, const std::string &id,
     Job job;
     job.id = id;
     job.client = client;
+    job.trace_id = trace_id;
     job.request = std::move(request);
     job.seq = next_seq_++;
-    jobs_.emplace(id, std::move(job));
+    job.submitted_tick = fleet::steadyTickMicros();
+    const auto inserted = jobs_.emplace(id, std::move(job)).first;
+    queued_by_seq_[inserted->second.seq] =
+        inserted->second.submitted_tick;
 
     ClientQueue &queue = queues_[client];
     if (queue.ids.empty() && queue.credit == 0) {
@@ -126,9 +191,11 @@ JobStore::submit(const std::string &client, const std::string &id,
     ++queued_;
     ++active_[client];
     ++stats_.submitted;
+    emitEventLocked(inserted->second, "submitted");
+    notifyGaugesLocked();
 
     pumpLocked(lock);
-    return {202, statusBody(id, "queued"), false};
+    return {202, statusBody(id, "queued"), false, trace_id};
 }
 
 JobReply
@@ -142,16 +209,19 @@ JobStore::poll(const std::string &id) const
     switch (job.state) {
       case State::Queued:
       case State::Running:
-        return {200, statusBody(id, stateName(job.state)), true};
+        return {200, statusBody(id, stateName(job.state)), true,
+                job.trace_id};
       case State::Cancelled:
-        return {200, statusBody(id, "cancelled"), false};
+        return {200, statusBody(id, "cancelled"), false,
+                job.trace_id};
       case State::Done:
       case State::Failed:
         // The stored response VERBATIM: status and bytes exactly as
-        // the synchronous endpoint produced them.
-        return {job.status, job.body, false};
+        // the synchronous endpoint produced them. The submitter's
+        // trace rides the X-Job-Trace-Id header, never the body.
+        return {job.status, job.body, false, job.trace_id};
     }
-    return {500, errorJson("corrupt job state"), false};
+    return {500, errorJson("corrupt job state"), false, ""};
 }
 
 JobReply
@@ -166,11 +236,13 @@ JobStore::cancel(const std::string &id)
         return {409,
                 errorJson(msg("job '", id,
                               "' is running; cannot cancel")),
-                false};
+                false, job.trace_id};
     if (isTerminal(job.state)) {
+        const std::string trace = job.trace_id;
         terminal_by_seq_.erase(job.seq);
         jobs_.erase(it);
-        return {200, statusBody(id, "removed"), false};
+        notifyGaugesLocked();
+        return {200, statusBody(id, "removed"), false, trace};
     }
     // Queued: pull it out of its client's queue, then retire it.
     const auto qit = queues_.find(job.client);
@@ -181,7 +253,7 @@ JobStore::cancel(const std::string &id)
             queues_.erase(qit);
     }
     finishLocked(job, State::Cancelled, 0, "");
-    return {200, statusBody(id, "cancelled"), false};
+    return {200, statusBody(id, "cancelled"), false, job.trace_id};
 }
 
 std::string
@@ -232,12 +304,17 @@ JobStore::pumpLocked(std::unique_lock<std::mutex> &lock)
             break;
         Job &job = jobs_.at(id);
         job.state = State::Running;
+        job.started_tick = fleet::steadyTickMicros();
+        queued_by_seq_.erase(job.seq);
         --queued_;
         ++running_;
+        emitEventLocked(job, "started", 0, true,
+                        job.started_tick - job.submitted_tick);
         dispatch.push_back(std::move(id));
     }
     if (dispatch.empty())
         return;
+    notifyGaugesLocked();
     lock.unlock();
     for (std::string &id : dispatch)
         pool_->submit(
@@ -254,19 +331,30 @@ JobStore::finishLocked(Job &job, State state, int status,
     job.status = status;
     job.body = std::move(body);
     terminal_by_seq_[job.seq] = job.id;
-    if (from == State::Queued)
+    if (from == State::Queued) {
+        queued_by_seq_.erase(job.seq);
         --queued_;
-    else if (from == State::Running)
+    } else if (from == State::Running) {
         --running_;
+    }
     const auto ac = active_.find(job.client);
     if (ac != active_.end() && --ac->second == 0)
         active_.erase(ac);
-    if (state == State::Done)
+    if (state == State::Done) {
         ++stats_.completed;
-    else if (state == State::Failed)
+        emitEventLocked(job, "completed", status, false, 0, true,
+                        fleet::steadyTickMicros() -
+                            job.started_tick);
+    } else if (state == State::Failed) {
         ++stats_.failed;
-    else
+        emitEventLocked(job, "failed", status, false, 0, true,
+                        fleet::steadyTickMicros() -
+                            job.started_tick);
+    } else {
         ++stats_.cancelled;
+        emitEventLocked(job, "cancelled");
+    }
+    notifyGaugesLocked();
     if (running_ == 0)
         idle_cv_.notify_all();
 }

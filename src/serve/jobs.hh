@@ -44,6 +44,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "src/common/thread_pool.hh"
@@ -61,6 +62,8 @@ struct JobRequest
     QueryParams params;    ///< decoded query parameters
     std::string body;      ///< DSL request body
     std::string canonical; ///< ResultCache::canonicalKey of the above
+    std::string client;    ///< submitter key (NOT part of canonical;
+                           ///< telemetry attribution only)
 };
 
 /** A rendered response: status code + body bytes. */
@@ -72,6 +75,9 @@ struct JobReply
     int status = 200;
     std::string body;
     bool retry_after = false; ///< add a Retry-After header
+    std::string trace_id{};   ///< submitter's trace id ("" = none);
+                              ///< surfaced as X-Job-Trace-Id, never
+                              ///< in the body (byte-identity)
 };
 
 /** Counters surfaced on /stats and /metrics. */
@@ -92,6 +98,28 @@ struct JobStoreStats
 };
 
 /**
+ * One job lifecycle transition, reported to the event observer.
+ *
+ * `event` is one of: submitted, resubmitted, started, completed,
+ * failed, cancelled, evicted, rejected_capacity, rejected_client.
+ * Views borrow from the store (valid only for the callback's
+ * duration).
+ */
+struct JobEventInfo
+{
+    std::string_view event;
+    std::string_view id;
+    std::string_view client;
+    std::string_view endpoint; ///< "analyze", "dse", ... (no slash)
+    std::string_view trace;    ///< submitter's trace id
+    int status = 0;            ///< terminal HTTP status (0 = n/a)
+    bool has_queue_wait = false;
+    std::uint64_t queue_wait_us = 0; ///< submit -> start (started)
+    bool has_run = false;
+    std::uint64_t run_us = 0;        ///< start -> terminal
+};
+
+/**
  * Bounded deterministic in-memory job store + fair dispatcher.
  */
 class JobStore
@@ -99,6 +127,22 @@ class JobStore
   public:
     /** Evaluates one request to a rendered response (pure). */
     using Executor = std::function<JobOutcome(const JobRequest &)>;
+
+    /**
+     * Lifecycle observer. Called with the store mutex HELD — the
+     * callback must not re-enter the store (metrics bumps and log
+     * appends only).
+     */
+    using EventObserver = std::function<void(const JobEventInfo &)>;
+
+    /**
+     * Queue gauge observer: (queued, running, resident, oldest
+     * queued submit tick in µs — 0 when nothing is queued). Called
+     * with the store mutex held, same no-re-entry rule.
+     */
+    using GaugeObserver =
+        std::function<void(std::size_t, std::size_t, std::size_t,
+                           std::uint64_t)>;
 
     /**
      * @param pool Shared worker pool executing jobs.
@@ -117,6 +161,9 @@ class JobStore
     JobStore(const JobStore &) = delete;
     JobStore &operator=(const JobStore &) = delete;
 
+    /** Installs the lifecycle + gauge observers (before serving). */
+    void setObservers(EventObserver events, GaugeObserver gauges);
+
     /**
      * Submits (or re-attaches to) job `id` for `client`.
      *
@@ -125,9 +172,14 @@ class JobStore
      * answered 500 rather than silently serving the wrong result).
      * Bounds: 429 when the client's active bound is hit; 503 when
      * the store is full of active jobs (nothing evictable).
+     *
+     * `trace_id` is the submitter's X-Trace-Id: the FIRST submit
+     * pins it for the job's life, and every later reply (idempotent
+     * resubmits, polls, cancels) echoes it via JobReply::trace_id.
      */
     JobReply submit(const std::string &client, const std::string &id,
-                    JobRequest request);
+                    JobRequest request,
+                    const std::string &trace_id = "");
 
     /** Job status; terminal Done/Failed replies are verbatim. */
     JobReply poll(const std::string &id) const;
@@ -161,11 +213,14 @@ class JobStore
     {
         std::string id;
         std::string client;
+        std::string trace_id; ///< first submitter's X-Trace-Id
         JobRequest request;
         State state = State::Queued;
         std::uint64_t seq = 0; ///< submission sequence (eviction key)
         int status = 0;        ///< terminal response status
         std::string body;      ///< terminal response bytes (verbatim)
+        std::uint64_t submitted_tick = 0; ///< steady µs at submit
+        std::uint64_t started_tick = 0;   ///< steady µs at dispatch
     };
 
     /** Per-client FIFO + deficit credit for the fair dequeue. */
@@ -206,6 +261,16 @@ class JobStore
     /** Pool task: runs one job through the executor. */
     void runJob(const std::string &id);
 
+    /** Reports one transition of `job` (mutex_ held). */
+    void emitEventLocked(const Job &job, std::string_view event,
+                         int status = 0, bool has_queue_wait = false,
+                         std::uint64_t queue_wait_us = 0,
+                         bool has_run = false,
+                         std::uint64_t run_us = 0) const;
+
+    /** Pushes queued/running/resident/oldest-age (mutex_ held). */
+    void notifyGaugesLocked() const;
+
     ThreadPool *pool_;
     Executor executor_;
     const std::size_t capacity_;
@@ -213,10 +278,15 @@ class JobStore
     const std::size_t max_running_;
     const std::map<std::string, std::uint32_t> weights_;
 
+    EventObserver event_observer_;
+    GaugeObserver gauge_observer_;
+
     mutable std::mutex mutex_;
     std::condition_variable idle_cv_; ///< running_ drained to zero
     std::map<std::string, Job> jobs_; ///< id -> job
     std::map<std::uint64_t, std::string> terminal_by_seq_;
+    /** Queued jobs' submit ticks by seq; begin() is the oldest. */
+    std::map<std::uint64_t, std::uint64_t> queued_by_seq_;
     std::map<std::string, ClientQueue> queues_;
     std::map<std::string, std::size_t> active_; ///< client -> count
     std::string cursor_; ///< next client the fair dequeue considers

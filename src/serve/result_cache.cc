@@ -51,31 +51,33 @@ ResultCache::get(const std::string &key)
     return it->second->body;
 }
 
-void
+std::size_t
 ResultCache::put(const std::string &key,
                  std::shared_ptr<const std::string> body)
 {
     if (max_entries_ == 0 || !body || body->size() > max_bytes_)
-        return;
+        return 0;
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
         // Concurrent compute of the same request: both renders are
         // byte-identical, keep the resident one.
         lru_.splice(lru_.begin(), lru_, it->second);
-        return;
+        return 0;
     }
     lru_.push_front(Entry{key, std::move(body)});
     index_[key] = lru_.begin();
     stats_.bytes += lru_.front().body->size();
     ++stats_.inserted;
-    evictLocked();
+    const std::size_t evicted = evictLocked();
     stats_.entries = index_.size();
+    return evicted;
 }
 
-void
+std::size_t
 ResultCache::evictLocked()
 {
+    std::size_t evicted = 0;
     while (!lru_.empty() && (index_.size() > max_entries_ ||
                              stats_.bytes > max_bytes_)) {
         const Entry &victim = lru_.back();
@@ -83,7 +85,9 @@ ResultCache::evictLocked()
         index_.erase(victim.key);
         lru_.pop_back();
         ++stats_.evictions;
+        ++evicted;
     }
+    return evicted;
 }
 
 ResultCacheStats

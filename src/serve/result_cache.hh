@@ -81,9 +81,13 @@ class ResultCache
     /** Looks up `key`; counts a hit or a miss. */
     std::shared_ptr<const std::string> get(const std::string &key);
 
-    /** Inserts a rendered 200 body (no-op when disabled/oversized). */
-    void put(const std::string &key,
-             std::shared_ptr<const std::string> body);
+    /**
+     * Inserts a rendered 200 body (no-op when disabled/oversized).
+     *
+     * @return Entries evicted to make room for this insert.
+     */
+    std::size_t put(const std::string &key,
+                    std::shared_ptr<const std::string> body);
 
     ResultCacheStats stats() const;
 
@@ -97,8 +101,9 @@ class ResultCache
         std::shared_ptr<const std::string> body;
     };
 
-    /** Evicts LRU entries until both bounds hold (mutex_ held). */
-    void evictLocked();
+    /** Evicts LRU entries until both bounds hold (mutex_ held).
+     *  @return The number of entries evicted. */
+    std::size_t evictLocked();
 
     std::size_t max_entries_;
     std::size_t max_bytes_;

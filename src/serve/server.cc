@@ -69,6 +69,33 @@ isJobEndpoint(const std::string &name)
            name == "simulate" || name == "crossval";
 }
 
+/** The metrics/event-log endpoint label of one request path. */
+const char *
+endpointName(const std::string &path)
+{
+    if (path == "/analyze")
+        return "analyze";
+    if (path == "/crossval")
+        return "crossval";
+    if (path == "/dse")
+        return "dse";
+    if (path == "/events")
+        return "events";
+    if (path == "/healthz")
+        return "healthz";
+    if (path == "/jobs" || path.rfind("/jobs/", 0) == 0)
+        return "jobs";
+    if (path == "/metrics")
+        return "metrics";
+    if (path == "/simulate")
+        return "simulate";
+    if (path == "/stats")
+        return "stats";
+    if (path == "/tune")
+        return "tune";
+    return "other";
+}
+
 /** Per-endpoint request-dispatch instrumentation site. */
 const obs::Site &
 requestSite(const std::string &path)
@@ -93,6 +120,7 @@ requestSite(const std::string &path)
     static const obs::Site healthz = make("http.healthz", "healthz");
     static const obs::Site stats = make("http.stats", "stats");
     static const obs::Site metrics = make("http.metrics", "metrics");
+    static const obs::Site events = make("http.events", "events");
     static const obs::Site other = make("http.other", "other");
     if (path == "/analyze")
         return analyze;
@@ -112,6 +140,8 @@ requestSite(const std::string &path)
         return stats;
     if (path == "/metrics")
         return metrics;
+    if (path == "/events")
+        return events;
     return other;
 }
 
@@ -187,6 +217,57 @@ AnalysisServer::start()
         options_.job_capacity, options_.jobs_per_client,
         std::max<std::size_t>(1, options_.worker_threads),
         options_.client_weights);
+
+    // Fleet telemetry: a `--workers N` supervisor hands us its
+    // pre-fork segment + lane; a single-process server creates a
+    // private 1-lane segment so both run the identical counting
+    // path (and the lanes==1 render stays byte-identical to the
+    // pre-fleet exposition).
+    if (!options_.shared_metrics) {
+        options_.shared_metrics = obs::SharedMetrics::create(1);
+        options_.worker_lane = 0;
+    }
+    fleet::registerSlots(*options_.shared_metrics);
+    fleet_ = std::make_unique<fleet::FleetLane>(
+        options_.shared_metrics, options_.worker_lane,
+        options_.metrics_max_clients);
+
+    obs::EventLogOptions log_options;
+    log_options.path = options_.access_log;
+    log_options.max_bytes = options_.access_log_max_bytes;
+    log_options.ring = options_.events_ring;
+    log_options.worker = static_cast<int>(options_.worker_lane);
+    events_ = std::make_unique<obs::EventLog>(log_options);
+    events_->logWorker("started", static_cast<int>(::getpid()));
+
+    jobs_->setObservers(
+        [this](const JobEventInfo &e) {
+            // Called with the job-store mutex held: metric bumps and
+            // one log append only, no store re-entry.
+            fleet_->countJobEvent(e.event);
+            if (e.has_queue_wait)
+                fleet_->recordQueueWait(e.endpoint, e.queue_wait_us);
+            if (e.has_run)
+                fleet_->recordRun(e.endpoint, e.run_us);
+            obs::JobEvent ev;
+            ev.event = e.event;
+            ev.id = e.id;
+            ev.client = e.client;
+            ev.endpoint = e.endpoint;
+            ev.trace = e.trace;
+            ev.status = e.status;
+            ev.has_queue_wait = e.has_queue_wait;
+            ev.queue_wait_us = e.queue_wait_us;
+            ev.has_run = e.has_run;
+            ev.run_us = e.run_us;
+            events_->logJob(ev);
+        },
+        [this](std::size_t queued, std::size_t running,
+               std::size_t resident, std::uint64_t oldest_tick) {
+            fleet_->setJobGauges(queued, running, resident,
+                                 oldest_tick);
+        });
+
     start_time_ = std::chrono::steady_clock::now();
     if (options_.enable_timing)
         obs::enableMode(obs::kTiming);
@@ -289,6 +370,8 @@ AnalysisServer::run()
     reapConnections(true);
     if (jobs_)
         jobs_->shutdown();
+    if (events_)
+        events_->logWorker("exited", static_cast<int>(::getpid()), 0);
 }
 
 void
@@ -375,6 +458,15 @@ AnalysisServer::serveConnection(int fd, Connection *slot,
         if (read_expired) {
             counters_.total.fetch_add(1, std::memory_order_relaxed);
             counters_.countStatus(408);
+            if (fleet_)
+                fleet_->countStatus(408);
+            if (events_) {
+                obs::RequestEvent ev;
+                ev.status = 408;
+                ev.client = peer;
+                ev.reject = "read_timeout";
+                events_->logRequest(ev);
+            }
             sendAll(fd,
                     serializeResponse(
                         408,
@@ -386,6 +478,15 @@ AnalysisServer::serveConnection(int fd, Connection *slot,
         if (parser.state() == HttpParser::State::Error) {
             counters_.total.fetch_add(1, std::memory_order_relaxed);
             counters_.countStatus(parser.errorStatus());
+            if (fleet_)
+                fleet_->countStatus(parser.errorStatus());
+            if (events_) {
+                obs::RequestEvent ev;
+                ev.status = parser.errorStatus();
+                ev.client = peer;
+                ev.reject = "parse_error";
+                events_->logRequest(ev);
+            }
             sendAll(fd, serializeResponse(
                             parser.errorStatus(),
                             errorJson(parser.errorDetail()),
@@ -417,15 +518,34 @@ AnalysisServer::serveConnection(int fd, Connection *slot,
         {
             obs::ScopedSpan span(requestSite(request.path()));
             span.arg("trace_seq", trace_seq);
-            reply = dispatch(request, peer);
+            reply = dispatch(request, peer, trace_id);
         }
         const auto elapsed =
             std::chrono::steady_clock::now() - t0;
-        latency_.record(static_cast<std::uint64_t>(
+        const std::uint64_t us = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 elapsed)
-                .count()));
+                .count());
+        latency_.record(us);
         counters_.countStatus(reply.status);
+        const char *endpoint = endpointName(request.path());
+        if (fleet_) {
+            fleet_->countStatus(reply.status);
+            fleet_->recordLatency(us);
+            fleet_->recordEndpointLatency(endpoint, reply.cache, us);
+        }
+        if (events_) {
+            obs::RequestEvent ev;
+            ev.method = request.method;
+            ev.endpoint = endpoint;
+            ev.status = reply.status;
+            ev.latency_us = us;
+            ev.client = reply.client.empty() ? peer : reply.client;
+            ev.trace = trace_id;
+            ev.cache = reply.cache;
+            ev.reject = reply.reject;
+            events_->logRequest(ev);
+        }
         reply.extra_headers.push_back("X-Trace-Id: " + trace_id);
 
         keep = request.keepAlive() &&
@@ -444,10 +564,10 @@ AnalysisServer::serveConnection(int fd, Connection *slot,
 
 AnalysisServer::Reply
 AnalysisServer::dispatch(const HttpRequest &request,
-                         const std::string &peer)
+                         const std::string &peer,
+                         const std::string &trace_id)
 {
     counters_.total.fetch_add(1, std::memory_order_relaxed);
-    const std::string path = request.path();
 
     // The client key for quotas and fair dequeue: an explicit
     // X-Client-Id header wins, else the peer address.
@@ -455,6 +575,26 @@ AnalysisServer::dispatch(const HttpRequest &request,
     const auto id_it = request.headers.find("x-client-id");
     if (id_it != request.headers.end() && !id_it->second.empty())
         client = id_it->second;
+
+    if (fleet_) {
+        fleet_->countRequest(endpointName(request.path()));
+        fleet_->clientRequest(client);
+    }
+    Reply reply = route(request, client, trace_id);
+    // 429s from ANY route (sync admission and job quotas alike)
+    // count against the client's throttle series.
+    if (fleet_ && reply.status == 429)
+        fleet_->clientThrottled(client);
+    reply.client = std::move(client);
+    return reply;
+}
+
+AnalysisServer::Reply
+AnalysisServer::route(const HttpRequest &request,
+                      const std::string &client,
+                      const std::string &trace_id)
+{
+    const std::string path = request.path();
 
     if (path == "/healthz") {
         counters_.healthz.fetch_add(1, std::memory_order_relaxed);
@@ -472,6 +612,8 @@ AnalysisServer::dispatch(const HttpRequest &request,
             return {405, errorJson("use GET /stats"), {}};
         const auto uptime =
             std::chrono::steady_clock::now() - start_time_;
+        const obs::EventLogStats ev_stats =
+            events_ ? events_->stats() : obs::EventLogStats();
         return {200,
                 statsJson(
                     context_.pipeline->stats(), admission_, counters_,
@@ -481,7 +623,10 @@ AnalysisServer::dispatch(const HttpRequest &request,
                             std::chrono::microseconds>(uptime)
                             .count()),
                     result_cache_.stats(),
-                    jobs_ ? jobs_->stats() : JobStoreStats()),
+                    jobs_ ? jobs_->stats() : JobStoreStats(),
+                    events_ ? &ev_stats : nullptr,
+                    fleet_ ? &fleet_->segment() : nullptr,
+                    fleet_ ? fleet_->lane() : 0),
                 {}};
     }
     if (path == "/metrics") {
@@ -490,6 +635,8 @@ AnalysisServer::dispatch(const HttpRequest &request,
             return {405, errorJson("use GET /metrics"), {}};
         const auto uptime =
             std::chrono::steady_clock::now() - start_time_;
+        const obs::EventLogStats ev_stats =
+            events_ ? events_->stats() : obs::EventLogStats();
         Reply reply;
         reply.body = metricsText(
             context_.pipeline->stats(), admission_, counters_,
@@ -499,13 +646,37 @@ AnalysisServer::dispatch(const HttpRequest &request,
                     uptime)
                     .count()),
             result_cache_.stats(),
-            jobs_ ? jobs_->stats() : JobStoreStats());
+            jobs_ ? jobs_->stats() : JobStoreStats(),
+            fleet_ ? &fleet_->segment() : nullptr,
+            events_ ? &ev_stats : nullptr);
         reply.content_type = "text/plain; version=0.0.4; charset=utf-8";
         return reply;
     }
+    if (path == "/events") {
+        counters_.events.fetch_add(1, std::memory_order_relaxed);
+        if (request.method != "GET")
+            return {405, errorJson("use GET /events"), {}};
+        std::size_t n = 100;
+        const QueryParams params = request.query();
+        const auto nit = params.find("n");
+        if (nit != params.end()) {
+            try {
+                n = static_cast<std::size_t>(
+                    std::stoull(nit->second));
+            } catch (const std::exception &) {
+                return {400,
+                        errorJson("bad n parameter (want a count)"),
+                        {}};
+            }
+        }
+        return {200,
+                events_ ? events_->tailJson(n)
+                        : std::string("{\"count\":0,\"events\":[]}"),
+                {}};
+    }
     if (path == "/jobs" || path.rfind("/jobs/", 0) == 0) {
         counters_.jobs.fetch_add(1, std::memory_order_relaxed);
-        return dispatchJobs(request, client);
+        return dispatchJobs(request, client, trace_id);
     }
     if (path == "/analyze" || path == "/dse" || path == "/tune" ||
         path == "/simulate" || path == "/crossval") {
@@ -561,8 +732,17 @@ AnalysisServer::evaluateRequest(const std::string &path,
 JobOutcome
 AnalysisServer::evaluateCached(const JobRequest &request)
 {
-    if (const auto hit = result_cache_.get(request.canonical))
+    if (const auto hit = result_cache_.get(request.canonical)) {
+        if (fleet_) {
+            fleet_->countResultCache(true);
+            fleet_->addServedBytes(hit->size());
+            if (!request.client.empty())
+                fleet_->clientCacheHit(request.client);
+        }
         return {200, *hit};
+    }
+    if (fleet_)
+        fleet_->countResultCache(false);
     return evaluateAndStore(request);
 }
 
@@ -571,16 +751,24 @@ AnalysisServer::evaluateAndStore(const JobRequest &request)
 {
     JobOutcome outcome = evaluateRequest(request.path, request.params,
                                          request.body);
-    if (outcome.first == 200)
-        result_cache_.put(request.canonical,
-                          std::make_shared<const std::string>(
-                              outcome.second));
+    if (outcome.first == 200) {
+        const std::size_t evicted = result_cache_.put(
+            request.canonical,
+            std::make_shared<const std::string>(outcome.second));
+        if (fleet_) {
+            if (evicted > 0)
+                fleet_->addCacheEvictions(evicted);
+            const ResultCacheStats cs = result_cache_.stats();
+            fleet_->setCacheGauges(cs.entries, cs.bytes);
+        }
+    }
     return outcome;
 }
 
 AnalysisServer::Reply
 AnalysisServer::dispatchJobs(const HttpRequest &request,
-                             const std::string &client)
+                             const std::string &client,
+                             const std::string &trace_id)
 {
     const std::string path = request.path();
     if (path == "/jobs") {
@@ -591,6 +779,19 @@ AnalysisServer::dispatchJobs(const HttpRequest &request,
                     {}};
         return {200, jobs_->listJson(), {}};
     }
+
+    // The submitter's trace id rides every job reply as an
+    // X-Job-Trace-Id header — bodies stay byte-identical, but a poll
+    // from another connection (or worker) still correlates back to
+    // the submitting request's X-Trace-Id.
+    const auto annotate = [](Reply reply, const JobReply &r) {
+        if (r.retry_after)
+            reply.extra_headers.push_back("Retry-After: 1");
+        if (!r.trace_id.empty())
+            reply.extra_headers.push_back("X-Job-Trace-Id: " +
+                                          r.trace_id);
+        return reply;
+    };
 
     const std::string tail = path.substr(6);
     if (request.method == "POST") {
@@ -607,22 +808,18 @@ AnalysisServer::dispatchJobs(const HttpRequest &request,
         job.body = request.body;
         job.canonical = ResultCache::canonicalKey(job.path, job.params,
                                                   job.body);
+        job.client = client;
         // Content-addressed id: identical requests share one job.
         const std::string id = "j" + hashHex(hashBytes(job.canonical));
-        const JobReply r = jobs_->submit(client, id, std::move(job));
-        Reply reply{r.status, r.body, {}};
-        if (r.retry_after)
-            reply.extra_headers.push_back("Retry-After: 1");
-        return reply;
+        const JobReply r =
+            jobs_->submit(client, id, std::move(job), trace_id);
+        return annotate(Reply{r.status, r.body, {}}, r);
     }
     if (request.method == "GET" || request.method == "DELETE") {
         const JobReply r = request.method == "GET"
                                ? jobs_->poll(tail)
                                : jobs_->cancel(tail);
-        Reply reply{r.status, r.body, {}};
-        if (r.retry_after)
-            reply.extra_headers.push_back("Retry-After: 1");
-        return reply;
+        return annotate(Reply{r.status, r.body, {}}, r);
     }
     return {405, errorJson("use POST, GET, or DELETE under /jobs"),
             {}};
@@ -641,21 +838,54 @@ AnalysisServer::dispatchAnalysis(const HttpRequest &request,
     // bypassing admission (hits are the cheap, common case the
     // cache exists for). Bodies are byte-identical either way; only
     // the X-Result-Cache header tells the paths apart.
-    if (const auto hit = result_cache_.get(canonical))
-        return {200, *hit, {"X-Result-Cache: hit"}};
+    if (const auto hit = result_cache_.get(canonical)) {
+        if (fleet_) {
+            fleet_->countResultCache(true);
+            fleet_->addServedBytes(hit->size());
+            fleet_->clientCacheHit(client);
+        }
+        Reply reply{200, *hit, {"X-Result-Cache: hit"}};
+        reply.cache = "hit";
+        return reply;
+    }
+    // The inline probe just counted a miss in the local stats; the
+    // lane mirrors it here (the worker below evaluates WITHOUT a
+    // second probe, so each logical miss counts once on both sides).
+    if (fleet_)
+        fleet_->countResultCache(false);
 
     switch (admission_.admit(client)) {
-      case AdmissionController::Admit::FullClient:
-        return {429,
-                errorJson(msg("client '", client,
-                              "' is over its request budget, "
-                              "retry later")),
-                {"Retry-After: 1"}};
-      case AdmissionController::Admit::FullGlobal:
-        return {503, errorJson("request queue full, retry later"),
-                {"Retry-After: 1"}};
+      case AdmissionController::Admit::FullClient: {
+        if (fleet_)
+            fleet_->countClientRejected();
+        Reply reply{429,
+                    errorJson(msg("client '", client,
+                                  "' is over its request budget, "
+                                  "retry later")),
+                    {"Retry-After: 1"}};
+        reply.reject = "client_budget";
+        return reply;
+      }
+      case AdmissionController::Admit::FullGlobal: {
+        if (fleet_)
+            fleet_->countQueueRejected();
+        Reply reply{503,
+                    errorJson("request queue full, retry later"),
+                    {"Retry-After: 1"}};
+        reply.reject = "queue";
+        return reply;
+      }
       case AdmissionController::Admit::Ok:
         break;
+    }
+
+    const char *endpoint = endpointName(path);
+    const std::uint64_t admit_tick = fleet::steadyTickMicros();
+    if (fleet_) {
+        fleet_->addQueueDepth(1);
+        fleet_->clientInflight(client, 1);
+        fleet_->setActiveClients(static_cast<std::int64_t>(
+            admission_.activeClients()));
     }
 
     // The state owns everything the worker reads: the connection
@@ -668,17 +898,35 @@ AnalysisServer::dispatchAnalysis(const HttpRequest &request,
     job.params = params;
     job.body = request.body;
     job.canonical = canonical;
+    job.client = client;
 
-    pool_->submit([this, state, job = std::move(job), client] {
+    pool_->submit([this, state, job = std::move(job), client,
+                   endpoint, admit_tick] {
+        const auto settle = [this, &client] {
+            admission_.release(client);
+            if (fleet_) {
+                fleet_->addQueueDepth(-1);
+                fleet_->clientInflight(client, -1);
+                fleet_->setActiveClients(static_cast<std::int64_t>(
+                    admission_.activeClients()));
+            }
+        };
         if (state->cancelled.load(std::memory_order_acquire)) {
             // Expired while queued: skip the evaluation entirely.
-            admission_.release(client);
+            settle();
             return;
         }
+        const std::uint64_t start_tick = fleet::steadyTickMicros();
+        if (fleet_)
+            fleet_->recordQueueWait(endpoint,
+                                    start_tick - admit_tick);
         // The inline probe above already missed: evaluate without a
         // second probe so each logical miss counts once in stats.
         JobOutcome outcome = evaluateAndStore(job);
-        admission_.release(client);
+        if (fleet_)
+            fleet_->recordRun(endpoint, fleet::steadyTickMicros() -
+                                            start_tick);
+        settle();
         state->promise.set_value(std::move(outcome));
     });
 
@@ -693,7 +941,9 @@ AnalysisServer::dispatchAnalysis(const HttpRequest &request,
                 {}};
     }
     auto [status, json] = future.get();
-    return {status, std::move(json), {"X-Result-Cache: miss"}};
+    Reply reply{status, std::move(json), {"X-Result-Cache: miss"}};
+    reply.cache = "miss";
+    return reply;
 }
 
 } // namespace serve

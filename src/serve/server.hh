@@ -67,6 +67,8 @@
 #include <vector>
 
 #include "src/common/thread_pool.hh"
+#include "src/obs/event_log.hh"
+#include "src/serve/fleet.hh"
 #include "src/serve/handlers.hh"
 #include "src/serve/jobs.hh"
 #include "src/serve/result_cache.hh"
@@ -147,6 +149,36 @@ struct ServeOptions
      * bodies.
      */
     bool enable_timing = true;
+
+    /**
+     * Structured JSONL event log path ("" = in-memory ring only).
+     * Every request completion, job transition, and admission
+     * rejection appends one line; GET /events tails the ring.
+     */
+    std::string access_log;
+
+    /** Size-based rotation bound for the access log (0 = never). */
+    std::size_t access_log_max_bytes = 64 * 1024 * 1024;
+
+    /** In-memory event ring depth behind GET /events. */
+    std::size_t events_ring = 256;
+
+    /**
+     * Distinct client ids given their own labelled metric series
+     * before folding into `client="other"` (cardinality cap).
+     */
+    std::size_t metrics_max_clients = 64;
+
+    /**
+     * The fleet's shared metrics segment. The `--workers N`
+     * supervisor creates one pre-fork and assigns each worker its
+     * lane; when unset, start() creates a private 1-lane segment so
+     * the single-process server runs the identical counting path.
+     */
+    std::shared_ptr<obs::SharedMetrics> shared_metrics;
+
+    /** This worker's lane in shared_metrics. */
+    std::size_t worker_lane = 0;
 };
 
 /**
@@ -199,6 +231,12 @@ class AnalysisServer
     /** The content-addressed result cache (stats for tests). */
     const ResultCache &resultCache() const { return result_cache_; }
 
+    /** This worker's fleet metrics lane (created by start()). */
+    const fleet::FleetLane *fleetLane() const { return fleet_.get(); }
+
+    /** The structured event log (created by start()). */
+    const obs::EventLog *eventLog() const { return events_.get(); }
+
   private:
     /** One tracked connection thread. */
     struct Connection
@@ -216,11 +254,20 @@ class AnalysisServer
         int status = 200;
         std::string body;
         std::vector<std::string> extra_headers;
-        /** Last so brace-inits of the fields above stay valid. */
+        /** Last brace-init field so short inits stay valid. */
         std::string content_type = "application/json";
+        // Telemetry annotations (headers/bodies never carry them):
+        std::string client{};        ///< resolved client key
+        const char *cache = nullptr; ///< "hit"/"miss" for analysis
+        const char *reject = nullptr; ///< admission rejection kind
     };
     Reply dispatch(const HttpRequest &request,
-                   const std::string &peer);
+                   const std::string &peer,
+                   const std::string &trace_id);
+
+    /** dispatch() minus the telemetry wrapper: the route table. */
+    Reply route(const HttpRequest &request, const std::string &client,
+                const std::string &trace_id);
 
     /** Runs a sync POST endpoint through the pool (503/429/408). */
     Reply dispatchAnalysis(const HttpRequest &request,
@@ -228,7 +275,8 @@ class AnalysisServer
 
     /** Routes /jobs and /jobs/<suffix> to the job store. */
     Reply dispatchJobs(const HttpRequest &request,
-                       const std::string &client);
+                       const std::string &client,
+                       const std::string &trace_id);
 
     /**
      * Evaluates one captured request to a rendered response —
@@ -260,6 +308,11 @@ class AnalysisServer
      *  still read the cache and the job store while draining. */
     ResultCache result_cache_;
     std::unique_ptr<JobStore> jobs_;
+
+    /** Also declared before pool_: late pool tasks record into the
+     *  fleet lane and the event log while draining. */
+    std::unique_ptr<fleet::FleetLane> fleet_;
+    std::unique_ptr<obs::EventLog> events_;
 
     int listen_fd_ = -1;
     int wake_pipe_[2] = {-1, -1};

@@ -22,6 +22,17 @@
  * socket: the parent binds port 0 first (never listening, so it
  * receives no connections), reads back the chosen port, and keeps
  * the socket open so every child binds the same resolved port.
+ *
+ * Observability crosses the process boundary through ONE shared
+ * metrics segment (obs::SharedMetrics) the supervisor mmaps before
+ * forking: each worker records into its own lane, so GET /metrics
+ * on ANY worker renders identical fleet-wide totals (worker="all" =
+ * the lane sum) with per-worker breakdowns. `--status-port` adds a
+ * supervisor-side HTTP listener serving the same fleet view
+ * (/healthz /metrics /stats /events) without consuming a worker
+ * connection slot. Workers sharing an --access-log path coordinate
+ * through O_APPEND whole-line writes; the supervisor logs worker
+ * lifecycle lines into the same stream with "worker":-1.
  */
 
 #ifndef MAESTRO_SERVE_WORKERS_HH
@@ -61,11 +72,17 @@ pid_t spawnWorker(const ServeOptions &options);
 /**
  * Runs an N-process SO_REUSEPORT worker group until terminated.
  *
- * Forks `workers` children, forwards SIGTERM/SIGINT to all of them,
- * and waits. Returns the aggregate exit code: 0 when every worker
- * exited cleanly after a requested shutdown, 1 otherwise.
+ * Creates the shared metrics segment (one lane per worker), forks
+ * `workers` children with their lane assignments, forwards
+ * SIGTERM/SIGINT to all of them, and waits. With `status_port` >= 0
+ * the supervisor also serves GET /healthz, /metrics, /stats, and
+ * /events on that port (0 = ephemeral) — the fleet view without
+ * touching any worker. Returns the aggregate exit code: 0 when
+ * every worker exited cleanly after a requested shutdown, 1
+ * otherwise.
  */
-int runWorkers(ServeOptions options, std::size_t workers);
+int runWorkers(ServeOptions options, std::size_t workers,
+               int status_port = -1);
 
 } // namespace serve
 } // namespace maestro

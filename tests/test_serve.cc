@@ -29,6 +29,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -40,6 +43,7 @@
 #include "src/frontend/serializer.hh"
 #include "src/model/zoo.hh"
 #include "src/obs/obs.hh"
+#include "src/obs/shared_metrics.hh"
 #include "src/serve/admission.hh"
 #include "src/serve/handlers.hh"
 #include "src/serve/http.hh"
@@ -1317,7 +1321,8 @@ TEST(Serve, PerClientSyncBudgetAnswers429)
     first.join();
     if (over.status == 429) {
         EXPECT_NE(over.body.find("alice"), std::string::npos);
-        EXPECT_EQ(over.headers.count("retry-after"), 1u);
+        ASSERT_EQ(over.headers.count("retry-after"), 1u);
+        EXPECT_EQ(over.headers.at("retry-after"), "1");
         const std::string stats =
             oneShot(port, getRequest("/stats")).body;
         EXPECT_GE(jsonField(stats, "responses", "throttled_429"),
@@ -1330,6 +1335,289 @@ TEST(Serve, PerClientSyncBudgetAnswers429)
         EXPECT_EQ(over.status, 200);
         EXPECT_EQ(over.headers.at("x-result-cache"), "hit");
     }
+}
+
+// ---------------------------------------------------------------- //
+//           Fleet observability (shared metrics segment)           //
+// ---------------------------------------------------------------- //
+
+/** A unique throwaway path for access-log tests. */
+std::string
+tempLogPath(const char *tag)
+{
+    const char *base = ::getenv("TMPDIR");
+    std::string path = base ? base : "/tmp";
+    path += "/maestro_serve_";
+    path += tag;
+    path += "_";
+    path += std::to_string(::getpid());
+    path += ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+TEST(ServeFleet, LaneSumsMatchASingleServerAndEveryWorkerAgrees)
+{
+    // Two servers sharing one 2-lane segment: the in-process
+    // analogue of the `--workers 2` forked fleet (same pre-fork
+    // registration, same per-lane counting, same render path).
+    auto segment = obs::SharedMetrics::create(2);
+    ServeOptions lane0;
+    lane0.shared_metrics = segment;
+    lane0.worker_lane = 0;
+    ServeOptions lane1;
+    lane1.shared_metrics = segment;
+    lane1.worker_lane = 1;
+    TestServer w0(lane0);
+    TestServer w1(lane1);
+    TestServer single; // reference: the same traffic, one process
+
+    const std::string raw =
+        postRequest("/analyze?dataflow=C-P", tinyNetwork(8));
+    const ClientResponse a = oneShot(w0.port(), raw);
+    const ClientResponse b = oneShot(w0.port(), raw);
+    const ClientResponse c = oneShot(w1.port(), raw);
+    ASSERT_EQ(a.status, 200);
+    ASSERT_EQ(b.status, 200);
+    ASSERT_EQ(c.status, 200);
+    // Landing on a different lane never changes the bytes.
+    EXPECT_EQ(a.body, c.body);
+    EXPECT_EQ(oneShot(w1.port(), getRequest("/healthz")).status, 200);
+
+    for (int i = 0; i < 3; ++i)
+        ASSERT_EQ(oneShot(single.port(), raw).status, 200);
+    EXPECT_EQ(oneShot(single.port(), getRequest("/healthz")).status,
+              200);
+
+    // Any worker renders the whole fleet: per-lane samples plus the
+    // worker="all" sum, which equals the single-server total.
+    const std::string fleet0 =
+        oneShot(w0.port(), getRequest("/metrics")).body;
+    const std::string fleet1 =
+        oneShot(w1.port(), getRequest("/metrics")).body;
+    const std::string ref =
+        oneShot(single.port(), getRequest("/metrics")).body;
+    EXPECT_NE(
+        ref.find("maestro_requests_total{endpoint=\"analyze\"} 3"),
+        std::string::npos);
+    for (const std::string *body : {&fleet0, &fleet1}) {
+        EXPECT_NE(body->find("maestro_requests_total{endpoint="
+                             "\"analyze\",worker=\"0\"} 2"),
+                  std::string::npos);
+        EXPECT_NE(body->find("maestro_requests_total{endpoint="
+                             "\"analyze\",worker=\"1\"} 1"),
+                  std::string::npos);
+        EXPECT_NE(body->find("maestro_requests_total{endpoint="
+                             "\"analyze\",worker=\"all\"} 3"),
+                  std::string::npos);
+        EXPECT_NE(body->find("maestro_requests_total{endpoint="
+                             "\"healthz\",worker=\"1\"} 1"),
+                  std::string::npos);
+        EXPECT_NE(body->find("maestro_request_latency_us_count{"
+                             "worker=\"all\"}"),
+                  std::string::npos);
+    }
+
+    // GET /stats gains a fleet object with per-worker breakdown.
+    const std::string stats =
+        oneShot(w0.port(), getRequest("/stats")).body;
+    EXPECT_NE(stats.find("\"fleet\":{\"workers\":2,\"lane\":0,"),
+              std::string::npos);
+    EXPECT_NE(stats.find("\"per_worker\":["), std::string::npos);
+}
+
+TEST(ServeFleet, CacheOutcomeAndClientSeriesWithCardinalityCap)
+{
+    ServeOptions options;
+    options.metrics_max_clients = 1; // carol takes the only slot
+    TestServer server(options);
+    const std::uint16_t port = server.port();
+
+    const std::string raw = postRequest(
+        "/analyze?dataflow=C-P", tinyNetwork(8), "X-Client-Id: carol");
+    const ClientResponse miss = oneShot(port, raw);
+    const ClientResponse hit = oneShot(port, raw);
+    ASSERT_EQ(miss.status, 200);
+    ASSERT_EQ(hit.status, 200);
+    EXPECT_EQ(hit.headers.at("x-result-cache"), "hit");
+    EXPECT_EQ(hit.body, miss.body);
+
+    // A second client folds into client="other" past the cap; the
+    // shared result cache still answers it with the same bytes.
+    const ClientResponse folded = oneShot(
+        port, postRequest("/analyze?dataflow=C-P", tinyNetwork(8),
+                          "X-Client-Id: dave"));
+    ASSERT_EQ(folded.status, 200);
+    EXPECT_EQ(folded.headers.at("x-result-cache"), "hit");
+
+    // Scrape as carol: a client-less request keys on the peer IP,
+    // which would be a second over-cap client muddying the counts.
+    const std::string body =
+        oneShot(port, "GET /metrics HTTP/1.1\r\nHost: t\r\n"
+                      "X-Client-Id: carol\r\n\r\n")
+            .body;
+    EXPECT_NE(body.find("maestro_endpoint_latency_us_count{cache="
+                        "\"miss\",endpoint=\"analyze\"} 1"),
+              std::string::npos);
+    EXPECT_NE(body.find("maestro_endpoint_latency_us_count{cache="
+                        "\"hit\",endpoint=\"analyze\"} 2"),
+              std::string::npos);
+    EXPECT_NE(
+        body.find("maestro_client_requests_total{client=\"carol\"}"
+                  " 3"),
+        std::string::npos);
+    EXPECT_NE(
+        body.find("maestro_client_requests_total{client=\"other\"}"
+                  " 1"),
+        std::string::npos);
+    EXPECT_NE(body.find("maestro_client_cache_hits_total{client="
+                        "\"carol\"} 1"),
+              std::string::npos);
+    EXPECT_EQ(body.find("client=\"dave\""), std::string::npos);
+}
+
+TEST(ServeFleet, ThrottledJobSubmitsPinRetryAfterOne)
+{
+    ServeOptions options;
+    options.worker_threads = 1;
+    options.jobs_per_client = 1;
+    options.deadline_ms = 60000;
+    TestServer server(options);
+    const std::uint16_t port = server.port();
+
+    // A slow sync request holds the only pool thread, so alice's
+    // first job stays queued while her second submit arrives.
+    const std::string slow_raw =
+        postRequest("/simulate?dataflow=C-P&exact=on", midNetwork(),
+                    "X-Client-Id: bob");
+    std::thread busy([&] {
+        EXPECT_EQ(oneShot(port, slow_raw).status, 200);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    const ClientResponse first = oneShot(
+        port, postRequest("/jobs/analyze?dataflow=C-P",
+                          tinyNetwork(3), "X-Client-Id: alice"));
+    const ClientResponse second = oneShot(
+        port, postRequest("/jobs/analyze?dataflow=C-P",
+                          tinyNetwork(4), "X-Client-Id: alice"));
+    busy.join();
+    if (second.status == 429) {
+        ASSERT_EQ(second.headers.count("retry-after"), 1u);
+        EXPECT_EQ(second.headers.at("retry-after"), "1");
+        const std::string body =
+            oneShot(port, getRequest("/metrics")).body;
+        EXPECT_NE(body.find("maestro_jobs_total{event="
+                            "\"rejected_client\"} 1"),
+                  std::string::npos);
+        EXPECT_NE(body.find("maestro_client_throttled_total{client="
+                            "\"alice\"} 1"),
+                  std::string::npos);
+    } else {
+        // The slow request can (rarely) finish inside the stagger;
+        // then both submits fit the budget — not the path under
+        // test, but still correct behaviour.
+        EXPECT_EQ(first.status, 202);
+    }
+}
+
+TEST(ServeFleet, JobRepliesEchoTheSubmitTraceInHeadersOnly)
+{
+    TestServer server;
+    const std::uint16_t port = server.port();
+    const std::string dsl = tinyNetwork(8);
+    const std::string expected =
+        referenceAnalyze(dsl, QueryParams{{"dataflow", "C-P"}});
+
+    const ClientResponse accepted = oneShot(
+        port, postRequest("/jobs/analyze?dataflow=C-P", dsl,
+                          "X-Trace-Id: span-41"));
+    ASSERT_EQ(accepted.status, 202) << accepted.body;
+    EXPECT_EQ(accepted.headers.at("x-trace-id"), "span-41");
+    EXPECT_EQ(accepted.headers.at("x-job-trace-id"), "span-41");
+    // Bodies never carry the trace (byte-identity).
+    EXPECT_EQ(accepted.body.find("span-41"), std::string::npos);
+
+    // A poll from another client has its own trace id, but the
+    // submitter's id rides along in X-Job-Trace-Id, and the terminal
+    // body is still the sync endpoint's bytes verbatim.
+    const std::string id = jsonString(accepted.body, "id");
+    const ClientResponse done = waitJob(port, id);
+    ASSERT_EQ(done.status, 200) << done.body;
+    EXPECT_EQ(done.headers.at("x-job-trace-id"), "span-41");
+    EXPECT_NE(done.headers.at("x-trace-id"), "span-41");
+    EXPECT_EQ(done.body, expected);
+
+    // Idempotent resubmits keep the FIRST submitter's trace.
+    const ClientResponse again = oneShot(
+        port, postRequest("/jobs/analyze?dataflow=C-P", dsl,
+                          "X-Trace-Id: span-99"));
+    EXPECT_EQ(again.status, 200);
+    EXPECT_EQ(again.headers.at("x-trace-id"), "span-99");
+    EXPECT_EQ(again.headers.at("x-job-trace-id"), "span-41");
+}
+
+TEST(ServeFleet, EventLogAndEventsTailShareTheRequestStory)
+{
+    const std::string path = tempLogPath("events");
+    ServeOptions options;
+    options.access_log = path;
+    options.events_ring = 8;
+    TestServer server(options);
+    const std::uint16_t port = server.port();
+
+    ASSERT_EQ(oneShot(port, getRequest("/healthz")).status, 200);
+    const ClientResponse analyzed = oneShot(
+        port, postRequest("/analyze?dataflow=C-P", tinyNetwork(8),
+                          "X-Client-Id: erin"));
+    ASSERT_EQ(analyzed.status, 200);
+    const std::string trace = analyzed.headers.at("x-trace-id");
+
+    // The ring tail renders oldest-first with the fields the file
+    // carries: type, endpoint, client, and the response's trace id.
+    const ClientResponse tail =
+        oneShot(port, getRequest("/events?n=8"));
+    ASSERT_EQ(tail.status, 200);
+    EXPECT_EQ(tail.body.rfind("{\"count\":", 0), 0u) << tail.body;
+    EXPECT_NE(tail.body.find("\"type\":\"request\""),
+              std::string::npos);
+    EXPECT_NE(tail.body.find("\"endpoint\":\"analyze\""),
+              std::string::npos);
+    EXPECT_NE(tail.body.find("\"client\":\"erin\""),
+              std::string::npos);
+    EXPECT_NE(tail.body.find("\"trace\":\"" + trace + "\""),
+              std::string::npos);
+    EXPECT_EQ(oneShot(port, getRequest("/events?n=bogus")).status,
+              400);
+
+    // /stats surfaces the log's counters.
+    const std::string stats =
+        oneShot(port, getRequest("/stats")).body;
+    EXPECT_GE(jsonField(stats, "events", "lines"), 3u);
+
+    // Stop to quiesce writers, then audit the file: every line is
+    // one whole JSON object, and the analyze completion is there
+    // with its trace id.
+    server.stop();
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string line;
+    std::size_t lines = 0;
+    bool saw_analyze = false;
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{') << line;
+        EXPECT_EQ(line.back(), '}') << line;
+        ++lines;
+        if (line.find("\"endpoint\":\"analyze\"") !=
+                std::string::npos &&
+            line.find("\"trace\":\"" + trace + "\"") !=
+                std::string::npos)
+            saw_analyze = true;
+    }
+    EXPECT_GE(lines, 3u);
+    EXPECT_TRUE(saw_analyze);
+    std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------- //

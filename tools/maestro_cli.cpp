@@ -113,9 +113,21 @@ const char *const kUsage =
     "            [--client-weights a=4,b=1] [--cache-entries N] "
     "[--cache-bytes N]\n"
     "            [--drain-linger-ms N]\n"
+    "            [--access-log PATH] [--access-log-max-bytes N] "
+    "[--events-ring N]\n"
+    "            [--metrics-max-clients N] [--status-port P]\n"
     "            (--workers > 1 forks N shared-nothing SO_REUSEPORT "
     "processes;\n"
-    "             SIGTERM drains every worker gracefully)\n"
+    "             SIGTERM drains every worker gracefully; workers "
+    "share one metrics\n"
+    "             segment, so GET /metrics on any worker is the "
+    "fleet view;\n"
+    "             --status-port adds a supervisor fleet-view "
+    "listener;\n"
+    "             --access-log appends structured JSONL events, "
+    "rotated at\n"
+    "             --access-log-max-bytes; GET /events tails the "
+    "last N)\n"
     "shared: [--threads N] [--stats on] [--trace OUT.json] "
     "[--profile]\n"
     "  maestro --version prints the build version\n";
@@ -898,12 +910,27 @@ cmdServe(const Args &args)
     opts.drain_linger_ms = static_cast<int>(args.getInt(
         "drain-linger-ms", static_cast<Count>(opts.drain_linger_ms)));
     opts.client_weights = parseClientWeights(args.get("client-weights"));
+    opts.access_log = args.get("access-log", opts.access_log);
+    opts.access_log_max_bytes = static_cast<std::size_t>(args.getInt(
+        "access-log-max-bytes",
+        static_cast<Count>(opts.access_log_max_bytes)));
+    opts.events_ring = static_cast<std::size_t>(args.getInt(
+        "events-ring", static_cast<Count>(opts.events_ring)));
+    opts.metrics_max_clients = static_cast<std::size_t>(args.getInt(
+        "metrics-max-clients",
+        static_cast<Count>(opts.metrics_max_clients)));
 
     const auto workers = static_cast<std::size_t>(
         args.getInt("workers", 1));
+    const int status_port =
+        static_cast<int>(args.getInt("status-port", -1));
+    fatalIf(status_port >= 0 && workers < 2,
+            "--status-port needs --workers >= 2 (a single-process "
+            "server already serves the fleet view on its own port)");
     if (workers > 1)
-        return serve::runWorkers(opts, workers) == 0 ? kExitOk
-                                                     : kExitError;
+        return serve::runWorkers(opts, workers, status_port) == 0
+                   ? kExitOk
+                   : kExitError;
 
     serve::AnalysisServer server(serve::ServeContext{}, opts);
     server.start();
